@@ -1,0 +1,86 @@
+"""Shared benchmark configuration (see EXPERIMENTS.md).
+
+Scaling rationale: the paper processes 13-27M-packet traces against
+200 KB-25 MB sketches in C++/hardware.  Pure-Python packet loops cap
+tractable traces at a few hundred thousand packets, so both axes are
+scaled together to keep the *operating regime* — distinct flows per
+bucket and buckets per true heavy hitter — in the paper's range:
+
+* traces: 200k packets, ~30k distinct 5-tuple flows (CAIDA-like),
+  ~150k packets for the heavy-change windows;
+* memory axis: paper value x MEMORY_SCALE (0.4), e.g. the paper's
+  500 KB default point becomes 200 KB (~12k CocoSketch buckets).
+
+Heavy-hitter threshold stays the paper's 1e-4 of total traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.uss import UnbiasedSpaceSaving
+from repro.flowkeys.key import FIVE_TUPLE, PartialKeySpec
+from repro.sketches.base import Sketch
+from repro.sketches.countmin import CountMinHeap
+from repro.sketches.countsketch import CountSketchHeap
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.spacesaving import SpaceSaving
+from repro.sketches.univmon import UnivMon
+from repro.tasks.harness import Estimator, FullKeyEstimator, PerKeyEstimator
+
+#: Paper memory (KB) -> benchmark memory (bytes).
+MEMORY_SCALE = 0.4
+
+#: §7.1 default: 500 KB total memory.
+DEFAULT_MEMORY_KB = 500
+
+#: §7.1 default heavy-hitter threshold (fraction of total traffic).
+HH_THRESHOLD = 1e-4
+
+CAIDA_PACKETS = 200_000
+CAIDA_FLOWS = 70_000
+MAWI_PACKETS = 150_000
+MAWI_FLOWS = 50_000
+
+
+def mem_bytes(paper_kb: float) -> int:
+    """Scale a paper memory point (KB) to benchmark bytes."""
+    return int(paper_kb * MEMORY_SCALE * 1024)
+
+
+def make_estimator(
+    name: str, memory_bytes: int, partial_keys: list, seed: int = 1
+) -> Estimator:
+    """Build one of the §7.2 competitors at a memory budget.
+
+    ``Ours`` and ``USS`` deploy one full-key sketch and aggregate;
+    every other baseline deploys one single-key sketch per partial key
+    (memory split equally), exactly as §7.1 configures them.
+    """
+    if name == "Ours":
+        return FullKeyEstimator(
+            BasicCocoSketch.from_memory(memory_bytes, d=2, seed=seed), FIVE_TUPLE
+        )
+    if name == "USS":
+        return FullKeyEstimator(
+            UnbiasedSpaceSaving.from_memory(memory_bytes, seed=seed), FIVE_TUPLE
+        )
+    factories: Dict[str, Callable[[int, int], Sketch]] = {
+        "CM-Heap": lambda m, s: CountMinHeap.from_memory(m, seed=s),
+        "C-Heap": lambda m, s: CountSketchHeap.from_memory(m, seed=s),
+        "SS": lambda m, s: SpaceSaving.from_memory(m),
+        "Elastic": lambda m, s: ElasticSketch.from_memory(m, seed=s),
+        "UnivMon": lambda m, s: UnivMon.from_memory(
+            m, levels=6, rows=3, heap_k=64, seed=s
+        ),
+    }
+    if name not in factories:
+        raise ValueError(f"unknown algorithm {name!r}")
+    return PerKeyEstimator.build(
+        partial_keys, factories[name], memory_bytes, seed=seed, name=name
+    )
+
+
+HH_ALGORITHMS = ("Ours", "SS", "USS", "C-Heap", "CM-Heap", "Elastic", "UnivMon")
+HC_ALGORITHMS = ("Ours", "C-Heap", "CM-Heap", "Elastic", "UnivMon")

@@ -1,0 +1,196 @@
+"""Ablations for the design choices DESIGN.md §5 calls out.
+
+* Geometry: at fixed memory, how does splitting buckets across more
+  arrays (d) trade typical vs worst-case error (basic variant)?
+* Median vs mean combination in the hardware-friendly query.
+* Math-unit mantissa width for the P4 approximate division.
+* Heavy-tail dependence: CocoSketch on a uniform (worst-case §3.2)
+  workload needs more memory for the same accuracy, as predicted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import DEFAULT_MEMORY_KB, HH_THRESHOLD, mem_bytes
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
+from repro.flowkeys.key import FIVE_TUPLE, paper_partial_keys
+from repro.hwsim.approx_div import relative_probability_error
+from repro.tasks.harness import FullKeyEstimator
+from repro.tasks.heavy_hitter import average_report, heavy_hitter_task
+from repro.traffic.synthetic import uniform_workload
+
+
+class MeanCombineCocoSketch(HardwareCocoSketch):
+    """Hardware variant with mean instead of median combination."""
+
+    name = "CocoSketch-HW-mean"
+
+    def query(self, key: int) -> float:
+        estimates = [self.array_estimate(i, key) for i in range(self.d)]
+        return sum(estimates) / len(estimates)
+
+
+def _f1(sketch, trace, keys):
+    est = FullKeyEstimator(sketch, FIVE_TUPLE)
+    return average_report(
+        heavy_hitter_task(est, trace, keys, HH_THRESHOLD)
+    ).f1
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_median_vs_mean(benchmark, caida, record):
+    keys = paper_partial_keys(6)
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+
+    def run():
+        results = {}
+        for d in (2, 3):
+            median_sk = HardwareCocoSketch.from_memory(memory, d=d, seed=14)
+            mean_sk = MeanCombineCocoSketch.from_memory(memory, d=d, seed=14)
+            results[f"median d={d}"] = _f1(median_sk, caida, keys)
+            results[f"mean d={d}"] = _f1(mean_sk, caida, keys)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_median_vs_mean",
+        "Ablation: hardware-friendly query combination (F1, 6 keys)",
+        ["combiner", "f1"],
+        [[k, v] for k, v in results.items()],
+    )
+    # Both are viable; results should be in the same accuracy regime.
+    for value in results.values():
+        assert value > 0.6
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_mantissa_bits(benchmark, caida, record):
+    keys = paper_partial_keys(6)
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    bit_widths = (2, 3, 4, 6)
+
+    def run():
+        f1 = {}
+        perr = {}
+        for bits in bit_widths:
+            sk = P4CocoSketch.from_memory(memory, d=2, seed=15)
+            sk.mantissa_bits = bits
+            f1[bits] = _f1(sk, caida, keys)
+            perr[bits] = max(
+                relative_probability_error(v, bits) for v in range(1, 5000)
+            )
+        return f1, perr
+
+    f1, perr = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_mantissa_bits",
+        "Ablation: P4 approximate-division mantissa width",
+        ["bits", "f1", "worst probability error"],
+        [[bits, f1[bits], perr[bits]] for bits in bit_widths],
+    )
+    # Probability error halves per extra mantissa bit...
+    assert perr[2] > perr[3] > perr[4] > perr[6]
+    # ...but even 2 mantissa bits barely dents end-to-end F1 (<5%),
+    # which is why the Tofino's 4-bit unit is harmless (§6.2).
+    assert f1[4] - f1[2] < 0.05
+    assert abs(f1[6] - f1[4]) < 0.03
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_uniform_workload(benchmark, record):
+    keys = paper_partial_keys(4)
+
+    def run():
+        trace = uniform_workload(num_packets=120_000, num_flows=30_000, seed=16)
+        results = {}
+        for paper_kb in (500, 1000, 2000):
+            sk = BasicCocoSketch.from_memory(mem_bytes(paper_kb), d=2, seed=16)
+            est = FullKeyEstimator(sk, FIVE_TUPLE)
+            results[paper_kb] = average_report(
+                heavy_hitter_task(est, trace, keys, 5e-5)
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_uniform_workload",
+        "Ablation: uniform (non-heavy-tailed) workload, F1 vs memory",
+        ["paper KB", "f1", "recall", "precision"],
+        [
+            [kb, r.f1, r.recall, r.precision]
+            for kb, r in results.items()
+        ],
+    )
+    # §3.2: without a heavy tail CocoSketch needs more buckets; adding
+    # memory must recover accuracy.
+    f1s = [results[kb].f1 for kb in (500, 1000, 2000)]
+    assert f1s[0] < f1s[-1]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_nitrosketch_sampling(benchmark, caida, record):
+    """NitroSketch-style sampling (§8): throughput up, bounded F1 cost."""
+    from repro.extensions.sampling import SampledCocoSketch
+    from repro.metrics.throughput import measure_throughput
+
+    keys = paper_partial_keys(6)
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    probabilities = (1.0, 0.5, 0.25, 0.1)
+
+    def run():
+        packets = list(caida)
+        f1 = {}
+        mpps = {}
+        for p in probabilities:
+            sk = SampledCocoSketch.from_memory(memory, p, seed=17)
+            f1[p] = _f1(sk, caida, keys)
+            timing = SampledCocoSketch.from_memory(memory, p, seed=17)
+            mpps[p] = measure_throughput(timing.update, packets[:40_000]).mpps
+        return f1, mpps
+
+    f1, mpps = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_sampling",
+        "Ablation: NitroSketch-style update sampling",
+        ["probability", "f1", "mpps"],
+        [[p, f1[p], mpps[p]] for p in probabilities],
+    )
+    # Throughput rises as p falls; accuracy degrades gracefully.
+    assert mpps[0.25] > 1.5 * mpps[1.0]
+    assert f1[0.25] > f1[1.0] - 0.25
+    assert f1[1.0] == max(f1.values())
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_geometry_l_vs_d(benchmark, caida, record):
+    """At fixed memory, how should buckets be split into arrays?
+
+    Complements Fig 16: sweeps d with l = memory / (d * bucket) so the
+    *total* bucket count is constant, isolating the choice-vs-dilution
+    tradeoff stochastic variance minimisation makes.
+    """
+    keys = paper_partial_keys(6)
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    d_values = (1, 2, 4, 8)
+
+    def run():
+        results = {}
+        for d in d_values:
+            sk = BasicCocoSketch.from_memory(memory, d=d, seed=18)
+            results[d] = (_f1(sk, caida, keys), sk.l)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_geometry",
+        "Ablation: arrays (d) vs per-array length at fixed memory",
+        ["d", "l per array", "f1"],
+        [[d, l, f1] for d, (f1, l) in results.items()],
+    )
+    # d = 2 captures nearly all of the power-of-d benefit (§3.2).
+    assert results[2][0] > results[1][0] + 0.05
+    assert abs(results[4][0] - results[2][0]) < 0.06
+    assert abs(results[8][0] - results[4][0]) < 0.06

@@ -1,0 +1,66 @@
+"""Extension: the related-work single-key designs on the 6-key task.
+
+Not a paper figure — an extension pitting CocoSketch against three
+further single-key designs the paper cites (NitroSketch [31],
+WavingSketch [38], HashPipe [59]) deployed per-key, at the Fig 8
+configuration.  Expected shape: like the Fig 8 baselines, all of them
+pay the per-key memory split and update fan-out; CocoSketch's one
+sketch wins on F1 and ARE at 6 keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import DEFAULT_MEMORY_KB, HH_THRESHOLD, make_estimator, mem_bytes
+
+from repro.flowkeys.key import paper_partial_keys
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.nitrosketch import NitroSketch
+from repro.sketches.wavingsketch import WavingSketch
+from repro.tasks.harness import PerKeyEstimator
+from repro.tasks.heavy_hitter import average_report, heavy_hitter_task
+
+FACTORIES = {
+    "NitroSketch": lambda m, s: NitroSketch.from_memory(
+        m, probability=0.25, seed=s
+    ),
+    "WavingSketch": lambda m, s: WavingSketch.from_memory(m, seed=s),
+    "HashPipe": lambda m, s: HashPipe.from_memory(m, seed=s),
+}
+
+
+def _run(caida):
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    keys = paper_partial_keys(6)
+    results = {}
+    ours = make_estimator("Ours", memory, keys, seed=20)
+    results["Ours"] = average_report(
+        heavy_hitter_task(ours, caida, keys, HH_THRESHOLD)
+    )
+    for name, factory in FACTORIES.items():
+        estimator = PerKeyEstimator.build(
+            keys, factory, memory, seed=20, name=name
+        )
+        results[name] = average_report(
+            heavy_hitter_task(estimator, caida, keys, HH_THRESHOLD)
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="extended")
+def test_extended_baselines(benchmark, caida, record):
+    results = benchmark.pedantic(_run, args=(caida,), rounds=1, iterations=1)
+    record(
+        "extended_baselines",
+        "Extension: related-work single-key designs, 6 keys at 500 KB scale",
+        ["algorithm", "recall", "precision", "f1", "are"],
+        [
+            [name, r.recall, r.precision, r.f1, r.are]
+            for name, r in results.items()
+        ],
+    )
+    ours = results["Ours"]
+    for name in FACTORIES:
+        assert ours.f1 > results[name].f1
+        assert ours.are < results[name].are

@@ -1,0 +1,68 @@
+"""Figure 8: heavy-hitter RR / PR / ARE vs. number of partial keys.
+
+Paper shape: CocoSketch's recall and precision stay >95 % for 1-6 keys
+while every per-key baseline degrades as its memory is split further;
+USS matches CocoSketch's recall but loses precision to its 4x
+auxiliary-memory overhead; averaged ARE of CocoSketch is ~10x better.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import DEFAULT_MEMORY_KB, HH_ALGORITHMS, HH_THRESHOLD, make_estimator, mem_bytes
+
+from repro.flowkeys.key import paper_partial_keys
+from repro.tasks.heavy_hitter import average_report, heavy_hitter_task
+
+KEY_COUNTS = (1, 2, 3, 4, 5, 6)
+
+
+def _run(caida):
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    results = {}
+    for algo in HH_ALGORITHMS:
+        series = []
+        for n in KEY_COUNTS:
+            keys = paper_partial_keys(n)
+            estimator = make_estimator(algo, memory, keys, seed=1)
+            avg = average_report(
+                heavy_hitter_task(estimator, caida, keys, HH_THRESHOLD)
+            )
+            series.append(avg)
+        results[algo] = series
+    return results
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_heavy_hitters_vs_keys(benchmark, caida, record):
+    results = benchmark.pedantic(_run, args=(caida,), rounds=1, iterations=1)
+
+    for metric, attr in (("recall", "recall"), ("precision", "precision"), ("are", "are")):
+        rows = [
+            [algo] + [getattr(r, attr) for r in series]
+            for algo, series in results.items()
+        ]
+        record(
+            f"fig08_{metric}",
+            f"Fig 8 heavy hitters: {metric} vs number of keys "
+            f"({DEFAULT_MEMORY_KB} KB paper scale)",
+            ["algorithm"] + [str(n) for n in KEY_COUNTS],
+            rows,
+        )
+
+    ours = results["Ours"]
+    # CocoSketch stays accurate regardless of the number of keys.
+    assert all(r.recall > 0.9 for r in ours)
+    assert all(r.precision > 0.8 for r in ours)
+    # At 6 keys CocoSketch beats every per-key baseline on F1 and ARE.
+    for algo in ("SS", "C-Heap", "CM-Heap", "Elastic", "UnivMon"):
+        assert ours[-1].f1 > results[algo][-1].f1
+        assert ours[-1].are < results[algo][-1].are
+    # USS: recall competitive, precision hurt by auxiliary memory.
+    assert results["USS"][-1].precision < ours[-1].precision
+    # Averaged ARE advantage is large (paper: ~9.6x).
+    baseline_are = [
+        results[a][-1].are for a in HH_ALGORITHMS if a != "Ours"
+    ]
+    assert min(baseline_are) > 2 * ours[-1].are

@@ -1,0 +1,60 @@
+"""Figure 9: heavy-hitter F1 / ARE vs. memory, 6 partial keys.
+
+Paper shape: with ~300 KB (paper scale) CocoSketch's F1 exceeds 90 %
+while the baselines sit well below; CocoSketch's ARE is ~10x smaller.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import HH_ALGORITHMS, HH_THRESHOLD, make_estimator, mem_bytes
+
+from repro.flowkeys.key import paper_partial_keys
+from repro.tasks.heavy_hitter import average_report, heavy_hitter_task
+
+PAPER_MEMORY_KB = (200, 300, 400, 500, 600)
+
+
+def _run(caida):
+    keys = paper_partial_keys(6)
+    results = {}
+    for algo in HH_ALGORITHMS:
+        series = []
+        for paper_kb in PAPER_MEMORY_KB:
+            estimator = make_estimator(algo, mem_bytes(paper_kb), keys, seed=2)
+            avg = average_report(
+                heavy_hitter_task(estimator, caida, keys, HH_THRESHOLD)
+            )
+            series.append(avg)
+        results[algo] = series
+    return results
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_heavy_hitters_vs_memory(benchmark, caida, record):
+    results = benchmark.pedantic(_run, args=(caida,), rounds=1, iterations=1)
+
+    for metric in ("f1", "are"):
+        rows = [
+            [algo] + [getattr(r, metric) for r in series]
+            for algo, series in results.items()
+        ]
+        record(
+            f"fig09_{metric}",
+            f"Fig 9 heavy hitters: {metric} vs memory (paper KB, 6 keys)",
+            ["algorithm"] + [f"{kb}KB" for kb in PAPER_MEMORY_KB],
+            rows,
+        )
+
+    ours = results["Ours"]
+    # F1 grows with memory and clears 90 % from the 500 KB point.
+    assert all(b.f1 >= a.f1 - 0.03 for a, b in zip(ours, ours[1:]))
+    assert ours[3].f1 > 0.85
+    # Single-key baselines stay below CocoSketch at every point.
+    for algo in ("C-Heap", "CM-Heap", "Elastic", "UnivMon"):
+        for point, ours_point in zip(results[algo], ours):
+            assert point.f1 < ours_point.f1 + 0.02
+    # ARE advantage at the paper's 500 KB point.
+    baseline_are = [results[a][3].are for a in HH_ALGORITHMS if a != "Ours"]
+    assert min(baseline_are) > 2 * ours[3].are

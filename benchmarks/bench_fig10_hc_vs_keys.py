@@ -1,0 +1,65 @@
+"""Figure 10: heavy-change RR / PR vs. number of partial keys.
+
+Paper shape: CocoSketch's recall and precision stay >95 % as the key
+count grows while C-Heap / CM-Heap / Elastic / UnivMon fall off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import DEFAULT_MEMORY_KB, HC_ALGORITHMS, make_estimator, mem_bytes
+
+from repro.flowkeys.key import paper_partial_keys
+from repro.tasks.heavy_change import heavy_change_task
+from repro.tasks.heavy_hitter import average_report
+from repro.traffic.synthetic import heavy_change_windows
+
+KEY_COUNTS = (1, 2, 3, 4, 5, 6)
+CHANGE_THRESHOLD = 5e-4
+
+
+def _run():
+    window_a, window_b = heavy_change_windows(
+        num_packets=150_000, num_flows=50_000, change_fraction=0.01, seed=31
+    )
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    results = {}
+    for algo in HC_ALGORITHMS:
+        series = []
+        for n in KEY_COUNTS:
+            keys = paper_partial_keys(n)
+            reports = heavy_change_task(
+                lambda: make_estimator(algo, memory, keys, seed=3),
+                window_a,
+                window_b,
+                keys,
+                CHANGE_THRESHOLD,
+            )
+            series.append(average_report(reports))
+        results[algo] = series
+    return results
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_heavy_changes_vs_keys(benchmark, record):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    for metric in ("recall", "precision"):
+        rows = [
+            [algo] + [getattr(r, metric) for r in series]
+            for algo, series in results.items()
+        ]
+        record(
+            f"fig10_{metric}",
+            f"Fig 10 heavy changes: {metric} vs number of keys",
+            ["algorithm"] + [str(n) for n in KEY_COUNTS],
+            rows,
+        )
+
+    ours = results["Ours"]
+    assert all(r.recall > 0.85 for r in ours)
+    assert all(r.precision > 0.85 for r in ours)
+    # At 6 keys CocoSketch has the best F1.
+    for algo in HC_ALGORITHMS[1:]:
+        assert ours[-1].f1 > results[algo][-1].f1

@@ -1,0 +1,94 @@
+"""Figure 13: MAWI trace — heavy-hitter and heavy-change F1 vs. #keys.
+
+Paper shape: on the second (more skewed) trace CocoSketch keeps >90 %
+F1 beyond two keys and beats every baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import (
+    DEFAULT_MEMORY_KB,
+    HC_ALGORITHMS,
+    HH_ALGORITHMS,
+    HH_THRESHOLD,
+    make_estimator,
+    mem_bytes,
+)
+
+from repro.flowkeys.key import paper_partial_keys
+from repro.tasks.heavy_change import heavy_change_task
+from repro.tasks.heavy_hitter import average_report, heavy_hitter_task
+
+KEY_COUNTS = (1, 2, 3, 4, 5, 6)
+
+
+def _run_hh(mawi):
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    results = {}
+    for algo in HH_ALGORITHMS:
+        series = []
+        for n in KEY_COUNTS:
+            keys = paper_partial_keys(n)
+            estimator = make_estimator(algo, memory, keys, seed=6)
+            series.append(
+                average_report(
+                    heavy_hitter_task(estimator, mawi, keys, HH_THRESHOLD)
+                ).f1
+            )
+        results[algo] = series
+    return results
+
+
+def _run_hc(mawi):
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    half = len(mawi) // 2
+    window_a = mawi.slice(0, half, "mawi-a")
+    window_b = mawi.slice(half, len(mawi), "mawi-b")
+    results = {}
+    for algo in HC_ALGORITHMS:
+        series = []
+        for n in KEY_COUNTS:
+            keys = paper_partial_keys(n)
+            reports = heavy_change_task(
+                lambda: make_estimator(algo, memory, keys, seed=6),
+                window_a,
+                window_b,
+                keys,
+                5e-4,
+            )
+            series.append(average_report(reports).f1)
+        results[algo] = series
+    return results
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13a_mawi_heavy_hitters(benchmark, mawi, record):
+    results = benchmark.pedantic(_run_hh, args=(mawi,), rounds=1, iterations=1)
+    record(
+        "fig13a_f1",
+        "Fig 13(a) MAWI heavy hitters: F1 vs number of keys",
+        ["algorithm"] + [str(n) for n in KEY_COUNTS],
+        [[algo] + series for algo, series in results.items()],
+    )
+    ours = results["Ours"]
+    assert all(f1 > 0.85 for f1 in ours)
+    for algo in HH_ALGORITHMS:
+        if algo != "Ours":
+            assert results[algo][-1] < ours[-1]
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13b_mawi_heavy_changes(benchmark, mawi, record):
+    results = benchmark.pedantic(_run_hc, args=(mawi,), rounds=1, iterations=1)
+    record(
+        "fig13b_f1",
+        "Fig 13(b) MAWI heavy changes: F1 vs number of keys",
+        ["algorithm"] + [str(n) for n in KEY_COUNTS],
+        [[algo] + series for algo, series in results.items()],
+    )
+    ours = results["Ours"]
+    assert all(f1 > 0.8 for f1 in ours)
+    for algo in HC_ALGORITHMS[1:]:
+        assert results[algo][-1] < ours[-1]

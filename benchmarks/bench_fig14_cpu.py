@@ -1,0 +1,85 @@
+"""Figure 14: CPU throughput (Mpps) and 95th-pct per-packet latency.
+
+Absolute Mpps in Python are not the paper's C++ numbers; the *shape* is
+what the figure establishes and what this bench asserts: CocoSketch's
+(and USS's) throughput is flat in the number of keys while every
+per-key baseline degrades roughly linearly, leaving CocoSketch the
+fastest at 6 keys — and the mirror image holds for tail latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import DEFAULT_MEMORY_KB, HH_ALGORITHMS, make_estimator, mem_bytes
+
+from repro.flowkeys.key import paper_partial_keys
+from repro.metrics.throughput import measure_throughput
+from repro.tasks.harness import FullKeyEstimator
+
+KEY_COUNTS = (1, 2, 3, 4, 5, 6)
+TIMING_PACKETS = 40_000
+
+
+def _updater(estimator):
+    if isinstance(estimator, FullKeyEstimator):
+        return estimator.sketch.update
+    return estimator.bank.update
+
+
+def _run(caida):
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    packets = list(caida)[:TIMING_PACKETS]
+    mpps = {}
+    p95 = {}
+    for algo in HH_ALGORITHMS:
+        mpps[algo] = []
+        p95[algo] = []
+        for n in KEY_COUNTS:
+            keys = paper_partial_keys(n)
+            estimator = make_estimator(algo, memory, keys, seed=7)
+            result = measure_throughput(_updater(estimator), packets)
+            mpps[algo].append(result.mpps)
+            p95[algo].append(result.p95_ns)
+    return mpps, p95
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_cpu_throughput_and_latency(benchmark, caida, record):
+    mpps, p95 = benchmark.pedantic(_run, args=(caida,), rounds=1, iterations=1)
+
+    record(
+        "fig14a_throughput",
+        "Fig 14(a) CPU throughput (Mpps, Python scale) vs number of keys",
+        ["algorithm"] + [str(n) for n in KEY_COUNTS],
+        [[algo] + series for algo, series in mpps.items()],
+    )
+    record(
+        "fig14b_p95_latency",
+        "Fig 14(b) 95th-pct per-packet latency (ns) vs number of keys",
+        ["algorithm"] + [str(n) for n in KEY_COUNTS],
+        [[algo] + series for algo, series in p95.items()],
+    )
+
+    ours = mpps["Ours"]
+    # Flat in the number of keys (within measurement noise).
+    assert min(ours) > 0.6 * max(ours)
+    assert min(mpps["USS"]) > 0.5 * max(mpps["USS"])
+    # Per-key baselines degrade with more keys...
+    for algo in ("C-Heap", "CM-Heap", "Elastic", "UnivMon"):
+        assert mpps[algo][-1] < 0.45 * mpps[algo][0]
+        # ...and CocoSketch is faster than all of them at 6 keys.
+        assert ours[-1] > mpps[algo][-1]
+        # Tail latency mirror image.
+        assert p95["Ours"][-1] < p95[algo][-1]
+    # USS note: the paper's C++ optimised USS is ~3x slower than
+    # CocoSketch because its auxiliary structures cost extra memory
+    # accesses (§7.3).  In Python, dict operations are cheap relative
+    # to hashing+RNG, so the fast-engine USS lands *on par with* Ours
+    # and the ordering is not a stable property of this substrate —
+    # the throughput collapse the paper leans on is the naive engine's
+    # (asserted in Fig 16).  Here we assert only what transfers: USS
+    # stays within the same order of magnitude as Ours while every
+    # per-key baseline has fallen well below both.
+    assert mpps["USS"][-1] > 3 * mpps["UnivMon"][-1]
+    assert mpps["USS"][-1] < 10 * ours[-1]

@@ -1,0 +1,124 @@
+"""Figure 15: platform results — OVS, FPGA throughput/resources, P4.
+
+(a) OVS ring-buffer deployment saturates the 40 GbE NIC from 2 threads.
+(b) FPGA: hardware-friendly (pipelined) CocoSketch ~5x the basic
+    variant's throughput; ~150 Mpps at 2 MB.
+(c) FPGA resources: CocoSketch needs ~5.8 % BRAM and ~45x fewer
+    registers than 6x Elastic (~34 % BRAM).
+(d) P4/Tofino resources: CocoSketch 6.25 % stateful ALUs for any
+    number of keys; Elastic 18.75 % per key, at most 4 instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hwsim.fpga import FpgaModel
+from repro.hwsim.ovs import OvsSimulation
+from repro.hwsim.rmt import RmtChip, sketch_rmt_usage
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15a_ovs_throughput(benchmark, record):
+    sim = OvsSimulation(per_thread_mpps=7.0, nic_cap_mpps=12.5)
+    curve = benchmark.pedantic(sim.throughput_curve, args=(4,), rounds=1, iterations=1)
+    record(
+        "fig15a_ovs",
+        "Fig 15(a) OVS throughput (Mpps) vs polling threads",
+        ["threads", "delivered_mpps", "dropped_mpps", "ring_occupancy"],
+        [
+            [r.threads, r.delivered_mpps, r.dropped_mpps, r.mean_ring_occupancy]
+            for r in curve
+        ],
+    )
+    assert curve[0].delivered_mpps < 0.6 * 12.5
+    for point in curve[1:]:
+        assert point.delivered_mpps == pytest.approx(12.5, rel=0.05)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15b_fpga_throughput(benchmark, record):
+    model = FpgaModel()
+    memories_mb = (0.25, 0.5, 1.0, 2.0)
+
+    def run():
+        return {
+            variant: [
+                model.throughput_mpps(variant, int(mb * 1024 * 1024))
+                for mb in memories_mb
+            ]
+            for variant in ("hardware", "basic")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "fig15b_fpga_throughput",
+        "Fig 15(b) FPGA throughput (Mpps) vs memory (MB)",
+        ["variant"] + [f"{mb}MB" for mb in memories_mb],
+        [[v] + series for v, series in results.items()],
+    )
+    for hw, basic in zip(results["hardware"], results["basic"]):
+        assert 4 <= hw / basic <= 6
+    assert results["hardware"][-1] == pytest.approx(150, rel=0.15)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15c_fpga_resources(benchmark, record):
+    model = FpgaModel()
+
+    def run():
+        coco = model.cocosketch_resources(500 * 1024, d=2)
+        elastic1 = model.elastic_resources(512 * 1024)
+        elastic6 = elastic1.scaled(6)
+        return {
+            "Ours": model.device.utilisation(coco),
+            "Elastic": model.device.utilisation(elastic1),
+            "6*Elastic": model.device.utilisation(elastic6),
+        }
+
+    util = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["design", "Registers", "LUTs", "Block RAM"]
+    record(
+        "fig15c_fpga_resources",
+        "Fig 15(c) FPGA resource usage (fraction of U280)",
+        headers,
+        [
+            [name, u["Registers"], u["LUTs"], u["Block RAM"]]
+            for name, u in util.items()
+        ],
+    )
+    # 6 keys: CocoSketch registers ~45x smaller, BRAM 5.8% vs 34%.
+    assert util["6*Elastic"]["Registers"] / util["Ours"]["Registers"] > 20
+    assert util["Ours"]["Block RAM"] == pytest.approx(0.058, abs=0.01)
+    assert util["6*Elastic"]["Block RAM"] == pytest.approx(0.34, abs=0.05)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15d_p4_resources(benchmark, record):
+    chip = RmtChip()
+
+    def run():
+        coco = sketch_rmt_usage("cocosketch", 200 * 1024, d=2)
+        elastic1 = sketch_rmt_usage("elastic", 200 * 1024)
+        return {
+            "Ours": chip.utilisation(coco),
+            "Elastic": chip.utilisation(elastic1),
+            "4*Elastic": chip.utilisation(elastic1.scaled(4)),
+        }, chip.max_instances(sketch_rmt_usage("elastic", 200 * 1024))
+
+    util, max_elastic = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["design", "SRAM", "Map RAM", "Stateful ALU"]
+    record(
+        "fig15d_p4_resources",
+        "Fig 15(d) Tofino resource usage (fraction of chip)",
+        headers,
+        [
+            [name, u["SRAM"], u["Map RAM"], u["Stateful ALU"]]
+            for name, u in util.items()
+        ],
+        extra={"max_elastic_instances": max_elastic},
+    )
+    assert util["Ours"]["Stateful ALU"] == pytest.approx(0.0625, abs=0.001)
+    assert util["Elastic"]["Stateful ALU"] == pytest.approx(0.1875, abs=0.001)
+    assert util["4*Elastic"]["Stateful ALU"] == pytest.approx(0.75, abs=0.001)
+    assert max_elastic == 4

@@ -1,0 +1,81 @@
+"""Figure 17: CDF of absolute error under different d values.
+
+(a) Basic CocoSketch d in {2, 3, 4} vs USS: larger d concentrates the
+    error distribution (higher probability of small error) at the cost
+    of a worse extreme tail — matching Theorem 3's tradeoff.
+(b) Hardware-friendly CocoSketch d in {1..4}: same story; d does not
+    affect hardware throughput, only the error distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import DEFAULT_MEMORY_KB, mem_bytes
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch
+from repro.core.uss import UnbiasedSpaceSaving
+from repro.metrics.cdf import error_cdf
+
+QUANTILES = (0.95, 0.96, 0.97, 0.98, 0.99, 0.999)
+
+
+def _cdf_for(sketch, caida):
+    sketch.process(iter(caida))
+    return error_cdf(sketch.flow_table(), caida.full_counts())
+
+
+def _run(caida):
+    memory = mem_bytes(DEFAULT_MEMORY_KB)
+    basic = {
+        f"d={d}": _cdf_for(
+            BasicCocoSketch.from_memory(memory, d=d, seed=9), caida
+        )
+        for d in (2, 3, 4)
+    }
+    # "USS" = CocoSketch with d = total buckets (no aux-memory charge).
+    basic["USS"] = _cdf_for(
+        UnbiasedSpaceSaving(memory // 17, seed=9), caida
+    )
+    hardware = {
+        f"d={d}": _cdf_for(
+            HardwareCocoSketch.from_memory(memory, d=d, seed=9), caida
+        )
+        for d in (1, 2, 3, 4)
+    }
+    return basic, hardware
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_error_cdf(benchmark, caida, record):
+    basic, hardware = benchmark.pedantic(
+        _run, args=(caida,), rounds=1, iterations=1
+    )
+
+    for name, cdfs in (("fig17a_basic", basic), ("fig17b_hardware", hardware)):
+        record(
+            name,
+            f"Fig 17 {name.split('_')[1]} CocoSketch: absolute error at "
+            "upper quantiles",
+            ["config"] + [f"q{q}" for q in QUANTILES],
+            [
+                [label] + [cdf.quantile(q) for q in QUANTILES]
+                for label, cdf in cdfs.items()
+            ],
+        )
+
+    # Basic variant: more choices concentrate the error distribution.
+    assert basic["d=4"].quantile(0.95) <= basic["d=2"].quantile(0.95)
+    # USS (exact global min) is at least as concentrated as d = 2.
+    assert basic["USS"].quantile(0.95) <= basic["d=2"].quantile(0.95) + 1
+    # Hardware variant: d shifts mass between body and tail, but all
+    # configurations live in the same regime (Theorem 3); the direction
+    # of the body/tail tradeoff is workload-dependent (EXPERIMENTS.md).
+    bodies = [hardware[f"d={d}"].quantile(0.95) for d in (1, 2, 3, 4)]
+    assert max(bodies) <= 3 * min(bodies)
+    tails = [hardware[f"d={d}"].worst(0.001) for d in (1, 2, 3, 4)]
+    assert max(tails) <= 3 * min(tails)
+    # The hardware variant's tail is heavier than the basic variant's
+    # at equal d (the cost of removing circular dependencies).
+    assert hardware["d=2"].worst(0.001) >= basic["d=2"].worst(0.001)

@@ -1,0 +1,178 @@
+"""Figure 18: (a) CocoSketch versions; (b) full-key-sketch strawmen.
+
+(a) F1 vs memory for the basic, FPGA (hardware-friendly) and P4
+    (approximate-division) variants.  Paper shape: basic best, gap to
+    hardware <10 %, FPGA-vs-P4 gap <1 %.
+(b) ARE on a full key (SrcIP) and a partial key (its /24 prefix) for
+    CocoSketch vs "2*Elastic" / "Lossy" / "Full" (§2.3).  Paper shape:
+    CocoSketch accurate on both; the strawmen acceptable on the full
+    key but poor on the partial key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _config import HH_THRESHOLD, mem_bytes
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
+from repro.flowkeys.fields import SRC_IP
+from repro.flowkeys.key import FullKeySpec, paper_partial_keys
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.metrics.accuracy import average_relative_error
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.strawmen import FullAggregationStrawman, LossyRecoveryStrawman
+from repro.tasks.harness import FullKeyEstimator
+from repro.tasks.heavy_hitter import average_report, heavy_hitter_task
+from repro.traffic.trace import Trace
+
+PAPER_MEMORY_KB_18A = (500, 1000, 1500, 2000)
+VERSIONS = {
+    "Basic": BasicCocoSketch,
+    "FPGA": HardwareCocoSketch,
+    "P4": P4CocoSketch,
+}
+
+
+def _run_versions(caida):
+    keys = paper_partial_keys(6)
+    results = {}
+    for name, cls in VERSIONS.items():
+        series = []
+        for paper_kb in PAPER_MEMORY_KB_18A:
+            est = FullKeyEstimator(
+                cls.from_memory(mem_bytes(paper_kb), d=2, seed=10), FIVE_TUPLE
+            )
+            series.append(
+                average_report(
+                    heavy_hitter_task(est, caida, keys, HH_THRESHOLD)
+                ).f1
+            )
+        results[name] = series
+    return results
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18a_versions(benchmark, caida, record):
+    results = benchmark.pedantic(
+        _run_versions, args=(caida,), rounds=1, iterations=1
+    )
+    record(
+        "fig18a_versions",
+        "Fig 18(a) CocoSketch versions: F1 vs memory (paper KB)",
+        ["version"] + [f"{kb}KB" for kb in PAPER_MEMORY_KB_18A],
+        [[name] + series for name, series in results.items()],
+    )
+    for i in range(len(PAPER_MEMORY_KB_18A)):
+        basic, fpga, p4 = (
+            results["Basic"][i],
+            results["FPGA"][i],
+            results["P4"][i],
+        )
+        # Basic best; FPGA ~ P4 (approximate division is harmless).
+        assert basic >= fpga - 0.02
+        assert abs(fpga - p4) < 0.05
+    # The basic-vs-hardware gap narrows as memory grows (paper: <10 %
+    # at its operating points; our scaled-down regime starts tighter on
+    # memory, so the smallest point shows a larger gap -- see
+    # EXPERIMENTS.md).
+    gaps = [
+        results["Basic"][i] - results["FPGA"][i]
+        for i in range(len(PAPER_MEMORY_KB_18A))
+    ]
+    assert gaps[-1] < 0.15
+    assert gaps[-1] <= gaps[0]
+    assert results["FPGA"][-1] > 0.8
+
+
+SRC_IP_SPEC = FullKeySpec((SRC_IP,))
+
+
+def _run_strawmen(caida):
+    """Fig 18(b): full key = SrcIP, partial key = its /24 prefix.
+
+    Memory: the paper uses 6 MB against a 27M-packet trace; scaled to
+    this bench's 200k-packet trace, 384 KB keeps the same loading
+    (packets per counter / flows per bucket).  Keys are 32-bit SrcIPs,
+    so buckets are accounted at 4 key bytes.
+    """
+    memory = 384 * 1024
+    src_trace = Trace(
+        SRC_IP_SPEC,
+        [key >> 72 for key in caida.keys],
+        caida.sizes,
+        name="caida-srcip",
+    )
+    full_pk = SRC_IP_SPEC.identity_partial()
+    prefix_pk = SRC_IP_SPEC.partial(("SrcIP", 24))
+    truth_full = src_trace.ground_truth(full_pk)
+    truth_prefix = src_trace.ground_truth(prefix_pk)
+    # "Full" recovery queries the whole preimage *domain*: all 256
+    # addresses of every observed /24 (§2.3's point -- each unobserved
+    # address still returns sketch noise that accumulates).
+    candidates = [
+        (prefix << 8) | host
+        for prefix in truth_prefix
+        for host in range(256)
+    ]
+
+    def ares(table_full, table_prefix):
+        return (
+            average_relative_error(table_full, truth_full),
+            average_relative_error(table_prefix, truth_prefix),
+        )
+
+    results = {}
+
+    coco = BasicCocoSketch.from_memory(memory, d=2, seed=11, key_bytes=4)
+    coco.process(iter(src_trace))
+    est = FullKeyEstimator(coco, SRC_IP_SPEC)
+    results["Ours"] = ares(est.table(full_pk), est.table(prefix_pk))
+
+    # "2*Elastic": one Elastic per key, memory split.
+    e_full = ElasticSketch.from_memory(memory // 2, seed=11, key_bytes=4)
+    e_pref = ElasticSketch.from_memory(memory // 2, seed=12, key_bytes=4)
+    g = prefix_pk.mapper()
+    for key, size in src_trace:
+        e_full.update(key, size)
+        e_pref.update(g(key), size)
+    results["2*Elastic"] = ares(e_full.flow_table(), e_pref.flow_table())
+
+    lossy = LossyRecoveryStrawman(memory, seed=11, key_bytes=4)
+    lossy.process(iter(src_trace))
+    results["Lossy"] = ares(
+        lossy.table_for(full_pk), lossy.table_for(prefix_pk)
+    )
+
+    full = FullAggregationStrawman(memory, seed=11)
+    full.process(iter(src_trace))
+    results["Full"] = ares(
+        full.table_for(full_pk, candidates),
+        full.table_for(prefix_pk, candidates),
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18b_fullkey_strawmen(benchmark, caida, record):
+    results = benchmark.pedantic(
+        _run_strawmen, args=(caida,), rounds=1, iterations=1
+    )
+    record(
+        "fig18b_strawmen",
+        "Fig 18(b) full-key sketch strawmen: ARE on SrcIP (full) and /24 "
+        "prefix (partial)",
+        ["solution", "ARE full key", "ARE partial key"],
+        [[name, full, prefix] for name, (full, prefix) in results.items()],
+    )
+    ours_full, ours_prefix = results["Ours"]
+    # CocoSketch accurate on both keys (ARE over all distinct flows).
+    assert ours_full < 0.1
+    assert ours_prefix < 0.1
+    # Every strawman is much worse on the partial key than CocoSketch.
+    for name in ("2*Elastic", "Lossy", "Full"):
+        assert results[name][1] > 3 * ours_prefix
+    # "Full" specifically degrades from full key to partial key (the
+    # aggregated per-candidate noise), the paper's headline point.
+    assert results["Full"][1] > 2 * results["Full"][0]

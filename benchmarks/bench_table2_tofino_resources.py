@@ -1,0 +1,73 @@
+"""Table 2: Tofino resource breakdown of one single-key sketch.
+
+Regenerates the paper's utilisation rows from the calibrated RMT model
+and checks the two claims: the hash distribution unit is the
+bottleneck, and no more than four single-key sketches fit on a chip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hwsim.rmt import RmtChip, sketch_rmt_usage
+
+PAPER_VALUES = {
+    "Count-Min": {
+        "Hash Distribution Unit": 0.2083,
+        "Stateful ALU": 0.1667,
+        "Gateway": 0.0781,
+        "Map RAM": 0.0711,
+        "SRAM": 0.0427,
+    },
+    "R-HHH": {
+        "Hash Distribution Unit": 0.2222,
+        "Stateful ALU": 0.1667,
+        "Gateway": 0.0833,
+        "Map RAM": 0.0711,
+        "SRAM": 0.0427,
+    },
+}
+
+
+def _run():
+    chip = RmtChip()
+    cm = sketch_rmt_usage("count-min", 500 * 1024)
+    rhhh = sketch_rmt_usage("r-hhh", 500 * 1024)
+    return {
+        "Count-Min": chip.utilisation(cm),
+        "R-HHH": chip.utilisation(rhhh),
+    }, chip.max_instances(cm), chip.bottleneck(cm)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_tofino_resources(benchmark, record):
+    util, max_cm, bottleneck = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    resources = list(PAPER_VALUES["Count-Min"])
+    rows = []
+    for res in resources:
+        rows.append(
+            [
+                res,
+                PAPER_VALUES["Count-Min"][res],
+                util["Count-Min"][res],
+                PAPER_VALUES["R-HHH"][res],
+                util["R-HHH"][res],
+            ]
+        )
+    record(
+        "table2",
+        "Table 2 Tofino resource usage (paper vs model)",
+        ["resource", "CM paper", "CM model", "RHHH paper", "RHHH model"],
+        rows,
+        extra={"max_count_min_instances": max_cm, "bottleneck": bottleneck},
+    )
+
+    for algo, paper in PAPER_VALUES.items():
+        for res, value in paper.items():
+            assert util[algo][res] == pytest.approx(value, abs=0.002), (
+                algo,
+                res,
+            )
+    assert bottleneck == "Hash Distribution Unit"
+    assert max_cm == 4

@@ -1,0 +1,93 @@
+"""Benchmark fixtures: shared traces, result recording, summary output.
+
+Every bench test records the table/series it regenerates via the
+``record`` fixture; results are written to ``results/<name>.json`` and
+re-printed in the terminal summary (so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures the figures' data
+alongside the timing tables).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _config import CAIDA_FLOWS, CAIDA_PACKETS, MAWI_FLOWS, MAWI_PACKETS  # noqa: E402
+
+from repro.traffic.synthetic import caida_like, mawi_like  # noqa: E402
+
+_RECORDED: List[str] = []
+
+
+@pytest.fixture(scope="session")
+def caida():
+    """The CAIDA-like evaluation trace (DESIGN.md §2 substitution)."""
+    return caida_like(num_packets=CAIDA_PACKETS, num_flows=CAIDA_FLOWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def mawi():
+    """The MAWI-like evaluation trace."""
+    return mawi_like(num_packets=MAWI_PACKETS, num_flows=MAWI_FLOWS, seed=11)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table for the terminal summary."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def record(results_dir):
+    """record(name, title, headers, rows, extra=None) -> saves + queues."""
+
+    def _record(
+        name: str,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence],
+        extra: Dict = None,
+    ) -> None:
+        payload = {"title": title, "headers": list(headers), "rows": [list(r) for r in rows]}
+        if extra:
+            payload["extra"] = extra
+        (results_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+        _RECORDED.append(format_table(title, headers, rows))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RECORDED:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for block in _RECORDED:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

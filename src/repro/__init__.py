@@ -1,0 +1,61 @@
+"""CocoSketch (SIGCOMM 2021) reproduction.
+
+A sketch-based network measurement library supporting *arbitrary
+partial key queries*: fix a full key (e.g. the 5-tuple) before
+measurement, then query the size of flows under any derived key --
+field subsets or bit prefixes -- with unbiased, variance-bounded
+estimates from one sketch.
+
+Quickstart::
+
+    from repro import BasicCocoSketch, FlowTable, FIVE_TUPLE, caida_like
+
+    trace = caida_like(num_packets=100_000)
+    sketch = BasicCocoSketch.from_memory(500 * 1024, d=2)
+    sketch.process(iter(trace))
+
+    table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+    src_ip = FIVE_TUPLE.partial("SrcIP")
+    top = table.aggregate(src_ip).top_k(10)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.core import (
+    BasicCocoSketch,
+    FlowTable,
+    HardwareCocoSketch,
+    P4CocoSketch,
+    UnbiasedSpaceSaving,
+)
+from repro.flowkeys import (
+    FIVE_TUPLE,
+    FullKeySpec,
+    Packet,
+    PartialKeySpec,
+    paper_partial_keys,
+    prefix_hierarchy,
+)
+from repro.traffic import Trace, caida_like, mawi_like, zipf_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicCocoSketch",
+    "HardwareCocoSketch",
+    "P4CocoSketch",
+    "UnbiasedSpaceSaving",
+    "FlowTable",
+    "FullKeySpec",
+    "PartialKeySpec",
+    "FIVE_TUPLE",
+    "paper_partial_keys",
+    "prefix_hierarchy",
+    "Packet",
+    "Trace",
+    "caida_like",
+    "mawi_like",
+    "zipf_trace",
+    "__version__",
+]

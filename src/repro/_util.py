@@ -1,0 +1,33 @@
+"""Small shared helpers with no domain dependencies."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Median with mean-of-middle-two for even counts.
+
+    Used by the hardware-friendly CocoSketch query (§4.3) and the Count
+    sketch estimator; the even-count convention keeps the d = 2 default
+    unbiased (mean of two unbiased per-array estimators).
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("median of empty sequence")
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered: List[float] = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return float(ordered[rank])

@@ -1,0 +1,35 @@
+"""Analytical results from §5 and Appendix A, as executable formulas.
+
+* :mod:`repro.analysis.bounds` — Theorem 1/2 (optimal replacement and
+  variance increment), Theorem 3 (error bound), Theorem 4 (recall
+  bound), Lemma 5 (per-array variance), and the §A.2 memory-vs-d
+  tradeoff.
+* :mod:`repro.analysis.empirical` — Monte-Carlo utilities for checking
+  unbiasedness and variance empirically (used by tests and the
+  ablation benches).
+"""
+
+from repro.analysis.bounds import (
+    error_bound_probability,
+    memory_factor_vs_optimal_d,
+    optimal_d,
+    optimal_replacement_probability,
+    per_array_variance,
+    recall_lower_bound,
+    theorem3_array_length,
+    variance_increment,
+)
+from repro.analysis.empirical import empirical_estimates, estimate_moments
+
+__all__ = [
+    "optimal_replacement_probability",
+    "variance_increment",
+    "per_array_variance",
+    "theorem3_array_length",
+    "error_bound_probability",
+    "recall_lower_bound",
+    "optimal_d",
+    "memory_factor_vs_optimal_d",
+    "empirical_estimates",
+    "estimate_moments",
+]

@@ -1,0 +1,105 @@
+"""Closed-form results of §5 / Appendix A.
+
+Every function mirrors one statement of the paper so tests and benches
+can check the implementation against the theory (and vice versa).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def optimal_replacement_probability(weight: float, bucket_value: float) -> float:
+    """Theorem 1: the variance-minimising key-replacement probability.
+
+    For packet weight ``w`` landing on a bucket currently holding value
+    ``f_j``, the optimum is ``p = w / (f_j + w)``.
+    """
+    if weight <= 0:
+        raise ValueError(f"weight must be positive, got {weight}")
+    if bucket_value < 0:
+        raise ValueError(f"bucket value must be >= 0, got {bucket_value}")
+    return weight / (bucket_value + weight)
+
+
+def variance_increment(
+    weight: float, bucket_value: float, same_key: bool
+) -> float:
+    """Theorem 2: minimum variance-sum increment of one insertion.
+
+    0 when the packet's key matches the bucket's; ``2 w f_j`` otherwise.
+    """
+    if weight <= 0:
+        raise ValueError(f"weight must be positive, got {weight}")
+    if same_key:
+        return 0.0
+    return 2.0 * weight * bucket_value
+
+
+def per_array_variance(flow_size: float, rest_size: float, l: int) -> float:
+    """Lemma 5: Var of the per-array estimator is f(e) * f_bar(e) / l."""
+    if l < 1:
+        raise ValueError(f"l must be >= 1, got {l}")
+    if flow_size < 0 or rest_size < 0:
+        raise ValueError("sizes must be >= 0")
+    return flow_size * rest_size / l
+
+
+def theorem3_array_length(epsilon: float) -> int:
+    """Theorem 3's array sizing: l = 3 / epsilon^2."""
+    if not 0 < epsilon:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return math.ceil(3.0 / (epsilon * epsilon))
+
+
+def error_bound_probability(
+    epsilon: float, l: int, d: int
+) -> float:
+    """Theorem 3 proof chain: P[R(e) >= eps * sqrt(f_bar/f)] bound.
+
+    Per array, Chebyshev gives ``1 / (eps^2 l)``; the median over d
+    arrays fails only if at least d/2 arrays fail, so by the Chernoff
+    argument the joint bound is ``(2 sqrt(p (1-p)))^d`` with
+    ``p = 1/(eps^2 l)`` (standard median-amplification form; with
+    l = 3 eps^-2 this is < (0.943)^d and decays geometrically in d).
+    """
+    if l < 1 or d < 1:
+        raise ValueError("l and d must be >= 1")
+    p = min(1.0, 1.0 / (epsilon * epsilon * l))
+    if p >= 0.5:
+        return 1.0
+    return (2.0 * math.sqrt(p * (1.0 - p))) ** d
+
+
+def recall_lower_bound(flow_size: float, rest_size: float, l: int, d: int) -> float:
+    """Theorem 4: P[flow recorded] >= 1 - (1 + l f(e)/f_bar(e))^-d."""
+    if l < 1 or d < 1:
+        raise ValueError("l and d must be >= 1")
+    if flow_size <= 0:
+        raise ValueError(f"flow_size must be positive, got {flow_size}")
+    if rest_size < 0:
+        raise ValueError(f"rest_size must be >= 0, got {rest_size}")
+    if rest_size == 0:
+        return 1.0
+    return 1.0 - (1.0 + l * flow_size / rest_size) ** (-d)
+
+
+def optimal_d(delta: float) -> int:
+    """§A.2: d ~ ln(1/delta) minimises total buckets for failure prob delta."""
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return max(1, round(math.log(1.0 / delta)))
+
+
+def memory_factor_vs_optimal_d(d: int, delta: float) -> float:
+    """§A.2: extra-memory factor of using d instead of the optimal d.
+
+    ``d * (1/delta)^(1/d) / (e * ln(1/delta))``; the paper's example:
+    d = 2, delta = 0.01 needs ~1.6x the optimum.
+    """
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    ln_inv = math.log(1.0 / delta)
+    return d * (1.0 / delta) ** (1.0 / d) / (math.e * ln_inv)

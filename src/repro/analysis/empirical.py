@@ -1,0 +1,50 @@
+"""Monte-Carlo verification utilities.
+
+Used by the statistical tests and ablation benches to check the §5
+claims empirically: run many independently seeded sketch instances over
+the same trace and inspect the distribution of one flow's estimate
+(unbiasedness: mean ~= truth; Lemma 5: variance <= f * f_bar / l).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Tuple
+
+from repro.sketches.base import Sketch
+
+
+def empirical_estimates(
+    factory: Callable[[int], Sketch],
+    packets: List[Tuple[int, int]],
+    flow_key: int,
+    trials: int,
+    base_seed: int = 0,
+) -> List[float]:
+    """Estimates of one flow across *trials* independently seeded runs."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    estimates = []
+    for trial in range(trials):
+        sketch = factory(base_seed + 1000 + trial)
+        sketch.process(packets)
+        estimates.append(sketch.query(flow_key))
+    return estimates
+
+
+def estimate_moments(samples: Iterable[float]) -> Tuple[float, float]:
+    """(mean, unbiased sample variance)."""
+    values = list(samples)
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two samples")
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, var
+
+
+def mean_confidence_halfwidth(samples: Iterable[float], z: float = 3.0) -> float:
+    """z-sigma half-width of the sample-mean confidence interval."""
+    values = list(samples)
+    _, var = estimate_moments(values)
+    return z * math.sqrt(var / len(values))

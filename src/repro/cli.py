@@ -1,0 +1,151 @@
+"""Command-line interface: generate traces, measure, query.
+
+Usage::
+
+    python -m repro.cli generate --packets 100000 --flows 20000 out.csv
+    python -m repro.cli measure out.csv --memory-kb 200 --top 10 \
+        --key SrcIP --key SrcIP/24 --key SrcIP+DstIP
+    python -m repro.cli evaluate out.csv --memory-kb 200 --threshold 1e-4
+
+Key syntax: ``Field[/prefix]`` joined by ``+``, over the 5-tuple full
+key — e.g. ``SrcIP``, ``SrcIP/24``, ``SrcIP+DstIP``, ``DstIP+DstPort``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.query import FlowTable
+from repro.flowkeys.key import FIVE_TUPLE, PartialKeySpec, paper_partial_keys
+from repro.metrics.accuracy import evaluate_heavy_hitters
+from repro.traffic.storage import load_csv, save_csv
+from repro.traffic.synthetic import caida_like, mawi_like, zipf_trace
+
+
+def parse_key(text: str) -> PartialKeySpec:
+    """Parse ``Field[/prefix]+Field[/prefix]...`` into a partial key."""
+    parts = []
+    for item in text.split("+"):
+        if "/" in item:
+            name, prefix = item.split("/", 1)
+            parts.append((name, int(prefix)))
+        else:
+            parts.append(item)
+    return FIVE_TUPLE.partial(*parts)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    makers = {
+        "caida": caida_like,
+        "mawi": mawi_like,
+    }
+    if args.profile in makers:
+        trace = makers[args.profile](
+            num_packets=args.packets, num_flows=args.flows, seed=args.seed
+        )
+    else:
+        trace = zipf_trace(
+            args.packets, args.flows, alpha=args.alpha, seed=args.seed
+        )
+    save_csv(trace, args.path)
+    print(f"wrote {trace} to {args.path}")
+    return 0
+
+
+def _load_sketch(args: argparse.Namespace):
+    trace = load_csv(args.path, FIVE_TUPLE)
+    sketch = BasicCocoSketch.from_memory(
+        int(args.memory_kb * 1024), d=args.d, seed=args.seed
+    )
+    sketch.process(iter(trace))
+    return trace, sketch
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    trace, sketch = _load_sketch(args)
+    table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+    keys = [parse_key(k) for k in args.key] or paper_partial_keys(6)
+    for partial in keys:
+        agg = table.aggregate(partial)
+        print(f"\n== top {args.top} flows on {partial.name} ==")
+        for value, est in agg.top_k(args.top):
+            print(f"  {value:>32x}  ~{est:.0f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    trace, sketch = _load_sketch(args)
+    table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+    keys = [parse_key(k) for k in args.key] or paper_partial_keys(6)
+    threshold = args.threshold * trace.total_size
+    print(
+        f"{'key':44s} {'recall':>7s} {'precision':>9s} {'f1':>6s} {'are':>8s}"
+    )
+    for partial in keys:
+        truth = trace.ground_truth(partial)
+        report = evaluate_heavy_hitters(
+            table.aggregate(partial).sizes, truth, threshold
+        )
+        print(
+            f"{partial.name:44s} {report.recall:7.2%} "
+            f"{report.precision:9.2%} {report.f1:6.3f} {report.are:8.4f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CocoSketch reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic trace CSV")
+    gen.add_argument("path")
+    gen.add_argument("--profile", choices=("caida", "mawi", "zipf"), default="caida")
+    gen.add_argument("--packets", type=int, default=100_000)
+    gen.add_argument("--flows", type=int, default=20_000)
+    gen.add_argument("--alpha", type=float, default=1.05)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.set_defaults(func=_cmd_generate)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("path")
+    common.add_argument("--memory-kb", type=float, default=200)
+    common.add_argument("--d", type=int, default=2)
+    common.add_argument("--seed", type=int, default=1)
+    common.add_argument(
+        "--key",
+        action="append",
+        default=[],
+        help="partial key, e.g. SrcIP or SrcIP/24+DstIP (repeatable)",
+    )
+
+    measure = sub.add_parser(
+        "measure", parents=[common], help="top-k flows per partial key"
+    )
+    measure.add_argument("--top", type=int, default=10)
+    measure.set_defaults(func=_cmd_measure)
+
+    evaluate = sub.add_parser(
+        "evaluate",
+        parents=[common],
+        help="heavy-hitter accuracy vs exact ground truth",
+    )
+    evaluate.add_argument("--threshold", type=float, default=1e-4)
+    evaluate.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

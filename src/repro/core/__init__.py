@@ -1,0 +1,31 @@
+"""CocoSketch core: the paper's primary contribution.
+
+* :class:`~repro.core.cocosketch.BasicCocoSketch` — stochastic variance
+  minimisation over d hashed candidate buckets (§4.1); the software
+  (CPU/OVS) algorithm.
+* :class:`~repro.core.hardware.HardwareCocoSketch` — circular-dependency-
+  free variant: d independent per-array updates, median-combined query
+  (§4.2); the FPGA algorithm.
+* :class:`~repro.core.hardware.P4CocoSketch` — the Tofino variant, whose
+  replacement probability goes through the math unit's approximate
+  division (§6.2).
+* :class:`~repro.core.uss.UnbiasedSpaceSaving` — the theoretical baseline
+  (Ting, SIGMOD'18) CocoSketch makes practical; equivalent to CocoSketch
+  with d = number of buckets.
+* :class:`~repro.core.query.FlowTable` — the control-plane query
+  front-end: build the (FullKey, Size) table and GROUP BY any partial
+  key (§4.3).
+"""
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
+from repro.core.query import FlowTable
+from repro.core.uss import UnbiasedSpaceSaving
+
+__all__ = [
+    "BasicCocoSketch",
+    "HardwareCocoSketch",
+    "P4CocoSketch",
+    "UnbiasedSpaceSaving",
+    "FlowTable",
+]

@@ -1,0 +1,169 @@
+"""Basic CocoSketch: stochastic variance minimisation (§4.1).
+
+Data structure: ``d`` arrays of ``l`` (key, value) buckets, one hash
+function per array.  Per packet ``(e, w)``:
+
+1. If ``e`` matches the key of any of its ``d`` mapped buckets, add ``w``
+   to that bucket's value (variance increment 0, Theorem 2).
+2. Otherwise pick the mapped bucket with the smallest value (ties broken
+   uniformly at random), add ``w`` to its value, and replace its key
+   with ``e`` with probability ``w / V_new`` (Theorem 1).
+
+Empty buckets have value 0, so a new flow landing on an empty bucket is
+adopted with probability ``w / w = 1`` — the generic rule needs no
+special case.  With ``d`` equal to the total number of buckets and one
+shared "hash" this degenerates to Unbiased SpaceSaving; with small ``d``
+(2-4) each update costs O(d) instead of O(n) while the size estimate on
+any partial key stays unbiased (Lemma 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+
+
+class BasicCocoSketch(Sketch):
+    """CocoSketch with stochastic variance minimisation over d choices.
+
+    Args:
+        d: Number of arrays / hash functions (paper default 2).
+        l: Buckets per array.
+        seed: Seeds both the hash family and the replacement RNG.
+        key_bytes: Per-bucket key width for memory accounting.
+        hash_backend: ``"mix64"`` (fast, default) or ``"bob"`` (faithful).
+    """
+
+    name = "CocoSketch"
+
+    def __init__(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        self.d = d
+        self.l = l
+        self.key_bytes = key_bytes
+        self._family = HashFamily(d, seed, backend=hash_backend, key_bytes=key_bytes)
+        self._hash = self._family.index_fns(l)
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._keys: List[List[Optional[int]]] = [[None] * l for _ in range(d)]
+        self._vals: List[List[int]] = [[0] * l for _ in range(d)]
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        d: int = 2,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> "BasicCocoSketch":
+        """Size the sketch to a data-plane memory budget.
+
+        Each bucket costs ``key_bytes + 4`` bytes (key + 32-bit counter),
+        exactly the paper's accounting — CocoSketch keeps no auxiliary
+        structures.
+        """
+        bucket = key_bytes + COUNTER_BYTES
+        l = memory_bytes // (d * bucket)
+        if l < 1:
+            raise ValueError(
+                f"memory {memory_bytes}B too small for d={d} "
+                f"({d * bucket}B minimum)"
+            )
+        return cls(d, l, seed, key_bytes, hash_backend)
+
+    def update(self, key: int, size: int = 1) -> None:
+        """Insert packet ``(key, size)`` (§4.1 insertion)."""
+        keys = self._keys
+        vals = self._vals
+        min_i = 0
+        min_j = 0
+        min_v = None
+        ties = 1
+        rng = self._rng
+        for i in range(self.d):
+            j = self._hash[i](key)
+            row_keys = keys[i]
+            if row_keys[j] == key:
+                vals[i][j] += size
+                return
+            v = vals[i][j]
+            if min_v is None or v < min_v:
+                min_v = v
+                min_i = i
+                min_j = j
+                ties = 1
+            elif v == min_v:
+                # Reservoir-style uniform tie-break among equal minima.
+                ties += 1
+                if rng.random() * ties < 1.0:
+                    min_i = i
+                    min_j = j
+        new_v = min_v + size
+        vals[min_i][min_j] = new_v
+        if rng.random() * new_v < size:
+            keys[min_i][min_j] = key
+
+    def query(self, key: int) -> float:
+        """Estimated size: sum of values of mapped buckets holding *key*.
+
+        A flow normally occupies at most one bucket; after an eviction
+        and re-adoption it can transiently appear in two, in which case
+        both bucket counters carry part of its (unbiased) estimate.
+        """
+        total = 0
+        for i in range(self.d):
+            j = self._hash[i](key)
+            if self._keys[i][j] == key:
+                total += self._vals[i][j]
+        return float(total)
+
+    def flow_table(self) -> Dict[int, float]:
+        """(FullKey, Size) table over all recorded keys (§4.3 Step 3)."""
+        table: Dict[int, float] = {}
+        for i in range(self.d):
+            row_keys = self._keys[i]
+            row_vals = self._vals[i]
+            for j in range(self.l):
+                k = row_keys[j]
+                if k is not None:
+                    table[k] = table.get(k, 0.0) + row_vals[j]
+        return table
+
+    def memory_bytes(self) -> int:
+        return self.d * self.l * (self.key_bytes + COUNTER_BYTES)
+
+    def update_cost(self) -> UpdateCost:
+        """O(d): d hashes, d bucket reads, one value+key write, one draw."""
+        return UpdateCost(
+            hashes=self.d, reads=self.d, writes=2, random_draws=2
+        )
+
+    def reset(self) -> None:
+        for i in range(self.d):
+            self._keys[i] = [None] * self.l
+            self._vals[i] = [0] * self.l
+
+    def occupancy(self) -> float:
+        """Fraction of buckets holding a key (diagnostics)."""
+        filled = sum(
+            1 for row in self._keys for k in row if k is not None
+        )
+        return filled / (self.d * self.l)

@@ -1,0 +1,128 @@
+"""Control-plane query front-end (§4.3).
+
+At the end of a measurement window the control plane builds the
+``(FullKey, Size)`` table from the sketch (Step 3) and answers any
+partial-key query by GROUP BY aggregation under the mapping ``g(.)``
+(Step 4) — the paper renders this as::
+
+    SELECT g(k_F), SUM(Size) FROM table GROUP BY g(k_F)
+
+:class:`FlowTable` is that table, with the aggregation, thresholding and
+top-k operations the measurement tasks need.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+from repro.sketches.base import Sketch
+
+
+class FlowTable:
+    """An estimated ``{key: size}`` table over some key spec.
+
+    A table is either *full-key* (built from a sketch; ``spec`` is the
+    :class:`FullKeySpec`) or the result of aggregating onto a partial
+    key (``spec`` is the :class:`PartialKeySpec`).
+    """
+
+    def __init__(
+        self,
+        sizes: Dict[int, float],
+        spec: object,
+        name: str = "flows",
+    ) -> None:
+        self.sizes = sizes
+        self.spec = spec
+        self.name = name
+
+    @classmethod
+    def from_sketch(cls, sketch: Sketch, spec: FullKeySpec) -> "FlowTable":
+        """Step 3: recover the sizes of all recorded full-key flows."""
+        return cls(sketch.flow_table(), spec, name=sketch.name)
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def query(self, key: int) -> float:
+        """Estimated size of one flow (0 for unrecorded flows)."""
+        return self.sizes.get(key, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all estimated sizes."""
+        return sum(self.sizes.values())
+
+    def group_by(self, mapper: Callable[[int], int], spec: object = None) -> "FlowTable":
+        """``SELECT mapper(k), SUM(size) ... GROUP BY mapper(k)``."""
+        out: Dict[int, float] = {}
+        for key, size in self.sizes.items():
+            mapped = mapper(key)
+            out[mapped] = out.get(mapped, 0.0) + size
+        return FlowTable(out, spec, name=self.name)
+
+    def aggregate(self, partial: PartialKeySpec) -> "FlowTable":
+        """Step 4: aggregate recorded full-key flows onto *partial*.
+
+        Only valid on a full-key table whose spec matches the partial
+        key's full key.
+        """
+        if partial.full != self.spec:
+            raise ValueError(
+                f"partial key {partial} is not over this table's spec"
+            )
+        if partial.is_full():
+            return FlowTable(dict(self.sizes), partial, name=self.name)
+        return self.group_by(partial.mapper(), spec=partial)
+
+    def combined(self, other: "FlowTable") -> "FlowTable":
+        """Sum two tables over the same spec (e.g. adjacent windows).
+
+        Exact on the estimates (addition commutes with the unbiased
+        expectation), so combining window tables answers
+        multi-window-total queries without re-measuring.
+        """
+        if other.spec != self.spec:
+            raise ValueError("cannot combine tables over different specs")
+        sizes = dict(self.sizes)
+        for key, size in other.sizes.items():
+            sizes[key] = sizes.get(key, 0.0) + size
+        return FlowTable(sizes, self.spec, name=f"{self.name}+{other.name}")
+
+    def heavy_hitters(self, threshold: float) -> Dict[int, float]:
+        """Flows with estimated size >= *threshold* (absolute units)."""
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        return {k: v for k, v in self.sizes.items() if v >= threshold}
+
+    def top_k(self, k: int) -> List[Tuple[int, float]]:
+        """The *k* largest flows, descending by estimated size."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return heapq.nlargest(k, self.sizes.items(), key=lambda kv: kv[1])
+
+    def __repr__(self) -> str:
+        return f"FlowTable({self.name!r}, flows={len(self)}, spec={self.spec})"
+
+
+def partial_key_report(
+    sketch: Sketch,
+    spec: FullKeySpec,
+    partial_keys: List[PartialKeySpec],
+    threshold: Optional[float] = None,
+) -> Dict[str, Dict[int, float]]:
+    """One-shot convenience: per-partial-key estimated tables.
+
+    Builds the full-key table once and aggregates it onto every requested
+    partial key; with *threshold* each table is cut to heavy hitters.
+    """
+    full = FlowTable.from_sketch(sketch, spec)
+    report: Dict[str, Dict[int, float]] = {}
+    for partial in partial_keys:
+        table = full.aggregate(partial)
+        report[partial.name] = (
+            table.heavy_hitters(threshold) if threshold is not None else table.sizes
+        )
+    return report

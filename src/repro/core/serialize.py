@@ -1,0 +1,136 @@
+"""Binary serialisation of CocoSketch state.
+
+Deployments ship sketch state off the data plane every window (the
+OVS integration reads it through shared memory; switches export via
+the control plane).  This codec gives that wire format: a versioned,
+endian-fixed binary blob holding geometry, hash-family seeds and the
+bucket arrays, so a collector can reconstruct an *identical* sketch —
+including its hash functions, which merging requires.
+
+Layout (little-endian):
+
+    magic  "CCSK" | version u16 | kind u8 | d u16 | l u32
+    key_bytes u8 | seed_count u16 | seeds u64 x seed_count
+    per array: l x (key u128 | value u64)   (key flag: all-ones = empty)
+
+Values are capped at u64; keys at 128 bits (the 5-tuple needs 104).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
+
+_MAGIC = b"CCSK"
+_VERSION = 1
+_EMPTY_KEY = (1 << 128) - 1
+_HEADER = struct.Struct("<4sHBHIBH")
+
+_KINDS = {
+    BasicCocoSketch: 0,
+    HardwareCocoSketch: 1,
+    P4CocoSketch: 2,
+}
+_CLASSES = {number: cls for cls, number in _KINDS.items()}
+
+AnyCocoSketch = Union[BasicCocoSketch, HardwareCocoSketch, P4CocoSketch]
+
+
+class SerializationError(ValueError):
+    """Malformed or incompatible sketch blob."""
+
+
+def dump_sketch(sketch: AnyCocoSketch) -> bytes:
+    """Serialise a CocoSketch (any variant) to bytes."""
+    kind = _KINDS.get(type(sketch))
+    if kind is None:
+        raise SerializationError(
+            f"cannot serialise {type(sketch).__name__}"
+        )
+    seeds = sketch._family.seeds
+    parts = [
+        _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            kind,
+            sketch.d,
+            sketch.l,
+            sketch.key_bytes,
+            len(seeds),
+        )
+    ]
+    parts.extend(struct.pack("<Q", seed) for seed in seeds)
+    for i in range(sketch.d):
+        keys = sketch._keys[i]
+        vals = sketch._vals[i]
+        for j in range(sketch.l):
+            key = keys[j]
+            encoded = _EMPTY_KEY if key is None else key
+            if not 0 <= encoded <= _EMPTY_KEY:
+                raise SerializationError(f"key {key} exceeds 128 bits")
+            value = vals[j]
+            if not 0 <= value < 1 << 64:
+                raise SerializationError(f"value {value} exceeds 64 bits")
+            parts.append(encoded.to_bytes(16, "little"))
+            parts.append(struct.pack("<Q", value))
+    return b"".join(parts)
+
+
+def load_sketch(blob: bytes) -> AnyCocoSketch:
+    """Reconstruct a CocoSketch from :func:`dump_sketch` output.
+
+    The rebuilt sketch hashes, queries and merges identically to the
+    original (same hash-family seeds).
+    """
+    if len(blob) < _HEADER.size:
+        raise SerializationError("blob shorter than header")
+    magic, version, kind, d, l, key_bytes, seed_count = _HEADER.unpack(
+        blob[: _HEADER.size]
+    )
+    if magic != _MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    cls = _CLASSES.get(kind)
+    if cls is None:
+        raise SerializationError(f"unknown sketch kind {kind}")
+    if seed_count != d:
+        raise SerializationError(
+            f"seed count {seed_count} does not match d={d}"
+        )
+
+    offset = _HEADER.size
+    expected = offset + 8 * seed_count + d * l * 24
+    if len(blob) != expected:
+        raise SerializationError(
+            f"blob length {len(blob)} != expected {expected}"
+        )
+    seeds = []
+    for _ in range(seed_count):
+        (seed,) = struct.unpack_from("<Q", blob, offset)
+        seeds.append(seed)
+        offset += 8
+
+    sketch = cls(d=d, l=l, seed=0, key_bytes=key_bytes)
+    # Restore the exact hash family: overwrite derived seeds.
+    sketch._family.seeds = seeds
+    sketch._hash = sketch._family.index_fns(l)
+    for i in range(d):
+        keys = sketch._keys[i]
+        vals = sketch._vals[i]
+        for j in range(l):
+            key = int.from_bytes(blob[offset : offset + 16], "little")
+            offset += 16
+            (value,) = struct.unpack_from("<Q", blob, offset)
+            offset += 8
+            keys[j] = None if key == _EMPTY_KEY else key
+            vals[j] = value
+    return sketch
+
+
+def blob_size(d: int, l: int) -> int:
+    """Size in bytes of a serialised sketch with this geometry."""
+    return _HEADER.size + 8 * d + d * l * 24

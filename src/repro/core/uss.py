@@ -1,0 +1,182 @@
+"""Unbiased SpaceSaving (Ting, SIGMOD 2018) — the theoretical baseline.
+
+USS keeps ``m`` (key, value) buckets.  For a packet ``(e, w)``:
+
+* if ``e`` is tracked, add ``w`` to its counter (variance increment 0);
+* otherwise find the *global* minimum counter ``C_min``, add ``w`` to it,
+  and replace the bucket's key with ``e`` with probability
+  ``w / (C_min + w)``.
+
+The global min-scan is what CocoSketch removes: a naive implementation
+touches every bucket per packet (O(n)); even the paper's optimised
+variant (hash table + ordered structure) pays for its auxiliary
+structures both in time (~3x slower than a single-key sketch) and memory
+(~4x the bucket space, which the evaluation charges against it).
+
+Two engines are provided:
+
+* ``engine="fast"`` (default) — hash map + lazy min-heap with entry
+  invalidation: exact USS semantics at O(log n) amortised per packet,
+  standing in for the paper's hash-table + doubly-linked-list version.
+* ``engine="naive"`` — the literal O(n) scan, used to demonstrate the
+  throughput cliff (Fig 16(b)'s "USS" point).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+
+#: The paper charges USS's hash table + linked-list against its memory
+#: budget: "auxiliary data structures occupy up to 4x memory space".
+AUX_MEMORY_FACTOR = 4.0
+
+
+class UnbiasedSpaceSaving(Sketch):
+    """USS over *capacity* buckets.
+
+    Args:
+        capacity: Number of (key, value) buckets.
+        seed: Replacement RNG seed.
+        engine: ``"fast"`` (lazy heap) or ``"naive"`` (linear scan).
+    """
+
+    name = "USS"
+
+    def __init__(
+        self,
+        capacity: int,
+        seed: int = 0,
+        engine: str = "fast",
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if engine not in ("fast", "naive"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.capacity = capacity
+        self.engine = engine
+        self.key_bytes = key_bytes
+        self._rng = random.Random(seed ^ 0x0055)
+        self._counts: Dict[int, int] = {}
+        # fast engine state: heap of (value, entry_id, key); an entry is
+        # live iff it is the latest pushed for its key.
+        self._heap: List[Tuple[int, int, int]] = []
+        self._latest: Dict[int, int] = {}
+        self._next_id = 0
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        seed: int = 0,
+        engine: str = "fast",
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        aux_factor: float = AUX_MEMORY_FACTOR,
+    ) -> "UnbiasedSpaceSaving":
+        """Size to a memory budget, charging auxiliary-structure overhead.
+
+        With the paper's accounting (``aux_factor`` = 4), a 500 KB budget
+        yields a quarter of CocoSketch's bucket count — the root of USS's
+        precision gap in Fig 8(b).
+        """
+        bucket = key_bytes + COUNTER_BYTES
+        capacity = int(memory_bytes / (bucket * aux_factor))
+        if capacity < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        return cls(capacity, seed, engine, key_bytes)
+
+    # -- fast-engine internals ------------------------------------------
+
+    def _push(self, key: int, value: int) -> None:
+        self._next_id += 1
+        self._latest[key] = self._next_id
+        heapq.heappush(self._heap, (value, self._next_id, key))
+        if len(self._heap) > 8 * self.capacity:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop stale heap entries (keeps the heap O(capacity))."""
+        latest = self._latest
+        live = [
+            (value, entry_id, key)
+            for value, entry_id, key in self._heap
+            if latest.get(key) == entry_id
+        ]
+        heapq.heapify(live)
+        self._heap = live
+
+    def _pop_min(self) -> Tuple[int, int]:
+        """Remove and return the live minimum ``(value, key)``."""
+        heap = self._heap
+        latest = self._latest
+        while True:
+            value, entry_id, key = heapq.heappop(heap)
+            if latest.get(key) == entry_id:
+                return value, key
+
+    # -- Sketch interface ------------------------------------------------
+
+    def update(self, key: int, size: int = 1) -> None:
+        counts = self._counts
+        current = counts.get(key)
+        if current is not None:
+            counts[key] = current + size
+            if self.engine == "fast":
+                self._push(key, current + size)
+            return
+        if len(counts) < self.capacity:
+            counts[key] = size
+            if self.engine == "fast":
+                self._push(key, size)
+            return
+
+        if self.engine == "fast":
+            min_value, min_key = self._pop_min()
+        else:
+            min_key, min_value = min(counts.items(), key=lambda kv: kv[1])
+        new_value = min_value + size
+        if self._rng.random() * new_value < size:
+            del counts[min_key]
+            if self.engine == "fast":
+                del self._latest[min_key]
+            counts[key] = new_value
+            if self.engine == "fast":
+                self._push(key, new_value)
+        else:
+            counts[min_key] = new_value
+            if self.engine == "fast":
+                self._push(min_key, new_value)
+
+    def query(self, key: int) -> float:
+        return float(self._counts.get(key, 0))
+
+    def flow_table(self) -> Dict[int, float]:
+        return {k: float(v) for k, v in self._counts.items()}
+
+    def memory_bytes(self) -> int:
+        """Bucket space x the auxiliary-structure factor (paper's charge)."""
+        bucket = self.key_bytes + COUNTER_BYTES
+        return int(self.capacity * bucket * AUX_MEMORY_FACTOR)
+
+    def update_cost(self) -> UpdateCost:
+        """Worst-case accesses: O(n) naive, O(log n)-ish amortised fast."""
+        if self.engine == "naive":
+            return UpdateCost(hashes=1, reads=self.capacity, writes=2, random_draws=1)
+        # hash-map probe + heap pop/push touches ~log2(capacity) entries.
+        log_n = max(1, self.capacity.bit_length())
+        return UpdateCost(hashes=1, reads=1 + log_n, writes=2 + log_n, random_draws=1)
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._heap.clear()
+        self._latest.clear()
+        self._next_id = 0

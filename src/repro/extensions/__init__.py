@@ -1,0 +1,38 @@
+"""Extensions beyond the paper's evaluated system (§8's future work).
+
+The related-work section names three directions CocoSketch could
+absorb from neighbouring systems; this package implements them, with
+the same unbiasedness discipline as the core:
+
+* :mod:`repro.extensions.merging` — unbiased sketch merging and
+  compression (the Elastic sketch's adaptivity trick): combine
+  sketches from multiple vantage points or shrink a sketch before
+  export, preserving unbiased partial-key estimates.
+* :mod:`repro.extensions.sampling` — NitroSketch-style update
+  sampling: update with probability p at weight w/p, trading bounded
+  extra variance for per-packet work.
+* :mod:`repro.extensions.windowed` — measurement-window rotation with
+  heavy-change convenience queries.
+* :mod:`repro.extensions.distinct` — distinct counting over partial
+  keys (the BeauCoup use case): a Bloom-filter first-occurrence gate
+  in front of a CocoSketch counting distinct full keys per partial
+  key.
+* :mod:`repro.extensions.decay` — exponentially decayed CocoSketch
+  (lazy per-bucket decay; recency-weighted estimates with no window
+  boundaries).
+"""
+
+from repro.extensions.decay import DecayedCocoSketch
+from repro.extensions.distinct import DistinctCocoSketch
+from repro.extensions.merging import compress_cocosketch, merge_cocosketch
+from repro.extensions.sampling import SampledCocoSketch
+from repro.extensions.windowed import WindowedMeasurement
+
+__all__ = [
+    "merge_cocosketch",
+    "compress_cocosketch",
+    "SampledCocoSketch",
+    "WindowedMeasurement",
+    "DistinctCocoSketch",
+    "DecayedCocoSketch",
+]

@@ -1,0 +1,128 @@
+"""Exponentially decayed CocoSketch: windows without boundaries.
+
+§8 notes Elastic's techniques for "dynamic workloads with varying
+bandwidths"; a complementary classic is time-decayed counting — recent
+traffic matters more, with no hard window edges.  This extension
+applies a global exponential decay to a CocoSketch:
+
+* time advances in *ticks* (:meth:`DecayedCocoSketch.tick`), each
+  multiplying every estimate by ``decay``;
+* decay is implemented lazily: a global epoch counter plus a
+  per-bucket last-touched epoch, so ``tick`` is O(1) and each update
+  folds the pending decay into its bucket before applying the normal
+  CocoSketch rule — the standard lazy-decay trick, hardware-realisable
+  with an epoch register per array.
+
+The estimator stays unbiased *for the decayed quantity*
+``sum_t decay^(age_t) * w_t`` (each update scales both the bucket
+value and the replacement probability consistently).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+
+
+class DecayedCocoSketch(Sketch):
+    """CocoSketch over an exponentially decayed stream.
+
+    Args:
+        d, l, seed: As in :class:`~repro.core.cocosketch.BasicCocoSketch`.
+        decay: Per-tick multiplicative decay in (0, 1].
+    """
+
+    name = "CocoSketch-decay"
+
+    def __init__(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        decay: float = 0.5,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> None:
+        if d < 1 or l < 1:
+            raise ValueError("d and l must be >= 1")
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.d = d
+        self.l = l
+        self.decay = decay
+        self.key_bytes = key_bytes
+        self._family = HashFamily(d, seed, key_bytes=key_bytes)
+        self._hash = self._family.index_fns(l)
+        self._rng = random.Random(seed ^ 0xDECA)
+        self._keys: List[List[Optional[int]]] = [[None] * l for _ in range(d)]
+        self._vals: List[List[float]] = [[0.0] * l for _ in range(d)]
+        self._epoch_seen: List[List[int]] = [[0] * l for _ in range(d)]
+        self.epoch = 0
+
+    def tick(self, ticks: int = 1) -> None:
+        """Advance time; all estimates decay by ``decay ** ticks``."""
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        self.epoch += ticks
+
+    def _settle(self, i: int, j: int) -> float:
+        """Apply pending decay to bucket (i, j); return current value."""
+        pending = self.epoch - self._epoch_seen[i][j]
+        if pending:
+            self._vals[i][j] *= self.decay**pending
+            self._epoch_seen[i][j] = self.epoch
+        return self._vals[i][j]
+
+    def update(self, key: int, size: int = 1) -> None:
+        min_i = 0
+        min_j = 0
+        min_v: Optional[float] = None
+        for i in range(self.d):
+            j = self._hash[i](key)
+            value = self._settle(i, j)
+            if self._keys[i][j] == key:
+                self._vals[i][j] = value + size
+                return
+            if min_v is None or value < min_v:
+                min_v, min_i, min_j = value, i, j
+        new_v = min_v + size
+        self._vals[min_i][min_j] = new_v
+        if self._rng.random() * new_v < size:
+            self._keys[min_i][min_j] = key
+
+    def query(self, key: int) -> float:
+        total = 0.0
+        for i in range(self.d):
+            j = self._hash[i](key)
+            if self._keys[i][j] == key:
+                total += self._settle(i, j)
+        return total
+
+    def flow_table(self) -> Dict[int, float]:
+        table: Dict[int, float] = {}
+        for i in range(self.d):
+            for j in range(self.l):
+                key = self._keys[i][j]
+                if key is not None:
+                    table[key] = table.get(key, 0.0) + self._settle(i, j)
+        return table
+
+    def memory_bytes(self) -> int:
+        # key + float value + 2-byte epoch stamp per bucket.
+        return self.d * self.l * (self.key_bytes + COUNTER_BYTES + 2)
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=self.d, reads=self.d, writes=2, random_draws=1)
+
+    def reset(self) -> None:
+        self._keys = [[None] * self.l for _ in range(self.d)]
+        self._vals = [[0.0] * self.l for _ in range(self.d)]
+        self._epoch_seen = [[0] * self.l for _ in range(self.d)]
+        self.epoch = 0

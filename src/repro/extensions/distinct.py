@@ -1,0 +1,104 @@
+"""Distinct counting over arbitrary partial keys (BeauCoup use case).
+
+§8 leaves "extending CocoSketch to support distinct counting" as
+future work.  The natural construction: a Bloom filter deduplicates
+full keys, so each *first occurrence* of a full-key flow becomes a
+weight-1 update into an ordinary CocoSketch.  The sketch then holds an
+(approximately) distinct-count signal per full key region, and —
+because partial-key distinct counts are subset sums of full-key
+first-occurrence indicators — the usual GROUP BY aggregation answers
+*spread* queries on any partial key: e.g. "how many distinct SrcIPs
+touched each DstIP" (SYN-flood / super-spreader detection) from the
+same structure that answers volume queries.
+
+Two-sided approximation: Bloom false positives suppress a small
+fraction of genuine first occurrences (undercount, bounded by the
+filter's false-positive rate); CocoSketch adds its usual unbiased
+noise on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.query import FlowTable
+from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+from repro.hashing.bloom import BloomFilter
+from repro.sketches.base import UpdateCost
+
+
+class DistinctCocoSketch:
+    """Distinct-flow counting with partial-key aggregation.
+
+    Args:
+        spec: Full-key spec; *distinct* means distinct full-key values.
+        memory_bytes: Total budget, split between the Bloom filter
+            gate and the CocoSketch counter.
+        expected_flows: Sizing hint for the Bloom filter.
+    """
+
+    name = "CocoSketch-distinct"
+
+    def __init__(
+        self,
+        spec: FullKeySpec,
+        memory_bytes: int,
+        expected_flows: int,
+        d: int = 2,
+        seed: int = 0,
+        bloom_fraction: float = 0.5,
+        fp_rate: float = 0.01,
+    ) -> None:
+        if not 0 < bloom_fraction < 1:
+            raise ValueError("bloom_fraction must be in (0, 1)")
+        self.spec = spec
+        bloom_bytes = int(memory_bytes * bloom_fraction)
+        self.filter = BloomFilter.for_capacity(
+            expected_flows, fp_rate, seed=seed
+        )
+        if self.filter.memory_bytes() > bloom_bytes:
+            # Respect the budget: cap the filter at its share.
+            self.filter = BloomFilter(bloom_bytes * 8, hashes=3, seed=seed)
+        sketch_bytes = memory_bytes - self.filter.memory_bytes()
+        self.sketch = BasicCocoSketch.from_memory(
+            sketch_bytes, d=d, seed=seed, key_bytes=spec.width_bytes
+        )
+
+    def update(self, key: int, size: int = 1) -> None:
+        """Feed one packet; only first occurrences reach the sketch."""
+        if not self.filter.add(key):
+            self.sketch.update(key, 1)
+
+    def process(self, packets) -> None:
+        for key, _size in packets:
+            self.update(key)
+
+    def distinct_table(self, partial: PartialKeySpec) -> Dict[int, float]:
+        """Estimated distinct full-key flows per *partial*-key flow."""
+        table = FlowTable.from_sketch(self.sketch, self.spec)
+        return table.aggregate(partial).sizes
+
+    def super_spreaders(
+        self, partial: PartialKeySpec, threshold: float
+    ) -> Dict[int, float]:
+        """Partial-key flows spanning >= threshold distinct full keys."""
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        return {
+            key: count
+            for key, count in self.distinct_table(partial).items()
+            if count >= threshold
+        }
+
+    def memory_bytes(self) -> int:
+        return self.filter.memory_bytes() + self.sketch.memory_bytes()
+
+    def update_cost(self) -> UpdateCost:
+        inner = self.sketch.update_cost()
+        return UpdateCost(
+            hashes=inner.hashes + self.filter.hashes,
+            reads=inner.reads + self.filter.hashes,
+            writes=inner.writes + self.filter.hashes,
+            random_draws=inner.random_draws,
+        )

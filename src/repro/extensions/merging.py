@@ -1,0 +1,115 @@
+"""Unbiased merging and compression of CocoSketches.
+
+Both operations reuse Theorem 1's variance-minimising coin flip.  When
+two buckets ``(k1, v1)`` and ``(k2, v2)`` are folded into one, the
+merged bucket keeps value ``v1 + v2`` and adopts ``k1`` with
+probability ``v1 / (v1 + v2)`` (else ``k2``) — exactly the update rule
+with the "packet" being the other bucket's whole history, so per-flow
+expectations are preserved:
+
+    E[merged estimate of e] = E[estimate_1 of e] + E[estimate_2 of e].
+
+*Merging* combines two same-geometry sketches (e.g. from two switches
+measuring disjoint traffic, or two cores sharding one link).
+*Compression* folds each array onto itself by an integer factor before
+export, the Elastic sketch's bandwidth-adaptivity trick.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.cocosketch import BasicCocoSketch
+
+
+def _fold_bucket(
+    rng: random.Random,
+    key_a: Optional[int],
+    val_a: int,
+    key_b: Optional[int],
+    val_b: int,
+):
+    """Combine two buckets with the Theorem 1 coin flip."""
+    total = val_a + val_b
+    if total == 0:
+        return None, 0
+    if key_a == key_b:
+        return key_a, total
+    if key_a is None:
+        return key_b, total
+    if key_b is None:
+        return key_a, total
+    if rng.random() * total < val_a:
+        return key_a, total
+    return key_b, total
+
+
+def _check_same_family(a: BasicCocoSketch, b: BasicCocoSketch) -> None:
+    if a.d != b.d or a.l != b.l:
+        raise ValueError(
+            f"geometry mismatch: ({a.d}x{a.l}) vs ({b.d}x{b.l})"
+        )
+    if a._family.seeds != b._family.seeds:
+        raise ValueError("hash families differ; sketches are not mergeable")
+
+
+def merge_cocosketch(
+    a: BasicCocoSketch, b: BasicCocoSketch, seed: int = 0
+) -> BasicCocoSketch:
+    """Merge two same-geometry, same-hash-family sketches.
+
+    Returns a new sketch whose per-flow estimates are unbiased for the
+    union of both input streams.  Inputs are not modified.
+    """
+    _check_same_family(a, b)
+    rng = random.Random(seed ^ 0x6E56E)
+    merged = BasicCocoSketch(a.d, a.l, seed=0, key_bytes=a.key_bytes)
+    # Share the hash family so queries hash identically.
+    merged._family = a._family
+    merged._hash = a._hash
+    for i in range(a.d):
+        for j in range(a.l):
+            key, val = _fold_bucket(
+                rng, a._keys[i][j], a._vals[i][j], b._keys[i][j], b._vals[i][j]
+            )
+            merged._keys[i][j] = key
+            merged._vals[i][j] = val
+    return merged
+
+
+def compress_cocosketch(
+    sketch: BasicCocoSketch, factor: int, seed: int = 0
+) -> BasicCocoSketch:
+    """Fold each array by an integer *factor* (l must be divisible).
+
+    The result answers queries through the original hash functions
+    taken modulo the new length, so no rehashing of traffic is needed;
+    estimates stay unbiased with proportionally more collisions.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if sketch.l % factor:
+        raise ValueError(
+            f"array length {sketch.l} not divisible by factor {factor}"
+        )
+    new_l = sketch.l // factor
+    rng = random.Random(seed ^ 0xC0135)
+    out = BasicCocoSketch(sketch.d, new_l, seed=0, key_bytes=sketch.key_bytes)
+    out._family = sketch._family
+    out._hash = [
+        (lambda key, _fn=fn, _m=new_l: _fn(key) % _m) for fn in sketch._hash
+    ]
+    for i in range(sketch.d):
+        for j in range(sketch.l):
+            target = j % new_l
+            key, val = _fold_bucket(
+                rng,
+                out._keys[i][target],
+                out._vals[i][target],
+                sketch._keys[i][j],
+                sketch._vals[i][j],
+            )
+            out._keys[i][target] = key
+            out._vals[i][target] = val
+    return out

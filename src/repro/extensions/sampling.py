@@ -1,0 +1,79 @@
+"""NitroSketch-style update sampling in front of CocoSketch.
+
+§8 notes NitroSketch's sampling "can further improve the throughput";
+the transfer is direct because CocoSketch's estimator is linear in the
+update weights: process each packet with probability ``p`` at weight
+``w / p`` (Horvitz-Thompson), skip it otherwise.  Estimates stay
+unbiased; variance gains a ``(1/p - 1) * sum(w_i^2)`` term, so ``p``
+trades accuracy for per-packet work almost one-for-one in throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class SampledCocoSketch(Sketch):
+    """CocoSketch behind a Horvitz-Thompson packet sampler.
+
+    Args:
+        inner: The wrapped CocoSketch (owns all state).
+        probability: Per-packet update probability in (0, 1].
+    """
+
+    name = "CocoSketch-sampled"
+
+    def __init__(
+        self, inner: BasicCocoSketch, probability: float, seed: int = 0
+    ) -> None:
+        if not 0 < probability <= 1:
+            raise ValueError(
+                f"probability must be in (0, 1], got {probability}"
+            )
+        self.inner = inner
+        self.probability = probability
+        self._rng = random.Random(seed ^ 0x5A3B1E)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        probability: float,
+        d: int = 2,
+        seed: int = 0,
+    ) -> "SampledCocoSketch":
+        """Build the inner sketch from a memory budget and wrap it."""
+        inner = BasicCocoSketch.from_memory(memory_bytes, d=d, seed=seed)
+        return cls(inner, probability, seed)
+
+    def update(self, key: int, size: int = 1) -> None:
+        if self.probability >= 1.0 or self._rng.random() < self.probability:
+            # Inverse-probability weighting keeps estimates unbiased.
+            self.inner.update(key, max(1, round(size / self.probability)))
+
+    def query(self, key: int) -> float:
+        return self.inner.query(key)
+
+    def flow_table(self) -> Dict[int, float]:
+        return self.inner.flow_table()
+
+    def memory_bytes(self) -> int:
+        return self.inner.memory_bytes()
+
+    def update_cost(self) -> UpdateCost:
+        """Amortised cost: the inner cost scaled by the sample rate."""
+        inner = self.inner.update_cost()
+        p = self.probability
+        return UpdateCost(
+            hashes=max(1, round(inner.hashes * p)),
+            reads=max(1, round(inner.reads * p)),
+            writes=max(1, round(inner.writes * p)),
+            random_draws=1,
+        )
+
+    def reset(self) -> None:
+        self.inner.reset()

@@ -1,0 +1,97 @@
+"""Measurement-window rotation around CocoSketch.
+
+Deployments measure in fixed windows (the paper's CAIDA runs use 60 s
+epochs): at each boundary the data-plane sketch is read out, cleared
+and the control plane keeps the recovered flow tables.  This module
+packages that lifecycle plus the cross-window queries the heavy-change
+task needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.query import FlowTable
+from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+from repro.sketches.base import Sketch
+
+
+class WindowedMeasurement:
+    """Rotating-window measurement pipeline.
+
+    Args:
+        make_sketch: Factory building a fresh data-plane sketch per
+            window (same configuration each time).
+        spec: Full-key spec of the traffic.
+        history: Number of past window tables to retain.
+    """
+
+    def __init__(
+        self,
+        make_sketch: Callable[[], Sketch],
+        spec: FullKeySpec,
+        history: int = 2,
+    ) -> None:
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self._make_sketch = make_sketch
+        self.spec = spec
+        self.history = history
+        self._active: Sketch = make_sketch()
+        self._packets_in_window = 0
+        self.tables: List[FlowTable] = []
+
+    @property
+    def active_sketch(self) -> Sketch:
+        """The sketch currently absorbing packets."""
+        return self._active
+
+    @property
+    def windows_closed(self) -> int:
+        """Number of windows rotated out so far (bounded by history)."""
+        return len(self.tables)
+
+    def update(self, key: int, size: int = 1) -> None:
+        """Feed one packet into the active window."""
+        self._active.update(key, size)
+        self._packets_in_window += 1
+
+    def rotate(self) -> FlowTable:
+        """Close the active window; return its recovered flow table."""
+        table = FlowTable.from_sketch(self._active, self.spec)
+        self.tables.append(table)
+        if len(self.tables) > self.history:
+            self.tables.pop(0)
+        try:
+            self._active.reset()
+        except NotImplementedError:
+            self._active = self._make_sketch()
+        self._packets_in_window = 0
+        return table
+
+    def last_table(self) -> Optional[FlowTable]:
+        """The most recently closed window's table, if any."""
+        return self.tables[-1] if self.tables else None
+
+    def changes(self, partial: PartialKeySpec) -> Dict[int, float]:
+        """Signed per-flow size change between the last two windows."""
+        if len(self.tables) < 2:
+            raise ValueError("need at least two closed windows")
+        prev = self.tables[-2].aggregate(partial).sizes
+        last = self.tables[-1].aggregate(partial).sizes
+        return {
+            key: last.get(key, 0.0) - prev.get(key, 0.0)
+            for key in set(prev) | set(last)
+        }
+
+    def heavy_changes(
+        self, partial: PartialKeySpec, threshold: float
+    ) -> Dict[int, float]:
+        """Flows whose absolute change across windows >= threshold."""
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        return {
+            key: delta
+            for key, delta in self.changes(partial).items()
+            if abs(delta) >= threshold
+        }

@@ -1,0 +1,51 @@
+"""Flow-key substrate: header fields, full/partial key specs, and packets.
+
+CocoSketch's contract is defined over *keys*: an operator fixes a full key
+``k_F`` (an ordered tuple of packet-header fields) before measurement, and
+at query time may ask about any *partial key* ``k_P`` that is derivable
+from ``k_F`` by dropping fields or truncating fields to bit prefixes
+(Definition 1 in the paper).
+
+This package provides:
+
+* :class:`~repro.flowkeys.fields.Field` — a named, fixed-width header field.
+* :class:`~repro.flowkeys.key.FullKeySpec` — an ordered tuple of fields;
+  defines the packed integer encoding of flow-key values.
+* :class:`~repro.flowkeys.key.PartialKeySpec` — a selection of
+  ``(field, prefix_len)`` pairs with the mapping ``g(.) : k_F -> k_P``.
+* :class:`~repro.flowkeys.packet.Packet` — a ``(key, size)`` record.
+* Convenience constructors for the paper's canonical keys (the 5-tuple and
+  its six evaluation partial keys, §7.1).
+"""
+
+from repro.flowkeys.fields import (
+    DST_IP,
+    DST_PORT,
+    PROTO,
+    SRC_IP,
+    SRC_PORT,
+    Field,
+)
+from repro.flowkeys.key import (
+    FIVE_TUPLE,
+    FullKeySpec,
+    PartialKeySpec,
+    paper_partial_keys,
+    prefix_hierarchy,
+)
+from repro.flowkeys.packet import Packet
+
+__all__ = [
+    "Field",
+    "SRC_IP",
+    "DST_IP",
+    "SRC_PORT",
+    "DST_PORT",
+    "PROTO",
+    "FullKeySpec",
+    "PartialKeySpec",
+    "FIVE_TUPLE",
+    "paper_partial_keys",
+    "prefix_hierarchy",
+    "Packet",
+]

@@ -1,0 +1,127 @@
+"""Packet-header field definitions.
+
+A :class:`Field` is a named, fixed-width slice of the packet header.  Key
+specs (:mod:`repro.flowkeys.key`) are built from ordered tuples of fields;
+a flow-key *value* is the concatenation of its field values packed into a
+single Python integer, most-significant field first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, fixed-width packet-header field.
+
+    Attributes:
+        name: Human-readable identifier, unique within a key spec.
+        width: Field width in bits (1..128).
+    """
+
+    name: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+        if not 1 <= self.width <= 128:
+            raise ValueError(f"field width must be in [1, 128], got {self.width}")
+
+    @property
+    def mask(self) -> int:
+        """All-ones bitmask covering the field width."""
+        return (1 << self.width) - 1
+
+    def check_value(self, value: int) -> int:
+        """Validate that *value* fits in the field; return it unchanged."""
+        if not 0 <= value <= self.mask:
+            raise ValueError(
+                f"value {value!r} out of range for field {self.name} "
+                f"({self.width} bits)"
+            )
+        return value
+
+    def prefix(self, value: int, prefix_len: int) -> int:
+        """Return the top *prefix_len* bits of *value* (right-aligned).
+
+        ``prefix(v, width)`` is the identity; ``prefix(v, 0)`` is 0.
+        """
+        if not 0 <= prefix_len <= self.width:
+            raise ValueError(
+                f"prefix length {prefix_len} out of range for field "
+                f"{self.name} ({self.width} bits)"
+            )
+        return value >> (self.width - prefix_len) if prefix_len else 0
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.width}"
+
+
+# The classic IPv4 5-tuple fields used throughout the paper's evaluation.
+SRC_IP = Field("SrcIP", 32)
+DST_IP = Field("DstIP", 32)
+SRC_PORT = Field("SrcPort", 16)
+DST_PORT = Field("DstPort", 16)
+PROTO = Field("Proto", 8)
+
+
+def format_ipv4(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad IPv4 text (for reports)."""
+    if not 0 <= value < 1 << 32:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 text into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+# IPv6 equivalents: CocoSketch's key machinery is width-generic, so an
+# IPv6 deployment only swaps the field set (and a wider key store).
+SRC_IPV6 = Field("SrcIPv6", 128)
+DST_IPV6 = Field("DstIPv6", 128)
+
+
+def format_ipv6(value: int) -> str:
+    """Render a 128-bit integer as full (uncompressed) IPv6 text."""
+    if not 0 <= value < 1 << 128:
+        raise ValueError(f"not a 128-bit value: {value}")
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+    return ":".join(f"{g:x}" for g in groups)
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse (possibly ``::``-compressed) IPv6 text to a 128-bit int."""
+    if text.count("::") > 1:
+        raise ValueError(f"multiple '::' in {text!r}")
+    if "::" in text:
+        head, tail = text.split("::")
+        head_groups = head.split(":") if head else []
+        tail_groups = tail.split(":") if tail else []
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise ValueError(f"invalid '::' expansion in {text!r}")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = text.split(":")
+    if len(groups) != 8:
+        raise ValueError(f"need 8 groups, got {len(groups)} in {text!r}")
+    value = 0
+    for group in groups:
+        part = int(group or "0", 16)
+        if not 0 <= part <= 0xFFFF:
+            raise ValueError(f"group {group!r} out of range in {text!r}")
+        value = (value << 16) | part
+    return value

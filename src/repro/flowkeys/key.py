@@ -1,0 +1,317 @@
+"""Full and partial key specifications.
+
+A :class:`FullKeySpec` fixes the ordered tuple of header fields that make
+up the full key ``k_F``.  Flow-key values are packed integers: the first
+field occupies the most-significant bits.  A :class:`PartialKeySpec`
+selects, for each of a subset of the full key's fields, a bit-prefix
+length, and provides the paper's mapping ``g(.) : k_F -> k_P``
+(Definition 1): the value of a partial-key flow is obtained by truncating
+each selected field to its prefix and concatenating.
+
+Both spec classes are immutable and hashable so they can serve as
+dictionary keys in ground-truth tables and query engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.flowkeys.fields import (
+    DST_IP,
+    DST_IPV6,
+    DST_PORT,
+    PROTO,
+    SRC_IP,
+    SRC_IPV6,
+    SRC_PORT,
+    Field,
+)
+
+
+@dataclass(frozen=True)
+class FullKeySpec:
+    """An ordered tuple of fields defining the full key ``k_F``.
+
+    The packed-integer encoding places ``fields[0]`` in the most
+    significant bits.  Example: the 5-tuple is 104 bits wide with SrcIP
+    in bits [72, 104).
+    """
+
+    fields: Tuple[Field, ...]
+
+    def __init__(self, fields: Iterable[Field]) -> None:
+        fields = tuple(fields)
+        if not fields:
+            raise ValueError("a key spec needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in key spec: {names}")
+        object.__setattr__(self, "fields", fields)
+
+    @property
+    def width(self) -> int:
+        """Total key width in bits."""
+        return sum(f.width for f in self.fields)
+
+    @property
+    def width_bytes(self) -> int:
+        """Key width rounded up to whole bytes (for hashing/serialising)."""
+        return (self.width + 7) // 8
+
+    def field(self, name: str) -> Field:
+        """Look up a field by name."""
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"no field named {name!r} in {self}")
+
+    def shift_of(self, name: str) -> int:
+        """Bit offset of the named field's LSB within the packed key."""
+        shift = 0
+        for f in reversed(self.fields):
+            if f.name == name:
+                return shift
+            shift += f.width
+        raise KeyError(f"no field named {name!r} in {self}")
+
+    def pack(self, *values: int) -> int:
+        """Pack per-field values (in spec order) into a key integer."""
+        if len(values) != len(self.fields):
+            raise ValueError(
+                f"expected {len(self.fields)} values, got {len(values)}"
+            )
+        key = 0
+        for field, value in zip(self.fields, values):
+            field.check_value(value)
+            key = (key << field.width) | value
+        return key
+
+    def unpack(self, key: int) -> Tuple[int, ...]:
+        """Split a packed key integer back into per-field values."""
+        if not 0 <= key < 1 << self.width:
+            raise ValueError(f"key {key} out of range for {self}")
+        values: List[int] = []
+        for field in reversed(self.fields):
+            values.append(key & field.mask)
+            key >>= field.width
+        return tuple(reversed(values))
+
+    def to_bytes(self, key: int) -> bytes:
+        """Serialise a packed key to big-endian bytes (hash input)."""
+        return key.to_bytes(self.width_bytes, "big")
+
+    def partial(self, *selection: "str | Tuple[str, int]") -> "PartialKeySpec":
+        """Build a partial key over this full key.
+
+        Each element of *selection* is either a field name (whole field)
+        or a ``(name, prefix_len)`` pair (bit prefix of the field).
+
+        Example::
+
+            FIVE_TUPLE.partial("SrcIP", "DstIP")       # field subset
+            FIVE_TUPLE.partial(("SrcIP", 24))           # /24 prefix
+        """
+        parts: List[Tuple[str, int]] = []
+        for item in selection:
+            if isinstance(item, str):
+                parts.append((item, self.field(item).width))
+            else:
+                name, prefix_len = item
+                parts.append((name, prefix_len))
+        return PartialKeySpec(self, tuple(parts))
+
+    def identity_partial(self) -> "PartialKeySpec":
+        """The partial key equal to the full key itself."""
+        return self.partial(*[f.name for f in self.fields])
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(f) for f in self.fields) + ")"
+
+
+@dataclass(frozen=True)
+class PartialKeySpec:
+    """A partial key ``k_P ≺ k_F``: per-field bit-prefix selections.
+
+    ``parts`` is a tuple of ``(field_name, prefix_len)`` pairs, in the
+    full key's field order.  ``prefix_len`` may be 0 (field dropped from
+    the value but kept for documentation) up to the field's width.
+
+    The mapping ``g(.)`` (:meth:`map`) truncates each selected field of a
+    full-key value to its prefix and concatenates the prefixes,
+    most-significant selected field first.
+    """
+
+    full: FullKeySpec
+    parts: Tuple[Tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("a partial key needs at least one part")
+        seen = set()
+        order = {f.name: i for i, f in enumerate(self.full.fields)}
+        last = -1
+        for name, prefix_len in self.parts:
+            field = self.full.field(name)
+            if not 0 <= prefix_len <= field.width:
+                raise ValueError(
+                    f"prefix {prefix_len} out of range for {field}"
+                )
+            if name in seen:
+                raise ValueError(f"field {name!r} selected twice")
+            seen.add(name)
+            if order[name] <= last:
+                raise ValueError("parts must follow full-key field order")
+            last = order[name]
+
+    @property
+    def width(self) -> int:
+        """Total partial-key width in bits."""
+        return sum(prefix_len for _, prefix_len in self.parts)
+
+    @property
+    def name(self) -> str:
+        """Readable label, e.g. ``SrcIP/24+DstIP/32``."""
+        return "+".join(f"{n}/{p}" for n, p in self.parts)
+
+    def is_full(self) -> bool:
+        """True when this partial key is the full key itself."""
+        return self.width == self.full.width and len(self.parts) == len(
+            self.full.fields
+        )
+
+    def map(self, full_key_value: int) -> int:
+        """Apply ``g(.)``: project a full-key value onto this partial key."""
+        out = 0
+        for name, prefix_len in self.parts:
+            field = self.full.field(name)
+            shift = self.full.shift_of(name)
+            value = (full_key_value >> shift) & field.mask
+            out = (out << prefix_len) | field.prefix(value, prefix_len)
+        return out
+
+    def mapper(self):
+        """Return a fast ``int -> int`` closure equivalent to :meth:`map`.
+
+        Precomputes shifts and masks; used in hot aggregation loops.
+        """
+        ops: List[Tuple[int, int, int]] = []  # (src_shift, mask, out_width)
+        for name, prefix_len in self.parts:
+            field = self.full.field(name)
+            src_shift = self.full.shift_of(name) + (field.width - prefix_len)
+            ops.append((src_shift, (1 << prefix_len) - 1, prefix_len))
+
+        def g(key: int, _ops=tuple(ops)) -> int:
+            out = 0
+            for src_shift, mask, width in _ops:
+                out = (out << width) | ((key >> src_shift) & mask)
+            return out
+
+        return g
+
+    def unpack(self, partial_value: int) -> Tuple[int, ...]:
+        """Split a partial-key value into its per-part prefix values."""
+        values: List[int] = []
+        for name, prefix_len in reversed(self.parts):
+            values.append(partial_value & ((1 << prefix_len) - 1))
+            partial_value >>= prefix_len
+        return tuple(reversed(values))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# Canonical full key for the paper's evaluation (§7.1): the IPv4 5-tuple.
+FIVE_TUPLE = FullKeySpec((SRC_IP, DST_IP, SRC_PORT, DST_PORT, PROTO))
+
+
+def paper_partial_keys(n: int = 6) -> List[PartialKeySpec]:
+    """The six partial keys measured in §7.1, in the paper's order.
+
+    5-tuple, (SrcIP, DstIP), (SrcIP, SrcPort), (DstIP, DstPort), SrcIP,
+    DstIP.  *n* truncates the list (for the "number of keys" sweeps).
+    """
+    keys = [
+        FIVE_TUPLE.identity_partial(),
+        FIVE_TUPLE.partial("SrcIP", "DstIP"),
+        FIVE_TUPLE.partial("SrcIP", "SrcPort"),
+        FIVE_TUPLE.partial("DstIP", "DstPort"),
+        FIVE_TUPLE.partial("SrcIP"),
+        FIVE_TUPLE.partial("DstIP"),
+    ]
+    if not 1 <= n <= len(keys):
+        raise ValueError(f"n must be in [1, {len(keys)}], got {n}")
+    return keys[:n]
+
+
+def prefix_hierarchy(
+    full: FullKeySpec, field_name: str, granularity: int = 1
+) -> List[PartialKeySpec]:
+    """Bit-granularity prefix hierarchy of one field (for 1-d HHH).
+
+    Returns partial keys ``field/width, field/width-g, ..., field/g``
+    (the paper's "32 prefixes" for SrcIP at bit granularity; the empty
+    key — prefix 0, the total — is handled separately by callers).
+    """
+    field = full.field(field_name)
+    if granularity < 1 or field.width % granularity:
+        raise ValueError("granularity must divide the field width")
+    return [
+        full.partial((field_name, plen))
+        for plen in range(field.width, 0, -granularity)
+    ]
+
+
+def two_dim_hierarchy(
+    full: FullKeySpec,
+    field_a: str,
+    field_b: str,
+    granularity: int = 1,
+) -> List[PartialKeySpec]:
+    """Cross-product prefix hierarchy of two fields (for 2-d HHH).
+
+    The paper's 2-d case uses SrcIP × DstIP at bit granularity, i.e.
+    33 × 33 = 1089 keys including the 0-prefix on either side.  Keys
+    where both prefixes are zero (the grand total) are omitted; keys
+    with exactly one zero prefix degrade to the other field's prefix.
+    """
+    wa = full.field(field_a).width
+    wb = full.field(field_b).width
+    if granularity < 1 or wa % granularity or wb % granularity:
+        raise ValueError("granularity must divide both field widths")
+    keys: List[PartialKeySpec] = []
+    for pa in range(wa, -1, -granularity):
+        for pb in range(wb, -1, -granularity):
+            if pa == 0 and pb == 0:
+                continue
+            if pa == 0:
+                keys.append(full.partial((field_b, pb)))
+            elif pb == 0:
+                keys.append(full.partial((field_a, pa)))
+            else:
+                keys.append(full.partial((field_a, pa), (field_b, pb)))
+    return keys
+
+
+def group_table(
+    spec: PartialKeySpec, full_key_sizes: Dict[int, float]
+) -> Dict[int, float]:
+    """Aggregate a {full_key: size} table under ``g(.)`` (Definition 1).
+
+    This is the reference semantics for all partial-key queries: the size
+    of a partial-key flow is the sum of the sizes of the full-key flows
+    mapping onto it.
+    """
+    g = spec.mapper()
+    out: Dict[int, float] = {}
+    for key, size in full_key_sizes.items():
+        pkey = g(key)
+        out[pkey] = out.get(pkey, 0) + size
+    return out
+
+
+# IPv6 5-tuple: 296 bits.  All partial-key machinery (field subsets,
+# arbitrary prefixes, GROUP BY aggregation) works unchanged.
+IPV6_FIVE_TUPLE = FullKeySpec(
+    (SRC_IPV6, DST_IPV6, SRC_PORT, DST_PORT, PROTO)
+)

@@ -1,0 +1,30 @@
+"""Packet records.
+
+Sketches consume a stream of ``(key, size)`` pairs (§2.1): the key is the
+packed full-key value (see :class:`repro.flowkeys.key.FullKeySpec`) and
+the size is the update weight — 1 for packet counting, or the wire length
+in bytes for byte counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One measurement record: a packed full-key value and its weight.
+
+    Attributes:
+        key: Packed full-key value (see ``FullKeySpec.pack``).
+        size: Update weight; must be positive.
+    """
+
+    key: int
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.key < 0:
+            raise ValueError(f"key must be non-negative, got {self.key}")
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")

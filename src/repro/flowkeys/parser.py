@@ -1,0 +1,136 @@
+"""Raw-frame header parsing: Ethernet / IPv4 / TCP / UDP -> flow keys.
+
+Turns wire-format packets (e.g. from a PCAP file) into the packed
+5-tuple keys the sketches consume, and synthesises wire-format frames
+from keys (for generator round-trips and the PCAP writer).  Scope is
+the classic measurement path: Ethernet II, IPv4 (with options), TCP /
+UDP; anything else raises :class:`ParseError` and callers may skip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.flowkeys.key import FIVE_TUPLE
+
+ETHERTYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_ETH_HEADER = 14
+_IPV4_MIN = 20
+
+
+class ParseError(ValueError):
+    """Raised when a frame cannot be parsed to a 5-tuple."""
+
+
+@dataclass(frozen=True)
+class ParsedPacket:
+    """Decoded header fields of one frame."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+    total_length: int  # IPv4 total length (bytes on the wire minus L2)
+
+    @property
+    def key(self) -> int:
+        """Packed 5-tuple key for the sketches."""
+        return FIVE_TUPLE.pack(
+            self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto
+        )
+
+
+def parse_ethernet_frame(frame: bytes) -> ParsedPacket:
+    """Parse an Ethernet II frame carrying IPv4 TCP/UDP.
+
+    Raises :class:`ParseError` on truncation, non-IPv4 ethertype,
+    non-IPv4 version, fragments past offset 0 (no L4 header), or
+    unsupported L4 protocols.
+    """
+    if len(frame) < _ETH_HEADER + _IPV4_MIN:
+        raise ParseError(f"frame too short: {len(frame)} bytes")
+    ethertype = int.from_bytes(frame[12:14], "big")
+    if ethertype != ETHERTYPE_IPV4:
+        raise ParseError(f"unsupported ethertype 0x{ethertype:04x}")
+    return _parse_ipv4(frame[_ETH_HEADER:])
+
+
+def _parse_ipv4(data: bytes) -> ParsedPacket:
+    version = data[0] >> 4
+    if version != 4:
+        raise ParseError(f"not IPv4 (version {version})")
+    ihl = (data[0] & 0x0F) * 4
+    if ihl < _IPV4_MIN or len(data) < ihl:
+        raise ParseError(f"bad IHL {ihl}")
+    total_length = int.from_bytes(data[2:4], "big")
+    flags_frag = int.from_bytes(data[6:8], "big")
+    if flags_frag & 0x1FFF:
+        raise ParseError("non-first fragment has no L4 header")
+    proto = data[9]
+    src_ip = int.from_bytes(data[12:16], "big")
+    dst_ip = int.from_bytes(data[16:20], "big")
+    if proto not in (PROTO_TCP, PROTO_UDP):
+        raise ParseError(f"unsupported L4 protocol {proto}")
+    l4 = data[ihl:]
+    if len(l4) < 4:
+        raise ParseError("truncated L4 header")
+    src_port = int.from_bytes(l4[0:2], "big")
+    dst_port = int.from_bytes(l4[2:4], "big")
+    return ParsedPacket(
+        src_ip, dst_ip, src_port, dst_port, proto, total_length
+    )
+
+
+def build_ethernet_frame(
+    key: int,
+    payload_length: int = 0,
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02",
+) -> bytes:
+    """Synthesise a minimal valid frame for a packed 5-tuple key.
+
+    The inverse of :func:`parse_ethernet_frame` up to cosmetic fields
+    (MACs, TTL, checksums are placeholders — sufficient for trace
+    round-trips; not for transmission).
+    """
+    src_ip, dst_ip, src_port, dst_port, proto = FIVE_TUPLE.unpack(key)
+    if proto not in (PROTO_TCP, PROTO_UDP):
+        raise ParseError(f"cannot synthesise L4 protocol {proto}")
+    if payload_length < 0:
+        raise ParseError("payload_length must be >= 0")
+
+    l4_header = 20 if proto == PROTO_TCP else 8
+    total_length = _IPV4_MIN + l4_header + payload_length
+
+    ip = bytearray(_IPV4_MIN)
+    ip[0] = 0x45  # version 4, IHL 5
+    ip[2:4] = total_length.to_bytes(2, "big")
+    ip[8] = 64  # TTL
+    ip[9] = proto
+    ip[12:16] = src_ip.to_bytes(4, "big")
+    ip[16:20] = dst_ip.to_bytes(4, "big")
+
+    if proto == PROTO_TCP:
+        l4 = bytearray(20)
+        l4[12] = 0x50  # data offset 5
+    else:
+        l4 = bytearray(8)
+        l4[4:6] = (8 + payload_length).to_bytes(2, "big")
+    l4[0:2] = src_port.to_bytes(2, "big")
+    l4[2:4] = dst_port.to_bytes(2, "big")
+
+    eth = dst_mac + src_mac + ETHERTYPE_IPV4.to_bytes(2, "big")
+    return bytes(eth) + bytes(ip) + bytes(l4) + b"\x00" * payload_length
+
+
+def try_parse(frame: bytes) -> Optional[ParsedPacket]:
+    """Parse, returning None instead of raising (bulk-ingest helper)."""
+    try:
+        return parse_ethernet_frame(frame)
+    except ParseError:
+        return None

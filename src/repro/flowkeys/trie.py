@@ -1,0 +1,149 @@
+"""Binary longest-prefix-match trie over field prefixes.
+
+Substrate for the rule-management use case (§2.2 cites guiding rule
+placement) and for hierarchy post-processing: rules are (prefix value,
+prefix length) pairs over one field, and classification is
+longest-prefix match, exactly as in an IP FIB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """LPM trie keyed by (value, prefix_len) over a *width*-bit field."""
+
+    def __init__(self, width: int = 32) -> None:
+        if not 1 <= width <= 128:
+            raise ValueError(f"width must be in [1, 128], got {width}")
+        self.width = width
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _bits(self, value: int, prefix_len: int) -> Iterator[int]:
+        for i in range(prefix_len):
+            yield (value >> (prefix_len - 1 - i)) & 1
+
+    def _check(self, value: int, prefix_len: int) -> None:
+        if not 0 <= prefix_len <= self.width:
+            raise ValueError(
+                f"prefix_len {prefix_len} out of range for width {self.width}"
+            )
+        if not 0 <= value < (1 << max(1, prefix_len)):
+            raise ValueError(
+                f"value {value} does not fit in {prefix_len} bits"
+            )
+
+    def insert(self, value: int, prefix_len: int, payload: V) -> None:
+        """Insert/overwrite the rule ``value/prefix_len``.
+
+        *value* is the prefix right-aligned (as PartialKeySpec maps it).
+        """
+        self._check(value, prefix_len)
+        node = self._root
+        for bit in self._bits(value, prefix_len):
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if not node.has_value:
+            self._size += 1
+        node.value = payload
+        node.has_value = True
+
+    def exact(self, value: int, prefix_len: int) -> Optional[V]:
+        """Payload of exactly ``value/prefix_len``, or None."""
+        self._check(value, prefix_len)
+        node = self._root
+        for bit in self._bits(value, prefix_len):
+            node = node.children[bit]
+            if node is None:
+                return None
+        return node.value if node.has_value else None
+
+    def longest_match(
+        self, full_value: int
+    ) -> Optional[Tuple[int, int, V]]:
+        """LPM for a full *width*-bit value: (prefix, length, payload)."""
+        if not 0 <= full_value < (1 << self.width):
+            raise ValueError(f"value {full_value} wider than {self.width} bits")
+        node = self._root
+        best: Optional[Tuple[int, int, V]] = None
+        if node.has_value:
+            best = (0, 0, node.value)
+        for depth in range(self.width):
+            bit = (full_value >> (self.width - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                prefix_len = depth + 1
+                best = (
+                    full_value >> (self.width - prefix_len),
+                    prefix_len,
+                    node.value,
+                )
+        return best
+
+    def items(self) -> List[Tuple[int, int, V]]:
+        """All rules as (value, prefix_len, payload), DFS order."""
+        out: List[Tuple[int, int, V]] = []
+
+        def walk(node: _Node[V], value: int, depth: int) -> None:
+            if node.has_value:
+                out.append((value, depth, node.value))
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    walk(child, (value << 1) | bit, depth + 1)
+
+        walk(self._root, 0, 0)
+        return out
+
+    def remove(self, value: int, prefix_len: int) -> bool:
+        """Remove a rule; returns whether it existed (no path pruning)."""
+        self._check(value, prefix_len)
+        node = self._root
+        for bit in self._bits(value, prefix_len):
+            node = node.children[bit]
+            if node is None:
+                return False
+        if node.has_value:
+            node.has_value = False
+            node.value = None
+            self._size -= 1
+            return True
+        return False
+
+
+def classify_traffic(
+    trie: PrefixTrie,
+    counts: Dict[int, float],
+) -> Dict[Tuple[int, int], float]:
+    """Attribute per-value traffic to its longest matching rule.
+
+    *counts* maps full-width field values to sizes (e.g. a FlowTable
+    aggregated onto SrcIP); returns per-rule totals keyed by
+    (prefix value, prefix_len).  Unmatched traffic is keyed under
+    ``(0, -1)``.
+    """
+    out: Dict[Tuple[int, int], float] = {}
+    for value, size in counts.items():
+        match = trie.longest_match(value)
+        rule = (match[0], match[1]) if match else (0, -1)
+        out[rule] = out.get(rule, 0.0) + size
+    return out

@@ -1,0 +1,19 @@
+"""Hashing substrate.
+
+The paper's implementations hash keys with the 32-bit Bob Jenkins hash
+("Bob Hash", reference [83]) under per-array seeds.  This package provides:
+
+* :func:`~repro.hashing.bobhash.bobhash32` — a faithful port of Bob
+  Jenkins' ``lookup2``/evahash over bytes.
+* :class:`~repro.hashing.family.HashFamily` — d independent seeded hash
+  functions over integer keys, with a ``"bob"`` backend (faithful) and a
+  ``"mix64"`` backend (splitmix64 finaliser; much faster in pure Python,
+  used by default in experiments).
+* :func:`~repro.hashing.family.mix64` / vectorised numpy variants for the
+  throughput harness.
+"""
+
+from repro.hashing.bobhash import bobhash32
+from repro.hashing.family import HashFamily, mix64, mix64_array
+
+__all__ = ["bobhash32", "HashFamily", "mix64", "mix64_array"]

@@ -1,0 +1,76 @@
+"""Bloom filter over integer keys (substrate for distinct counting).
+
+A standard k-hash Bloom filter with the false-positive calculus.  Used
+by :class:`repro.extensions.distinct.DistinctCocoSketch` as the
+first-occurrence gate; kept generic because it is a classic data-plane
+building block (e.g. the Elastic sketch's original pipeline also keeps
+membership filters).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing.family import HashFamily
+
+
+class BloomFilter:
+    """Bloom filter with *bits* cells and *hashes* hash functions."""
+
+    def __init__(self, bits: int, hashes: int = 3, seed: int = 0) -> None:
+        if bits < 8:
+            raise ValueError(f"bits must be >= 8, got {bits}")
+        if hashes < 1:
+            raise ValueError(f"hashes must be >= 1, got {hashes}")
+        self.bits = bits
+        self.hashes = hashes
+        self._family = HashFamily(hashes, seed ^ 0xB100F)
+        self._fns = self._family.index_fns(bits)
+        self._cells = bytearray((bits + 7) // 8)
+        self.inserted = 0
+
+    @classmethod
+    def for_capacity(
+        cls, capacity: int, fp_rate: float = 0.01, seed: int = 0
+    ) -> "BloomFilter":
+        """Size for *capacity* insertions at a target false-positive rate."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0 < fp_rate < 1:
+            raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        bits = max(8, math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        hashes = max(1, round(bits / capacity * math.log(2)))
+        return cls(bits, hashes, seed)
+
+    def _set(self, index: int) -> None:
+        self._cells[index >> 3] |= 1 << (index & 7)
+
+    def _get(self, index: int) -> bool:
+        return bool(self._cells[index >> 3] & (1 << (index & 7)))
+
+    def add(self, key: int) -> bool:
+        """Insert *key*; return True if it was (probably) already present."""
+        present = True
+        for fn in self._fns:
+            index = fn(key)
+            if not self._get(index):
+                present = False
+                self._set(index)
+        if not present:
+            self.inserted += 1
+        return present
+
+    def __contains__(self, key: int) -> bool:
+        return all(self._get(fn(key)) for fn in self._fns)
+
+    def expected_fp_rate(self) -> float:
+        """Current false-positive probability given insertions so far."""
+        fill = 1.0 - math.exp(-self.hashes * self.inserted / self.bits)
+        return fill**self.hashes
+
+    def memory_bytes(self) -> int:
+        return len(self._cells)
+
+    def reset(self) -> None:
+        self._cells = bytearray(len(self._cells))
+        self.inserted = 0

@@ -1,0 +1,73 @@
+"""Bob Jenkins' 32-bit hash (``lookup2`` / "evahash").
+
+A faithful port of the C reference the paper cites ([83],
+burtleburtle.net/bob/hash/evahash.html).  All arithmetic is modulo 2**32.
+The golden-ratio constant 0x9e3779b9 initialises the internal state, the
+seed enters through ``c``, and every 12-byte block is folded in with the
+96-bit ``mix`` round.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+_GOLDEN = 0x9E3779B9
+
+
+def _mix(a: int, b: int, c: int) -> "tuple[int, int, int]":
+    """The lookup2 96-bit mixing round (all ops mod 2**32)."""
+    a = (a - b - c) & _MASK32
+    a ^= c >> 13
+    b = (b - c - a) & _MASK32
+    b ^= (a << 8) & _MASK32
+    c = (c - a - b) & _MASK32
+    c ^= b >> 13
+    a = (a - b - c) & _MASK32
+    a ^= c >> 12
+    b = (b - c - a) & _MASK32
+    b ^= (a << 16) & _MASK32
+    c = (c - a - b) & _MASK32
+    c ^= b >> 12
+    a = (a - b - c) & _MASK32
+    a ^= c >> 3
+    b = (b - c - a) & _MASK32
+    b ^= (a << 10) & _MASK32
+    c = (c - a - b) & _MASK32
+    c ^= b >> 15
+    return a, b, c
+
+
+def bobhash32(data: bytes, seed: int = 0) -> int:
+    """Hash *data* to a 32-bit value with initial value *seed*.
+
+    Matches Bob Jenkins' ``hash()`` from lookup2: little-endian 4-byte
+    words, 12-byte blocks, length folded into ``c`` before the tail.
+    """
+    a = b = _GOLDEN
+    c = seed & _MASK32
+    length = len(data)
+    pos = 0
+    remaining = length
+
+    while remaining >= 12:
+        a = (a + int.from_bytes(data[pos : pos + 4], "little")) & _MASK32
+        b = (b + int.from_bytes(data[pos + 4 : pos + 8], "little")) & _MASK32
+        c = (c + int.from_bytes(data[pos + 8 : pos + 12], "little")) & _MASK32
+        a, b, c = _mix(a, b, c)
+        pos += 12
+        remaining -= 12
+
+    c = (c + length) & _MASK32
+    tail = data[pos:]
+    # Bytes 11..8 fold into c (skipping c's lowest byte, reserved for
+    # the length), 7..4 into b, 3..0 into a — as in the C switch.
+    for i in range(len(tail) - 1, -1, -1):
+        byte = tail[i]
+        if i >= 8:
+            c = (c + (byte << (8 * (i - 8 + 1)))) & _MASK32
+        elif i >= 4:
+            b = (b + (byte << (8 * (i - 4)))) & _MASK32
+        else:
+            a = (a + (byte << (8 * i))) & _MASK32
+
+    _, _, c = _mix(a, b, c)
+    return c

@@ -1,0 +1,37 @@
+"""Hardware platform models (DESIGN.md §2 substitutions).
+
+The paper's hardware results are (a) accuracy effects of hardware
+restrictions — reproduced *exactly* by running the restricted update
+rules in software — and (b) resource/throughput accounting from vendor
+toolchains — reproduced by calibrated analytical models:
+
+* :mod:`repro.hwsim.approx_div` — the Tofino math unit's approximate
+  division (top-4-significant-bits), used by
+  :class:`~repro.core.hardware.P4CocoSketch` for exact behavioural
+  fidelity.
+* :mod:`repro.hwsim.rmt` — RMT/Tofino pipeline resource model (stages,
+  stateful ALUs, hash distribution units, gateways, SRAM, Map RAM) with
+  a unidirectional-dataflow check; regenerates Table 2 and Fig 15(d).
+* :mod:`repro.hwsim.fpga` — FPGA pipeline cycle + resource model
+  (2-cycle BRAM, 1-cycle hash/probability, initiation-interval vs.
+  full pipelining); regenerates Fig 15(b,c).
+* :mod:`repro.hwsim.ovs` — ring-buffer + polling-thread software-switch
+  simulator with a NIC line-rate cap; regenerates Fig 15(a).
+"""
+
+from repro.hwsim.approx_div import approx_divide, approx_reciprocal_probability
+from repro.hwsim.fpga import FpgaModel, FpgaResources
+from repro.hwsim.ovs import OvsSimulation, OvsSimulationResult
+from repro.hwsim.rmt import RmtChip, RmtUsage, sketch_rmt_usage
+
+__all__ = [
+    "approx_divide",
+    "approx_reciprocal_probability",
+    "RmtChip",
+    "RmtUsage",
+    "sketch_rmt_usage",
+    "FpgaModel",
+    "FpgaResources",
+    "OvsSimulation",
+    "OvsSimulationResult",
+]

@@ -1,0 +1,80 @@
+"""Tofino math-unit approximate division (§6.2).
+
+The Tofino stateful ALU cannot multiply or divide two variables.  Its
+math unit supports an *approximate* division of a constant by a variable,
+computed from the variable's **highest four significant bits**: the
+variable ``v`` is truncated to ``t * 2**s`` with ``t`` its top-4-bit
+mantissa (8 <= t <= 15 for v >= 8), and the unit returns
+``numerator // t >> s``.
+
+The paper uses it to realise "replace the key with probability 1/value":
+draw a 32-bit random number and replace iff ``rand < 2**32 / value``.
+With the approximation, the probability error is below ``0.1 p``
+(e.g. true p = 1/17 = 5.9 %, realised 1/16 -> difference 0.37 %), which
+§7.5 / Fig 18(a) shows costs <1 % F1.  :class:`repro.core.hardware.
+P4CocoSketch` calls :func:`approx_reciprocal_probability` so the P4
+variant's accuracy behaviour is reproduced exactly.
+"""
+
+from __future__ import annotations
+
+_TWO32 = 1 << 32
+
+
+#: The Tofino math unit keeps the top 4 significant bits.
+DEFAULT_MANTISSA_BITS = 4
+
+
+def truncate_to_top4(value: int, bits: int = DEFAULT_MANTISSA_BITS) -> int:
+    """Round *value* down to its top-*bits*-significant-bit mantissa form."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    shift = max(0, value.bit_length() - bits)
+    return (value >> shift) << shift
+
+
+def approx_divide(
+    numerator: int, value: int, bits: int = DEFAULT_MANTISSA_BITS
+) -> int:
+    """Math-unit division ``numerator / value`` via mantissa truncation.
+
+    Matches the Tofino behaviour of dividing by the top-4-bit mantissa
+    then re-applying the exponent (``bits`` parameterises the mantissa
+    width for ablation studies).  Exact for values < 2**bits.
+    """
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    shift = max(0, value.bit_length() - bits)
+    mantissa = value >> shift
+    return (numerator // mantissa) >> shift
+
+
+def approx_reciprocal_probability(
+    weight: int, value: int, bits: int = DEFAULT_MANTISSA_BITS
+) -> float:
+    """Realised replacement probability for target ``weight / value``.
+
+    The data plane replaces iff ``rand32 < weight * (2**32 ~/ value)``
+    with ``~/`` the approximate division; the equivalent probability is
+    returned (capped at 1) so software simulations reproduce the P4
+    pipeline's exact decision distribution.
+    """
+    if weight <= 0:
+        raise ValueError(f"weight must be positive, got {weight}")
+    threshold = weight * approx_divide(_TWO32, value, bits)
+    return min(1.0, threshold / _TWO32)
+
+
+def relative_probability_error(
+    value: int, bits: int = DEFAULT_MANTISSA_BITS
+) -> float:
+    """|p_hat - p| / p for target probability ``1/value`` (analysis aid)."""
+    p_true = 1.0 / value
+    p_hat = approx_reciprocal_probability(1, value, bits)
+    return abs(p_hat - p_true) / p_true

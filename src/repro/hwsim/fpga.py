@@ -1,0 +1,147 @@
+"""FPGA pipeline and resource model (§6.1, Fig 15(b,c)).
+
+Calibrated to the paper's Xilinx Alveo U280 build:
+
+* Device budgets: 1,303,680 slice LUTs, 2,607,360 slice registers, and
+  2,016 Block RAM tiles of 36 Kb (~9 MB on-chip — the figure the paper
+  quotes when arguing 32 single-key sketches cannot fit).
+* Timing: reading a BRAM tile takes 2 cycles; hash computation and the
+  replacement-probability computation take 1 cycle each (§6.1).
+* The hardware-friendly CocoSketch pipelines every key/value access
+  (initiation interval 1): throughput = clock rate.  The basic
+  CocoSketch cannot be pipelined — its cross-bucket and key<->value
+  dependencies serialise the update — so its initiation interval is the
+  full dependency chain and its clock suffers from the deep
+  combinational compare/select logic ("too many operations in one
+  stage"), reproducing the ~5x gap of Fig 15(b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sketches.base import COUNTER_BYTES, DEFAULT_KEY_BYTES
+
+
+@dataclass(frozen=True)
+class FpgaResources:
+    """LUT / register / BRAM-tile demands of one design."""
+
+    luts: int
+    registers: int
+    bram_tiles: int
+
+    def scaled(self, n: int) -> "FpgaResources":
+        return FpgaResources(self.luts * n, self.registers * n, self.bram_tiles * n)
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Alveo U280 budgets."""
+
+    luts: int = 1_303_680
+    registers: int = 2_607_360
+    bram_tiles: int = 2_016
+    bram_tile_bytes: int = 36 * 1024 // 8  # 36 Kb tile
+
+    def utilisation(self, res: FpgaResources) -> Dict[str, float]:
+        return {
+            "LUTs": res.luts / self.luts,
+            "Registers": res.registers / self.registers,
+            "Block RAM": res.bram_tiles / self.bram_tiles,
+        }
+
+    def fits(self, res: FpgaResources) -> bool:
+        return (
+            res.luts <= self.luts
+            and res.registers <= self.registers
+            and res.bram_tiles <= self.bram_tiles
+        )
+
+
+class FpgaModel:
+    """Throughput/resource model for CocoSketch variants and Elastic.
+
+    Args:
+        device: Target device budgets (defaults to U280).
+        base_clock_mhz: Achievable clock of a shallow, fully pipelined
+            design with small BRAM.  Larger memories widen the BRAM
+            address decode and routing, degrading the clock
+            logarithmically — the standard first-order FPGA timing
+            model, calibrated so 2 MB -> ~150 MHz (Fig 15(b)).
+    """
+
+    #: Clock loss per memory doubling beyond 0.25 MB (address decode
+    #: and BRAM cascading widen), calibrated so 2 MB -> ~150 MHz.
+    MEM_DERATE = 0.29
+    #: Clock loss per unit of extra combinational depth (the basic
+    #: variant's cross-array min-select tree).
+    DEPTH_DERATE = 0.25
+
+    def __init__(
+        self, device: FpgaDevice = FpgaDevice(), base_clock_mhz: float = 280.0
+    ) -> None:
+        self.device = device
+        self.base_clock_mhz = base_clock_mhz
+
+    def clock_mhz(self, memory_bytes: int, combinational_depth: float = 1.0) -> float:
+        """Clock after memory-size and logic-depth derating."""
+        if memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        mem_mb = memory_bytes / (1024 * 1024)
+        derate = 1.0 + self.MEM_DERATE * max(0.0, math.log2(mem_mb / 0.25))
+        depth_derate = 1.0 + self.DEPTH_DERATE * (combinational_depth - 1.0)
+        return self.base_clock_mhz / (derate * depth_derate)
+
+    def throughput_mpps(
+        self, variant: str, memory_bytes: int, d: int = 2
+    ) -> float:
+        """Packets per second (millions) for one CocoSketch variant.
+
+        * ``"hardware"`` — fully pipelined: II = 1, shallow logic; one
+          packet per cycle regardless of d (arrays are parallel).
+        * ``"basic"`` — circular dependencies serialise the update: the
+          value read-modify-write and key write cannot overlap the next
+          packet's access to the same arrays (II = 4 with dual-ported
+          BRAM), and the cross-array min-select deepens the critical
+          path — §7.4's "too many operations in one stage".
+        """
+        if variant == "hardware":
+            return self.clock_mhz(memory_bytes, combinational_depth=1.0)
+        if variant == "basic":
+            ii = 4
+            clock = self.clock_mhz(memory_bytes, combinational_depth=2.0)
+            return clock / ii
+        raise ValueError(f"unknown variant {variant!r}")
+
+    def cocosketch_resources(
+        self, memory_bytes: int, d: int = 2, key_bytes: int = DEFAULT_KEY_BYTES
+    ) -> FpgaResources:
+        """Hardware-friendly CocoSketch: d parallel array pipelines."""
+        tiles = math.ceil(memory_bytes / self.device.bram_tile_bytes)
+        key_bits = key_bytes * 8
+        # Per array: hash core (~600 LUTs), compare/threshold (~250),
+        # BRAM glue (~150); plus one 32-bit LFSR random source.
+        luts = d * (600 + 250 + 150) + 400
+        # Pipeline registers: 4 stages x (key + value + index) per array.
+        registers = d * 4 * (key_bits + 32 + 32) + 256
+        return FpgaResources(luts=luts, registers=registers, bram_tiles=tiles)
+
+    def elastic_resources(
+        self, memory_bytes: int, key_bytes: int = DEFAULT_KEY_BYTES
+    ) -> FpgaResources:
+        """One single-key Elastic sketch instance.
+
+        Elastic's heavy-part bucket update (vote compare, eviction,
+        light-part fold) is much wider than CocoSketch's, and its
+        published FPGA build buffers full per-stage bucket state —
+        the register footprint CocoSketch's Fig 15(c) shows a ~45x
+        advantage over (for 6 instances).
+        """
+        tiles = math.ceil(memory_bytes / self.device.bram_tile_bytes)
+        key_bits = key_bytes * 8
+        luts = 9_000
+        registers = 12 * (key_bits + 4 * 32 + 64) * 12  # deep buffered pipeline
+        return FpgaResources(luts=luts, registers=registers, bram_tiles=tiles)

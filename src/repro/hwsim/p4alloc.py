@@ -1,0 +1,374 @@
+"""RMT stage allocation: placing match-action programs onto a pipeline.
+
+:mod:`repro.hwsim.rmt` answers *whether* a program's dependency graph
+is unidirectional and what it costs chip-wide.  This module goes one
+level deeper, the way the Tofino compiler does: a program is a set of
+:class:`TableNode` s (match-action tables with per-table demands on
+hash units, stateful ALUs, gateways and RAM), connected by *match* and
+*action* dependencies; the allocator levels the graph and packs tables
+into stages under **per-stage** budgets, shifting tables later when a
+stage overflows.  Placement failures — not just chip-wide totals — are
+what limit "how many sketches fit" in practice (§7.4's "it is hard to
+utilize all resources in every stage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TableNode:
+    """One logical match-action table and its per-stage demands."""
+
+    name: str
+    salus: int = 0
+    hash_units: int = 0
+    gateways: int = 0
+    sram_blocks: int = 0
+    map_ram_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.salus,
+            self.hash_units,
+            self.gateways,
+            self.sram_blocks,
+            self.map_ram_blocks,
+        ) < 0:
+            raise ValueError(f"negative demand in table {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """``before`` must be resolved strictly before ``after``.
+
+    RMT match/action dependencies both force a later stage; they are
+    not distinguished further here.
+    """
+
+    before: str
+    after: str
+
+
+@dataclass(frozen=True)
+class StageBudget:
+    """Per-stage resource budget (Tofino-class defaults).
+
+    Calibrated so 12 stages sum to the chip-wide budgets of
+    :class:`repro.hwsim.rmt.RmtChip` (72 hash units, 48 SALUs, 192
+    gateways, 960 SRAM blocks, 450 Map RAM blocks / 12 stages).
+    """
+
+    salus: int = 4
+    hash_units: int = 6
+    gateways: int = 16
+    sram_blocks: int = 80
+    map_ram_blocks: int = 38
+
+
+@dataclass
+class StagePlan:
+    """A successful placement: stage index -> table names."""
+
+    assignment: Dict[str, int]
+    num_stages_used: int
+    per_stage_usage: List[Dict[str, int]] = field(default_factory=list)
+
+    def stage_of(self, table: str) -> int:
+        return self.assignment[table]
+
+
+class AllocationError(Exception):
+    """The program cannot be placed on the pipeline."""
+
+
+class RmtAllocator:
+    """Levels a table graph and packs it under per-stage budgets."""
+
+    def __init__(
+        self, num_stages: int = 12, budget: StageBudget = StageBudget()
+    ) -> None:
+        if num_stages < 1:
+            raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+        self.num_stages = num_stages
+        self.budget = budget
+
+    def _check_acyclic_order(
+        self, tables: Sequence[TableNode], deps: Sequence[Dependency]
+    ) -> List[str]:
+        """Topological order of table names, or AllocationError."""
+        names = [t.name for t in tables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate table names: {names}")
+        known = set(names)
+        for dep in deps:
+            if dep.before not in known or dep.after not in known:
+                raise ValueError(f"dependency on unknown table: {dep}")
+        out: Dict[str, List[str]] = {n: [] for n in names}
+        indeg = {n: 0 for n in names}
+        for dep in deps:
+            out[dep.before].append(dep.after)
+            indeg[dep.after] += 1
+        frontier = [n for n in names if indeg[n] == 0]
+        order: List[str] = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for nxt in out[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    frontier.append(nxt)
+        if len(order) != len(names):
+            raise AllocationError(
+                "circular dependency: program is not unidirectional"
+            )
+        return order
+
+    def allocate(
+        self,
+        tables: Sequence[TableNode],
+        deps: Sequence[Dependency] = (),
+    ) -> StagePlan:
+        """Place *tables* respecting *deps* and per-stage budgets.
+
+        Raises :class:`AllocationError` when the graph has a cycle or
+        the placement does not fit the stage count.
+        """
+        order = self._check_acyclic_order(tables, deps)
+        by_name = {t.name: t for t in tables}
+        preds: Dict[str, List[str]] = {t.name: [] for t in tables}
+        for dep in deps:
+            preds[dep.after].append(dep.before)
+
+        usage = [
+            {
+                "salus": 0,
+                "hash_units": 0,
+                "gateways": 0,
+                "sram_blocks": 0,
+                "map_ram_blocks": 0,
+            }
+            for _ in range(self.num_stages)
+        ]
+        budget = self.budget
+        limits = {
+            "salus": budget.salus,
+            "hash_units": budget.hash_units,
+            "gateways": budget.gateways,
+            "sram_blocks": budget.sram_blocks,
+            "map_ram_blocks": budget.map_ram_blocks,
+        }
+        assignment: Dict[str, int] = {}
+
+        # Process in topological order; a table's earliest stage is one
+        # past its latest predecessor, then greedily shift until a
+        # stage has room.
+        for name in self._stable_topo(order, preds):
+            table = by_name[name]
+            earliest = 0
+            for pred in preds[name]:
+                earliest = max(earliest, assignment[pred] + 1)
+            placed = False
+            for stage in range(earliest, self.num_stages):
+                if self._fits(usage[stage], table, limits):
+                    self._commit(usage[stage], table)
+                    assignment[name] = stage
+                    placed = True
+                    break
+            if not placed:
+                raise AllocationError(
+                    f"table {name!r} cannot be placed within "
+                    f"{self.num_stages} stages"
+                )
+        used = max(assignment.values()) + 1 if assignment else 0
+        return StagePlan(assignment, used, usage[:used])
+
+    @staticmethod
+    def _stable_topo(
+        order: List[str], preds: Dict[str, List[str]]
+    ) -> List[str]:
+        """Re-sort the topological order so predecessors come first.
+
+        Kahn's pop order above is LIFO; re-walk to guarantee every
+        predecessor precedes its dependents for the greedy pass.
+        """
+        seen = set()
+        result: List[str] = []
+
+        def visit(node: str) -> None:
+            if node in seen:
+                return
+            seen.add(node)
+            for pred in preds[node]:
+                visit(pred)
+            result.append(node)
+
+        for node in order:
+            visit(node)
+        return result
+
+    @staticmethod
+    def _fits(
+        stage_usage: Dict[str, int],
+        table: TableNode,
+        limits: Dict[str, int],
+    ) -> bool:
+        return (
+            stage_usage["salus"] + table.salus <= limits["salus"]
+            and stage_usage["hash_units"] + table.hash_units
+            <= limits["hash_units"]
+            and stage_usage["gateways"] + table.gateways <= limits["gateways"]
+            and stage_usage["sram_blocks"] + table.sram_blocks
+            <= limits["sram_blocks"]
+            and stage_usage["map_ram_blocks"] + table.map_ram_blocks
+            <= limits["map_ram_blocks"]
+        )
+
+    @staticmethod
+    def _commit(stage_usage: Dict[str, int], table: TableNode) -> None:
+        stage_usage["salus"] += table.salus
+        stage_usage["hash_units"] += table.hash_units
+        stage_usage["gateways"] += table.gateways
+        stage_usage["sram_blocks"] += table.sram_blocks
+        stage_usage["map_ram_blocks"] += table.map_ram_blocks
+
+    def max_copies(
+        self,
+        tables: Sequence[TableNode],
+        deps: Sequence[Dependency] = (),
+        limit: int = 64,
+    ) -> int:
+        """How many independent copies of a program place successfully."""
+        copies = 0
+        all_tables: List[TableNode] = []
+        all_deps: List[Dependency] = []
+        for copy in range(limit):
+            prefix = f"c{copy}."
+            all_tables.extend(
+                TableNode(
+                    prefix + t.name,
+                    t.salus,
+                    t.hash_units,
+                    t.gateways,
+                    t.sram_blocks,
+                    t.map_ram_blocks,
+                )
+                for t in tables
+            )
+            all_deps.extend(
+                Dependency(prefix + d.before, prefix + d.after) for d in deps
+            )
+            try:
+                self.allocate(all_tables, all_deps)
+            except AllocationError:
+                return copies
+            copies += 1
+        return copies
+
+
+# -- canonical programs ----------------------------------------------------
+
+
+def cocosketch_tables(
+    d: int = 2, sram_per_array: int = 2
+) -> Tuple[List[TableNode], List[Dependency]]:
+    """Hardware-friendly CocoSketch as a table graph.
+
+    Per array: hash computation, the value register RMW (one SALU; the
+    math-unit probability shares its stage), then the key register RMW
+    which *depends on* the value result (§4.2's value-before-key).
+    """
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    tables: List[TableNode] = []
+    deps: List[Dependency] = []
+    for i in range(d):
+        # Per-array hash so wide d spreads across stages naturally.
+        hash_table = TableNode(f"hash_{i}", hash_units=2, gateways=1)
+        value = TableNode(
+            f"value_{i}",
+            salus=1,
+            gateways=1,
+            sram_blocks=sram_per_array,
+            map_ram_blocks=sram_per_array,
+        )
+        prob = TableNode(f"prob_{i}", salus=0, gateways=1)
+        key = TableNode(
+            f"key_{i}",
+            salus=1,
+            gateways=1,
+            sram_blocks=3 * sram_per_array,
+            map_ram_blocks=3 * sram_per_array,
+        )
+        tables.extend([hash_table, value, prob, key])
+        deps.append(Dependency(f"hash_{i}", f"value_{i}"))
+        deps.append(Dependency(f"value_{i}", f"prob_{i}"))
+        deps.append(Dependency(f"prob_{i}", f"key_{i}"))
+    return tables, deps
+
+
+def elastic_tables(
+    sram_heavy: int = 6, sram_light: int = 4
+) -> Tuple[List[TableNode], List[Dependency]]:
+    """Single-key Elastic sketch as a table graph.
+
+    The heavy bucket holds four stateful fields (key, vote+, vote-,
+    flag) whose updates all hinge on the same-stage compare; eviction
+    then feeds the light CM part, a strict successor.
+    """
+    tables = [
+        TableNode("hash", hash_units=3, gateways=1),
+        TableNode(
+            "heavy_key",
+            salus=2,
+            gateways=2,
+            sram_blocks=sram_heavy,
+            map_ram_blocks=sram_heavy,
+        ),
+        TableNode("heavy_votes", salus=4, gateways=3, sram_blocks=2,
+                  map_ram_blocks=2),
+        TableNode("evict_decision", salus=1, gateways=2),
+        TableNode(
+            "light_cm",
+            salus=2,
+            hash_units=3,
+            sram_blocks=sram_light,
+            map_ram_blocks=sram_light,
+        ),
+    ]
+    deps = [
+        Dependency("hash", "heavy_key"),
+        Dependency("heavy_key", "heavy_votes"),
+        Dependency("heavy_votes", "evict_decision"),
+        Dependency("evict_decision", "light_cm"),
+    ]
+    return tables, deps
+
+
+def count_min_tables(
+    rows: int = 3, sram_per_row: int = 4
+) -> Tuple[List[TableNode], List[Dependency]]:
+    """Count-Min + top-k readout as a table graph."""
+    if rows < 1:
+        raise ValueError(f"rows must be >= 1, got {rows}")
+    tables: List[TableNode] = [
+        TableNode("hash", hash_units=2 * rows, gateways=1)
+    ]
+    deps: List[Dependency] = []
+    for i in range(rows):
+        row = TableNode(
+            f"row_{i}",
+            salus=2,
+            gateways=2,
+            sram_blocks=sram_per_row,
+            map_ram_blocks=sram_per_row,
+        )
+        tables.append(row)
+        deps.append(Dependency("hash", f"row_{i}"))
+    tables.append(TableNode("min_combine", salus=2, gateways=2 * rows))
+    deps.extend(
+        Dependency(f"row_{i}", "min_combine") for i in range(rows)
+    )
+    return tables, deps

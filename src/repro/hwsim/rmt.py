@@ -1,0 +1,302 @@
+"""RMT (Tofino-class) pipeline resource model (§3.3, §6.2, Table 2).
+
+An RMT switch processes packets through a fixed number of match-action
+stages with a strict unidirectional dataflow: a stage can never read
+memory written by a later stage.  Each stage owns finite compute
+(stateful ALUs, hash distribution units, gateways) and storage (SRAM,
+Map RAM) resources; a sketch "fits" iff its per-stage demands fit and
+its operation dependency graph is acyclic front-to-back.
+
+This module gives:
+
+* :class:`RmtChip` — chip-wide budgets, calibrated to the Tofino
+  configuration the paper reports against (12 stages; 48 stateful ALUs
+  chip-wide per the paper's introduction).
+* :func:`sketch_rmt_usage` — per-algorithm primitive demands, calibrated
+  so a single-key Count-Min reproduces Table 2's utilisation rows and
+  CocoSketch/Elastic reproduce Fig 15(d).
+* :class:`PipelineProgram` — a tiny dependency-graph checker proving the
+  basic CocoSketch's circular dependency cannot be laid out on an RMT
+  pipeline while the hardware-friendly variant can (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sketches.base import COUNTER_BYTES, DEFAULT_KEY_BYTES
+
+
+@dataclass(frozen=True)
+class RmtUsage:
+    """Primitive demands of one program on an RMT chip."""
+
+    hash_units: int
+    stateful_alus: int
+    gateways: int
+    map_ram_blocks: int
+    sram_blocks: int
+    stages: int
+
+    def __add__(self, other: "RmtUsage") -> "RmtUsage":
+        return RmtUsage(
+            self.hash_units + other.hash_units,
+            self.stateful_alus + other.stateful_alus,
+            self.gateways + other.gateways,
+            self.map_ram_blocks + other.map_ram_blocks,
+            self.sram_blocks + other.sram_blocks,
+            max(self.stages, other.stages),
+        )
+
+    def scaled(self, n: int) -> "RmtUsage":
+        """Demands of n independent instances (stages shared)."""
+        return RmtUsage(
+            self.hash_units * n,
+            self.stateful_alus * n,
+            self.gateways * n,
+            self.map_ram_blocks * n,
+            self.sram_blocks * n,
+            self.stages,
+        )
+
+
+@dataclass(frozen=True)
+class RmtChip:
+    """Chip-wide resource budgets (Tofino-class defaults).
+
+    Calibration: 48 stateful ALUs chip-wide (paper §1: "a Tofino switch
+    (e.g., 48 ALUs)"); 72 hash distribution units so one Count-Min's 15
+    units reproduce Table 2's 20.83 %; 192 gateways (15 -> 7.81 %);
+    SRAM as 960 x 16 KB blocks; Map RAM as 450 unit blocks
+    (32 -> 7.11 %).
+    """
+
+    stages: int = 12
+    hash_units: int = 72
+    stateful_alus: int = 48
+    gateways: int = 192
+    map_ram_blocks: int = 450
+    sram_blocks: int = 960
+    sram_block_bytes: int = 16 * 1024
+
+    def utilisation(self, usage: RmtUsage) -> Dict[str, float]:
+        """Fractional chip utilisation per resource class."""
+        return {
+            "Hash Distribution Unit": usage.hash_units / self.hash_units,
+            "Stateful ALU": usage.stateful_alus / self.stateful_alus,
+            "Gateway": usage.gateways / self.gateways,
+            "Map RAM": usage.map_ram_blocks / self.map_ram_blocks,
+            "SRAM": usage.sram_blocks / self.sram_blocks,
+        }
+
+    def fits(self, usage: RmtUsage) -> bool:
+        """Does the program fit the chip?"""
+        return (
+            usage.stages <= self.stages
+            and usage.hash_units <= self.hash_units
+            and usage.stateful_alus <= self.stateful_alus
+            and usage.gateways <= self.gateways
+            and usage.map_ram_blocks <= self.map_ram_blocks
+            and usage.sram_blocks <= self.sram_blocks
+        )
+
+    #: The compiler cannot pack stages perfectly: "it is hard to
+    #: utilize all resources in every stage, i.e., we cannot achieve
+    #: 100% utilization" (§7.4).  85 % reproduces the paper's instance
+    #: counts (4 Count-Min sketches, 4 Elastic sketches per chip).
+    USABLE_FRACTION = 0.85
+
+    def max_instances(
+        self, usage: RmtUsage, usable_fraction: float = USABLE_FRACTION
+    ) -> int:
+        """How many independent copies of a program the compiler places.
+
+        Budgets are discounted by *usable_fraction* for per-stage
+        placement fragmentation (Table 2 caption / §7.4).
+        """
+        limits = [
+            int(usable_fraction * self.hash_units / max(1, usage.hash_units)),
+            int(usable_fraction * self.stateful_alus / max(1, usage.stateful_alus)),
+            int(usable_fraction * self.gateways / max(1, usage.gateways)),
+            int(usable_fraction * self.map_ram_blocks / max(1, usage.map_ram_blocks)),
+            int(usable_fraction * self.sram_blocks / max(1, usage.sram_blocks)),
+        ]
+        return min(limits)
+
+    def bottleneck(self, usage: RmtUsage) -> str:
+        """The resource class with the highest utilisation."""
+        util = self.utilisation(usage)
+        return max(util, key=util.get)
+
+
+def _sram_blocks(memory_bytes: int, chip: RmtChip) -> int:
+    return max(1, -(-memory_bytes // chip.sram_block_bytes))  # ceil div
+
+
+def sketch_rmt_usage(
+    kind: str,
+    memory_bytes: int,
+    d: int = 2,
+    chip: Optional[RmtChip] = None,
+    key_bytes: int = DEFAULT_KEY_BYTES,
+) -> RmtUsage:
+    """Primitive demands of one sketch instance on an RMT chip.
+
+    Supported kinds (calibrated against the paper's compiler reports):
+
+    * ``"count-min"`` — the §7.1-configured single-key CM sketch
+      (Table 2 column 1): 8 stateful ALUs, 15 hash units, 15 gateways.
+    * ``"r-hhh"`` — CM plus the per-packet level sampler (Table 2
+      column 2): one extra hash unit and gateway.
+    * ``"cocosketch"`` — hardware-friendly CocoSketch with d arrays,
+      key and value in separate stages (Fig 15(d)): per array one SALU
+      for the value, one for the key, plus one for the random threshold
+      compare shared pair-wise; 2 hash units per array.
+    * ``"elastic"`` — Elastic sketch (Fig 15(d)): 9 SALUs
+      (18.75 % of 48).
+    """
+    chip = chip or RmtChip()
+    sram = _sram_blocks(memory_bytes, chip)
+    # Map RAM backs the stateful SRAM words; model one block per
+    # stateful array plus one per 4 SRAM blocks.
+    if kind == "count-min":
+        return RmtUsage(
+            hash_units=15,
+            stateful_alus=8,
+            gateways=15,
+            map_ram_blocks=32,
+            sram_blocks=max(sram, 41),
+            stages=4,
+        )
+    if kind == "r-hhh":
+        return RmtUsage(
+            hash_units=16,
+            stateful_alus=8,
+            gateways=16,
+            map_ram_blocks=32,
+            sram_blocks=max(sram, 41),
+            stages=5,
+        )
+    if kind == "cocosketch":
+        # Per array: value register (1 SALU) + key register (1 SALU);
+        # the random draw and approximate division use one math-unit
+        # SALU shared across arrays.
+        return RmtUsage(
+            hash_units=2 * d,
+            stateful_alus=2 * d - 1 if d > 1 else 2,
+            gateways=2 * d,
+            map_ram_blocks=14 * d,
+            sram_blocks=sram,
+            stages=4 + d,
+        )
+    if kind == "elastic":
+        return RmtUsage(
+            hash_units=6,
+            stateful_alus=9,
+            gateways=8,
+            map_ram_blocks=34,
+            sram_blocks=sram,
+            stages=6,
+        )
+    raise ValueError(f"unknown sketch kind {kind!r}")
+
+
+# -- pipeline dependency checking ----------------------------------------
+
+
+@dataclass(frozen=True)
+class Op:
+    """One stateful operation: reads some registers, writes one."""
+
+    name: str
+    reads: Tuple[str, ...]
+    writes: str
+
+
+class PipelineProgram:
+    """Dependency-graph check for RMT layout (§3.3).
+
+    Each stateful register must be assigned to exactly one stage, and
+    every operation reading register A and writing register B forces
+    stage(A) <= stage(B).  A *cycle* between registers therefore makes
+    the program unimplementable: that is precisely the basic
+    CocoSketch's circular dependency (bucket_1 <-> bucket_2, key <->
+    value), and its absence is what makes the hardware-friendly variant
+    deployable.
+    """
+
+    def __init__(self, ops: List[Op]) -> None:
+        self.ops = list(ops)
+
+    def registers(self) -> List[str]:
+        regs = []
+        for op in self.ops:
+            for r in (*op.reads, op.writes):
+                if r not in regs:
+                    regs.append(r)
+        return regs
+
+    def layout(self, num_stages: int) -> Optional[Dict[str, int]]:
+        """Topologically assign registers to stages, or None on a cycle.
+
+        Cross-register edges A -> B mean "A must be resolved no later
+        than B".  Same-register self-loops (read-modify-write in one
+        stateful ALU) are legal and ignored.
+        """
+        regs = self.registers()
+        edges = {r: set() for r in regs}
+        for op in self.ops:
+            for r in op.reads:
+                if r != op.writes:
+                    edges[r].add(op.writes)
+        # Kahn's algorithm.
+        indeg = {r: 0 for r in regs}
+        for r, outs in edges.items():
+            for out in outs:
+                indeg[out] += 1
+        frontier = [r for r in regs if indeg[r] == 0]
+        stage_of: Dict[str, int] = {}
+        stage = 0
+        while frontier:
+            next_frontier = []
+            for r in frontier:
+                stage_of[r] = stage
+                for out in edges[r]:
+                    indeg[out] -= 1
+                    if indeg[out] == 0:
+                        next_frontier.append(out)
+            frontier = next_frontier
+            stage += 1
+        if len(stage_of) != len(regs):
+            return None  # cycle: unimplementable on RMT
+        if max(stage_of.values(), default=0) >= num_stages:
+            return None  # does not fit the stage budget
+        return stage_of
+
+
+def basic_cocosketch_program(d: int = 2) -> PipelineProgram:
+    """Basic CocoSketch's update as stateful ops — contains cycles."""
+    ops: List[Op] = []
+    arrays = [f"bucket{i}" for i in range(d)]
+    for i, arr in enumerate(arrays):
+        others = tuple(a for a in arrays if a != arr)
+        # choosing whether to update this bucket needs every other
+        # bucket's (key, value); and key/value within a bucket depend on
+        # each other (§3.3).
+        ops.append(Op(f"value_update_{i}", others + (f"{arr}.key",), f"{arr}.value"))
+        ops.append(Op(f"key_update_{i}", others + (f"{arr}.value",), f"{arr}.key"))
+        for other in others:
+            ops.append(Op(f"visible_{i}", (f"{arr}.key", f"{arr}.value"), other))
+    return PipelineProgram(ops)
+
+
+def hardware_cocosketch_program(d: int = 2) -> PipelineProgram:
+    """Hardware-friendly update: per-array, value precedes key — acyclic."""
+    ops: List[Op] = []
+    for i in range(d):
+        ops.append(Op(f"value_update_{i}", (), f"bucket{i}.value"))
+        ops.append(
+            Op(f"key_update_{i}", (f"bucket{i}.value",), f"bucket{i}.key")
+        )
+    return PipelineProgram(ops)

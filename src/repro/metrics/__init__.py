@@ -1,0 +1,40 @@
+"""Evaluation metrics (§7.1).
+
+* :mod:`repro.metrics.accuracy` — Recall Rate, Precision Rate, F1
+  Score, Average Relative Error.
+* :mod:`repro.metrics.cdf` — absolute-error CDFs (Fig 17).
+* :mod:`repro.metrics.throughput` — packets/s and per-packet latency
+  percentiles (Fig 14), plus operation-count summaries.
+"""
+
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    average_relative_error,
+    evaluate_heavy_hitters,
+    f1_score,
+    precision_rate,
+    recall_rate,
+)
+from repro.metrics.cdf import ErrorCdf, error_cdf
+from repro.metrics.significance import (
+    bootstrap_ci,
+    bootstrap_diff_ci,
+    comparison_significant,
+)
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+
+__all__ = [
+    "AccuracyReport",
+    "recall_rate",
+    "precision_rate",
+    "f1_score",
+    "average_relative_error",
+    "evaluate_heavy_hitters",
+    "ErrorCdf",
+    "error_cdf",
+    "ThroughputResult",
+    "measure_throughput",
+    "bootstrap_ci",
+    "bootstrap_diff_ci",
+    "comparison_significant",
+]

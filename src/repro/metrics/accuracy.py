@@ -1,0 +1,107 @@
+"""Accuracy metrics: RR, PR, F1, ARE (§7.1 definitions).
+
+* Recall Rate — correctly reported flows / correct flows.
+* Precision Rate — correctly reported flows / reported flows.
+* F1 — harmonic mean of RR and PR.
+* ARE — mean of ``|f_hat - f| / f`` over the query set Ψ; following the
+  paper's heavy-hitter evaluations, Ψ is the set of *true* heavy
+  hitters, and a missed flow contributes its full relative error
+  (estimate 0 -> error 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, Iterable, Optional
+
+
+def recall_rate(reported: AbstractSet[int], truth: AbstractSet[int]) -> float:
+    """|reported ∩ truth| / |truth| (1.0 for an empty truth set)."""
+    if not truth:
+        return 1.0
+    return len(reported & truth) / len(truth)
+
+
+def precision_rate(reported: AbstractSet[int], truth: AbstractSet[int]) -> float:
+    """|reported ∩ truth| / |reported| (1.0 for an empty report)."""
+    if not reported:
+        return 1.0
+    return len(reported & truth) / len(reported)
+
+
+def f1_score(recall: float, precision: float) -> float:
+    """Harmonic mean of recall and precision."""
+    if recall + precision == 0:
+        return 0.0
+    return 2 * recall * precision / (recall + precision)
+
+
+def average_relative_error(
+    estimates: Dict[int, float],
+    truth: Dict[int, int],
+    query_set: Optional[Iterable[int]] = None,
+) -> float:
+    """Mean |f_hat(e) - f(e)| / f(e) over the query set.
+
+    *query_set* defaults to every flow in *truth*.  Flows missing from
+    *estimates* count with estimate 0.
+    """
+    keys = list(query_set) if query_set is not None else list(truth)
+    if not keys:
+        return 0.0
+    total = 0.0
+    for key in keys:
+        true_size = truth.get(key, 0)
+        if true_size <= 0:
+            raise ValueError(f"query flow {key} has no ground truth size")
+        total += abs(estimates.get(key, 0.0) - true_size) / true_size
+    return total / len(keys)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """RR/PR/F1/ARE for one (task, partial key) cell."""
+
+    recall: float
+    precision: float
+    are: float
+
+    @property
+    def f1(self) -> float:
+        return f1_score(self.recall, self.precision)
+
+    @staticmethod
+    def mean(reports: "Iterable[AccuracyReport]") -> "AccuracyReport":
+        """Arithmetic mean across partial keys (the paper reports
+        averages over the measured keys)."""
+        items = list(reports)
+        if not items:
+            raise ValueError("mean of no reports")
+        n = len(items)
+        return AccuracyReport(
+            recall=sum(r.recall for r in items) / n,
+            precision=sum(r.precision for r in items) / n,
+            are=sum(r.are for r in items) / n,
+        )
+
+
+def evaluate_heavy_hitters(
+    estimates: Dict[int, float],
+    truth: Dict[int, int],
+    threshold: float,
+) -> AccuracyReport:
+    """Score an estimated table against exact counts at a HH threshold.
+
+    Reported flows are those *estimated* >= threshold; correct flows are
+    those *truly* >= threshold; ARE is computed over the true heavy
+    hitters (the paper's query set).
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    reported = {k for k, v in estimates.items() if v >= threshold}
+    correct = {k for k, v in truth.items() if v >= threshold}
+    return AccuracyReport(
+        recall=recall_rate(reported, correct),
+        precision=precision_rate(reported, correct),
+        are=average_relative_error(estimates, truth, correct),
+    )

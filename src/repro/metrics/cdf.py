@@ -1,0 +1,53 @@
+"""Absolute-error CDFs (Fig 17).
+
+For each distinct flow the absolute error ``|f_hat(e) - f(e)|`` is
+collected; :class:`ErrorCdf` exposes the empirical distribution and the
+two summary views the paper reads off it: the cumulative probability at
+a given error, and the error at a given upper quantile (the "worst
+0.1 %" tail).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ErrorCdf:
+    """Empirical CDF over sorted absolute errors."""
+
+    errors: Sequence[float]  # sorted ascending
+
+    def probability_at(self, error: float) -> float:
+        """P[|error| <= error]."""
+        if not self.errors:
+            return 1.0
+        return bisect.bisect_right(self.errors, error) / len(self.errors)
+
+    def quantile(self, q: float) -> float:
+        """Smallest error e with P[error <= e] >= q, q in (0, 1]."""
+        if not 0 < q <= 1:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if not self.errors:
+            return 0.0
+        idx = min(len(self.errors) - 1, max(0, int(q * len(self.errors)) - 1))
+        return float(self.errors[idx])
+
+    def worst(self, fraction: float = 0.001) -> float:
+        """Error at the top *fraction* tail (paper's "worst 0.1 %")."""
+        return self.quantile(1.0 - fraction)
+
+    def points(self) -> List[tuple]:
+        """(error, cumulative probability) pairs for plotting."""
+        n = len(self.errors)
+        return [(float(e), (i + 1) / n) for i, e in enumerate(self.errors)]
+
+
+def error_cdf(estimates: Dict[int, float], truth: Dict[int, int]) -> ErrorCdf:
+    """Absolute-error CDF over all distinct true flows."""
+    errors = sorted(
+        abs(estimates.get(key, 0.0) - size) for key, size in truth.items()
+    )
+    return ErrorCdf(errors)

@@ -1,0 +1,109 @@
+"""Analytical CPU cost model for per-packet updates (Fig 14 companion).
+
+The paper reports 95th-percentile CPU cycles per packet on an Intel
+i5-8259U (Appendix B: 64 KB L1 / 256 KB L2 per core, 6 MB shared L3).
+Wall-clock Python timings preserve *orderings* but not cycle counts;
+this model turns each algorithm's static :class:`~repro.sketches.base.
+UpdateCost` plus its working-set size into an expected cycles-per-
+packet figure on that machine, giving a second, measurement-free
+derivation of Fig 14(b)'s shape:
+
+    cycles ~= hashes * HASH + draws * RNG
+              + memory_accesses * latency(working set)
+
+where ``latency`` is the first cache level the working set fits in.
+It is deliberately first-order — no prefetching or ILP — because the
+figure's claims are ratios between algorithms, which survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.sketches.base import UpdateCost
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy."""
+
+    name: str
+    size_bytes: int  # 0 = unbounded (memory)
+    latency_cycles: float
+
+    def holds(self, working_set: int) -> bool:
+        return self.size_bytes == 0 or working_set <= self.size_bytes
+
+
+#: Appendix B's measurement machine (i5-8259U), per-core view.
+I5_8259U: Tuple[CacheLevel, ...] = (
+    CacheLevel("L1d", 64 * 1024, 5),
+    CacheLevel("L2", 256 * 1024, 13),
+    CacheLevel("L3", 6 * 1024 * 1024, 42),
+    CacheLevel("DRAM", 0, 180),
+)
+
+#: Cycles for one 32-bit Bob-Hash-class evaluation / one PRNG draw.
+HASH_CYCLES = 18.0
+RNG_CYCLES = 22.0
+#: Fixed per-packet overhead (parse, loop, branches).
+BASE_CYCLES = 12.0
+
+
+def access_latency(
+    working_set_bytes: int,
+    hierarchy: Sequence[CacheLevel] = I5_8259U,
+) -> float:
+    """Expected latency of one random access into a working set.
+
+    Modelled as the latency of the smallest level that holds the whole
+    working set — the steady-state behaviour of uniformly hashed
+    accesses once the structure no longer fits the faster level.
+    """
+    if working_set_bytes < 0:
+        raise ValueError("working_set_bytes must be >= 0")
+    for level in hierarchy:
+        if level.holds(working_set_bytes):
+            return level.latency_cycles
+    return hierarchy[-1].latency_cycles
+
+
+def estimate_update_cycles(
+    cost: UpdateCost,
+    working_set_bytes: int,
+    hierarchy: Sequence[CacheLevel] = I5_8259U,
+) -> float:
+    """Expected cycles per packet for one algorithm configuration."""
+    latency = access_latency(working_set_bytes, hierarchy)
+    return (
+        BASE_CYCLES
+        + cost.hashes * HASH_CYCLES
+        + cost.random_draws * RNG_CYCLES
+        + cost.memory_accesses * latency
+    )
+
+
+def estimate_mpps(
+    cost: UpdateCost,
+    working_set_bytes: int,
+    clock_ghz: float = 2.3,
+    hierarchy: Sequence[CacheLevel] = I5_8259U,
+) -> float:
+    """Throughput (Mpps) implied by the cycle model at a clock."""
+    cycles = estimate_update_cycles(cost, working_set_bytes, hierarchy)
+    return clock_ghz * 1e3 / cycles
+
+
+def compare_algorithms(
+    entries: List[Tuple[str, UpdateCost, int]],
+    hierarchy: Sequence[CacheLevel] = I5_8259U,
+) -> List[Tuple[str, float]]:
+    """Cycle estimates for several (name, cost, working set) entries,
+    sorted fastest first."""
+    results = [
+        (name, estimate_update_cycles(cost, ws, hierarchy))
+        for name, cost, ws in entries
+    ]
+    results.sort(key=lambda item: item[1])
+    return results

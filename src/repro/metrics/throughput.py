@@ -1,0 +1,93 @@
+"""Throughput and per-packet latency measurement (Fig 14).
+
+The paper reports Mpps and the 95th-percentile per-packet CPU cycles.
+In pure Python absolute numbers are meaningless, but the *relative*
+ordering — CocoSketch constant in the number of keys, per-key baselines
+degrading linearly, naive USS orders of magnitude slower — is what the
+figures establish, and wall-clock measurements preserve it
+(DESIGN.md §2).  Per-packet latencies are sampled (one packet in
+*latency_stride*) to keep timer overhead from dominating.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple
+
+from repro._util import percentile
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Wall-clock update performance of one algorithm over one trace."""
+
+    packets: int
+    elapsed_s: float
+    p50_ns: float
+    p95_ns: float
+
+    @property
+    def mpps(self) -> float:
+        """Millions of packets processed per second."""
+        if self.elapsed_s == 0:
+            return float("inf")
+        return self.packets / self.elapsed_s / 1e6
+
+
+def measure_throughput(
+    updater: Callable[[int, int], None],
+    packets: Iterable[Tuple[int, int]],
+    latency_stride: int = 64,
+) -> ThroughputResult:
+    """Drive *updater* over *packets*, timing totals and sampled latencies.
+
+    Args:
+        updater: The algorithm's ``update(key, size)`` bound method.
+        packets: The packet stream (consumed once).
+        latency_stride: Every stride-th packet is individually timed
+            for the latency percentiles.
+    """
+    if latency_stride < 1:
+        raise ValueError("latency_stride must be >= 1")
+    stream: List[Tuple[int, int]] = list(packets)
+    latencies: List[float] = []
+    perf_ns = time.perf_counter_ns
+
+    start = time.perf_counter()
+    for idx, (key, size) in enumerate(stream):
+        if idx % latency_stride:
+            updater(key, size)
+        else:
+            t0 = perf_ns()
+            updater(key, size)
+            latencies.append(perf_ns() - t0)
+    elapsed = time.perf_counter() - start
+
+    return ThroughputResult(
+        packets=len(stream),
+        elapsed_s=elapsed,
+        p50_ns=percentile(latencies, 50) if latencies else 0.0,
+        p95_ns=percentile(latencies, 95) if latencies else 0.0,
+    )
+
+
+def best_of(
+    runs: int,
+    make_updater: Callable[[], Callable[[int, int], None]],
+    packets: List[Tuple[int, int]],
+    latency_stride: int = 64,
+) -> ThroughputResult:
+    """Median-throughput result over *runs* fresh instances.
+
+    The paper reports the median of 5 independent trials; the median is
+    selected by Mpps.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    results = [
+        measure_throughput(make_updater(), packets, latency_stride)
+        for _ in range(runs)
+    ]
+    results.sort(key=lambda r: r.mpps)
+    return results[len(results) // 2]

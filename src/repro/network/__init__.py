@@ -1,0 +1,37 @@
+"""Network-wide measurement: many switches, one answer.
+
+The paper's motivation (§1-2) is network-scale: DDoS detection, rule
+management and diagnosis need flow statistics *across* a topology, not
+at one box.  This package provides the deployment layer the paper's
+per-switch sketch implies:
+
+* :mod:`repro.network.topology` — switch/host topologies (star,
+  linear chain, two-tier leaf-spine) over networkx, with
+  shortest-path routing.
+* :mod:`repro.network.routing` — per-flow ECMP path selection over
+  equal-cost shortest paths.
+* :mod:`repro.network.simulation` — packet-level simulation: flows
+  routed over the topology, each switch on the path observing the
+  packet under a configurable *observation policy* (every hop /
+  ingress only / flow-ownership hashing, the standard way to avoid
+  double counting), per-switch CocoSketches, and a collector that
+  merges them (via :mod:`repro.extensions.merging`) into one
+  network-wide flow table.
+"""
+
+from repro.network.routing import EcmpRouter
+from repro.network.simulation import (
+    NetworkMeasurement,
+    ObservationPolicy,
+)
+from repro.network.topology import Topology, leaf_spine, linear, star
+
+__all__ = [
+    "Topology",
+    "star",
+    "linear",
+    "leaf_spine",
+    "NetworkMeasurement",
+    "ObservationPolicy",
+    "EcmpRouter",
+]

@@ -1,0 +1,75 @@
+"""ECMP (equal-cost multi-path) routing over topologies.
+
+Real fabrics spread flows across equal-cost paths by hashing the
+5-tuple; which switches see a flow therefore depends on the flow key.
+This matters for measurement placement: per-flow ECMP means no single
+spine sees all traffic, so exactly-once observation needs either
+edge-based counting or the flow-ownership policy.
+
+:func:`ecmp_route` returns the deterministic per-flow path: among all
+shortest paths between two hosts, the one selected by hashing the flow
+key (the same flow always takes the same path — ECMP's defining
+property, which keeps TCP in order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.hashing.family import mix64
+from repro.network.topology import Topology
+
+
+class EcmpRouter:
+    """Per-flow ECMP path selection over a topology.
+
+    All shortest host-to-host paths are enumerated once per pair and
+    cached; the flow key then picks one uniformly (hash mod npaths).
+    """
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        self.topology = topology
+        self.seed = seed
+        self._paths: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    def equal_cost_paths(self, src_host: str, dst_host: str) -> List[List[str]]:
+        """All shortest switch paths between two hosts (sorted, cached)."""
+        cached = self._paths.get((src_host, dst_host))
+        if cached is not None:
+            return cached
+        if not (
+            self.topology.is_host(src_host) and self.topology.is_host(dst_host)
+        ):
+            raise ValueError("ECMP routes run host to host")
+        paths = [
+            [node for node in path if self.topology.is_switch(node)]
+            for path in nx.all_shortest_paths(
+                self.topology.graph, src_host, dst_host
+            )
+        ]
+        paths.sort()
+        self._paths[(src_host, dst_host)] = paths
+        return paths
+
+    def route(self, src_host: str, dst_host: str, flow_key: int) -> List[str]:
+        """The path this flow's packets take (stable per flow)."""
+        paths = self.equal_cost_paths(src_host, dst_host)
+        if len(paths) == 1:
+            return paths[0]
+        folded = flow_key
+        while folded >> 64:
+            folded = (folded & ((1 << 64) - 1)) ^ (folded >> 64)
+        index = mix64(folded ^ self.seed) % len(paths)
+        return paths[index]
+
+    def path_spread(
+        self, src_host: str, dst_host: str, flow_keys
+    ) -> Dict[Tuple[str, ...], int]:
+        """How many of *flow_keys* each equal-cost path carries."""
+        spread: Dict[Tuple[str, ...], int] = {}
+        for key in flow_keys:
+            path = tuple(self.route(src_host, dst_host, key))
+            spread[path] = spread.get(path, 0) + 1
+        return spread

@@ -1,0 +1,119 @@
+"""Switch/host topologies with shortest-path routing.
+
+A :class:`Topology` wraps a networkx graph whose nodes are either
+switches (measurement-capable) or hosts (traffic endpoints).  Routing
+is shortest-path with deterministic tie-breaking, cached per pair —
+enough structure for network-wide measurement semantics without
+modelling link capacities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+
+class Topology:
+    """A network of switches and hosts."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    def add_switch(self, name: str) -> None:
+        if name in self.graph:
+            raise ValueError(f"node {name!r} already exists")
+        self.graph.add_node(name, kind="switch")
+
+    def add_host(self, name: str, attached_to: str) -> None:
+        if name in self.graph:
+            raise ValueError(f"node {name!r} already exists")
+        if not self.is_switch(attached_to):
+            raise ValueError(f"{attached_to!r} is not a switch")
+        self.graph.add_node(name, kind="host")
+        self.graph.add_edge(name, attached_to)
+
+    def add_link(self, a: str, b: str) -> None:
+        if not (self.is_switch(a) and self.is_switch(b)):
+            raise ValueError("links connect switches; hosts attach once")
+        self.graph.add_edge(a, b)
+
+    def is_switch(self, name: str) -> bool:
+        return (
+            name in self.graph
+            and self.graph.nodes[name].get("kind") == "switch"
+        )
+
+    def is_host(self, name: str) -> bool:
+        return (
+            name in self.graph and self.graph.nodes[name].get("kind") == "host"
+        )
+
+    @property
+    def switches(self) -> List[str]:
+        return sorted(
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "switch"
+        )
+
+    @property
+    def hosts(self) -> List[str]:
+        return sorted(
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "host"
+        )
+
+    def route(self, src_host: str, dst_host: str) -> List[str]:
+        """Switches traversed from *src_host* to *dst_host*, in order."""
+        cached = self._route_cache.get((src_host, dst_host))
+        if cached is not None:
+            return cached
+        if not (self.is_host(src_host) and self.is_host(dst_host)):
+            raise ValueError("routes run host to host")
+        path = nx.shortest_path(self.graph, src_host, dst_host)
+        switch_path = [n for n in path if self.is_switch(n)]
+        self._route_cache[(src_host, dst_host)] = switch_path
+        return switch_path
+
+
+def star(num_hosts: int = 4) -> Topology:
+    """One switch, *num_hosts* hosts (single vantage point)."""
+    if num_hosts < 1:
+        raise ValueError("num_hosts must be >= 1")
+    topo = Topology()
+    topo.add_switch("s0")
+    for i in range(num_hosts):
+        topo.add_host(f"h{i}", "s0")
+    return topo
+
+
+def linear(num_switches: int = 3, hosts_per_switch: int = 1) -> Topology:
+    """A chain s0 - s1 - ... with hosts hanging off each switch."""
+    if num_switches < 1 or hosts_per_switch < 0:
+        raise ValueError("invalid linear topology size")
+    topo = Topology()
+    for i in range(num_switches):
+        topo.add_switch(f"s{i}")
+        if i:
+            topo.add_link(f"s{i - 1}", f"s{i}")
+        for j in range(hosts_per_switch):
+            topo.add_host(f"h{i}_{j}", f"s{i}")
+    return topo
+
+
+def leaf_spine(
+    num_spines: int = 2, num_leaves: int = 4, hosts_per_leaf: int = 2
+) -> Topology:
+    """Two-tier leaf-spine fabric (every leaf links to every spine)."""
+    if num_spines < 1 or num_leaves < 1 or hosts_per_leaf < 0:
+        raise ValueError("invalid leaf-spine size")
+    topo = Topology()
+    for s in range(num_spines):
+        topo.add_switch(f"spine{s}")
+    for leaf in range(num_leaves):
+        name = f"leaf{leaf}"
+        topo.add_switch(name)
+        for s in range(num_spines):
+            topo.add_link(name, f"spine{s}")
+        for h in range(hosts_per_leaf):
+            topo.add_host(f"h{leaf}_{h}", name)
+    return topo

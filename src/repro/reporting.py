@@ -1,0 +1,131 @@
+"""Render the recorded benchmark results as a markdown report.
+
+``pytest benchmarks/ --benchmark-only`` writes one JSON per reproduced
+table/figure into ``results/``; this module turns that directory into
+a readable report (the data behind EXPERIMENTS.md), optionally
+annotated with the paper's reference values where they are known
+numerically.
+
+Usage::
+
+    python -m repro.reporting results/ > report.md
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+#: Paper reference points checkable against recorded series:
+#: result file -> list of (row label, column label, paper value, note).
+PAPER_REFERENCE = {
+    "table2": [
+        ("Hash Distribution Unit", "CM model", 0.2083, "Table 2"),
+        ("Stateful ALU", "CM model", 0.1667, "Table 2"),
+        ("Gateway", "CM model", 0.0781, "Table 2"),
+        ("Map RAM", "CM model", 0.0711, "Table 2"),
+        ("SRAM", "CM model", 0.0427, "Table 2"),
+    ],
+    "fig15d_p4_resources": [
+        ("Ours", "Stateful ALU", 0.0625, "§7.4"),
+        ("Elastic", "Stateful ALU", 0.1875, "§7.4"),
+        ("4*Elastic", "Stateful ALU", 0.75, "§7.4"),
+    ],
+    "fig15b_fpga_throughput": [
+        ("hardware", "2.0MB", 150.0, "§7.4 (~150 Mpps)"),
+    ],
+}
+
+
+def load_results(results_dir: Path) -> Dict[str, dict]:
+    """Load every recorded result, keyed by experiment name."""
+    out: Dict[str, dict] = {}
+    for path in sorted(results_dir.glob("*.json")):
+        out[path.stem] = json.loads(path.read_text())
+    return out
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_table(payload: dict) -> List[str]:
+    """One experiment's markdown block."""
+    headers: Sequence[str] = payload["headers"]
+    lines = [f"### {payload['title']}", ""]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    for row in payload["rows"]:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    if payload.get("extra"):
+        lines.append("")
+        for key, value in payload["extra"].items():
+            lines.append(f"* {key}: {value}")
+    lines.append("")
+    return lines
+
+
+def check_paper_references(
+    name: str, payload: dict, rel_tol: float = 0.05
+) -> List[str]:
+    """Compare recorded cells against encoded paper values."""
+    notes: List[str] = []
+    for row_label, col_label, paper_value, source in PAPER_REFERENCE.get(
+        name, []
+    ):
+        headers = payload["headers"]
+        if col_label not in headers:
+            continue
+        col = headers.index(col_label)
+        for row in payload["rows"]:
+            if str(row[0]) != row_label:
+                continue
+            measured = row[col]
+            ok = abs(measured - paper_value) <= rel_tol * max(
+                abs(paper_value), 1e-9
+            )
+            verdict = "matches" if ok else "DIFFERS from"
+            notes.append(
+                f"* `{row_label}` / `{col_label}`: measured "
+                f"{_fmt(measured)} {verdict} paper {_fmt(paper_value)} "
+                f"({source})"
+            )
+    return notes
+
+
+def render_report(results_dir: Path) -> str:
+    """The full markdown report."""
+    results = load_results(results_dir)
+    lines = [
+        "# Recorded reproduction results",
+        "",
+        f"{len(results)} experiments found in `{results_dir}`.",
+        "",
+    ]
+    for name, payload in results.items():
+        lines.extend(render_table(payload))
+        refs = check_paper_references(name, payload)
+        if refs:
+            lines.append("Paper reference checks:")
+            lines.extend(refs)
+            lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI: render a results directory to stdout."""
+    args = argv if argv is not None else sys.argv[1:]
+    results_dir = Path(args[0]) if args else Path("results")
+    if not results_dir.is_dir():
+        print(f"no such results directory: {results_dir}", file=sys.stderr)
+        return 1
+    print(render_report(results_dir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Baseline sketches from the paper's evaluation (§7.2).
+
+Every baseline implements the common :class:`~repro.sketches.base.Sketch`
+interface so the task harnesses and benchmarks treat them uniformly:
+
+* :class:`~repro.sketches.countmin.CountMinHeap` — Count-Min sketch with
+  a top-k min-heap ("CM-Heap").
+* :class:`~repro.sketches.countsketch.CountSketchHeap` — Count sketch
+  with a top-k min-heap ("C-Heap").
+* :class:`~repro.sketches.spacesaving.SpaceSaving` — classic
+  SpaceSaving ("SS").
+* :class:`~repro.sketches.elastic.ElasticSketch` — software Elastic
+  sketch (heavy part + light CM part).
+* :class:`~repro.sketches.univmon.UnivMon` — universal sketch with
+  level-sampled Count sketches.
+* :class:`~repro.sketches.rhhh.RandomizedHHH` — R-HHH: one sketch per
+  hierarchy level, one randomly chosen level updated per packet.
+* :class:`~repro.sketches.multikey.MultiKeySketchBank` — "one single-key
+  sketch per partial key" strawman used by all vs-#keys figures.
+* :mod:`repro.sketches.strawmen` — full-key post-recovery strawmen
+  ("Lossy" and "Full", Fig 18b).
+* :class:`~repro.sketches.nitrosketch.NitroSketch`,
+  :class:`~repro.sketches.wavingsketch.WavingSketch`,
+  :class:`~repro.sketches.hashpipe.HashPipe` — further single-key
+  designs from the paper's related work ([31], [38], [59]).
+"""
+
+from repro.sketches.base import Sketch, UpdateCost
+from repro.sketches.countmin import (
+    ConservativeCountMin,
+    CountMinHeap,
+    CountMinSketch,
+)
+from repro.sketches.countsketch import CountSketch, CountSketchHeap
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.multikey import MultiKeySketchBank
+from repro.sketches.nitrosketch import NitroSketch
+from repro.sketches.rhhh import RandomizedHHH
+from repro.sketches.spacesaving import SpaceSaving
+from repro.sketches.strawmen import FullAggregationStrawman, LossyRecoveryStrawman
+from repro.sketches.topk import TopKHeap
+from repro.sketches.univmon import UnivMon
+from repro.sketches.wavingsketch import WavingSketch
+
+__all__ = [
+    "Sketch",
+    "UpdateCost",
+    "CountMinSketch",
+    "ConservativeCountMin",
+    "CountMinHeap",
+    "CountSketch",
+    "CountSketchHeap",
+    "SpaceSaving",
+    "ElasticSketch",
+    "UnivMon",
+    "RandomizedHHH",
+    "MultiKeySketchBank",
+    "LossyRecoveryStrawman",
+    "FullAggregationStrawman",
+    "TopKHeap",
+    "NitroSketch",
+    "WavingSketch",
+    "HashPipe",
+]

@@ -1,0 +1,94 @@
+"""Common sketch interface and update-cost accounting.
+
+All algorithms under test — CocoSketch variants, USS and every baseline —
+implement :class:`Sketch`.  The interface captures exactly what the
+evaluation needs:
+
+* ``update(key, size)`` — consume one packet.
+* ``query(key)`` — point estimate for one full-key flow.
+* ``flow_table()`` — the recorded ``{full_key: estimate}`` table the
+  control plane aggregates for partial-key queries (§4.3, Step 3).
+* ``memory_bytes()`` — configured data-plane memory footprint, the
+  x-axis of the memory sweeps.
+* ``update_cost()`` — a static per-packet operation count
+  (:class:`UpdateCost`) used by the hardware models and the CPU-cycle
+  analysis; it complements (not replaces) measured wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+#: Per-bucket key storage in bytes; the 5-tuple full key is 104 bits.
+DEFAULT_KEY_BYTES = 13
+#: Per-bucket counter storage in bytes (32-bit, as in the paper's code).
+COUNTER_BYTES = 4
+
+
+@dataclass(frozen=True)
+class UpdateCost:
+    """Static per-packet operation counts for one sketch's update path.
+
+    Attributes:
+        hashes: Hash evaluations per packet.
+        reads: Worst-case bucket/counter reads per packet.
+        writes: Worst-case bucket/counter writes per packet.
+        random_draws: Random numbers consumed per packet (worst case).
+    """
+
+    hashes: int
+    reads: int
+    writes: int
+    random_draws: int = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        """Total worst-case memory touches per packet."""
+        return self.reads + self.writes
+
+    def __add__(self, other: "UpdateCost") -> "UpdateCost":
+        return UpdateCost(
+            self.hashes + other.hashes,
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.random_draws + other.random_draws,
+        )
+
+
+class Sketch(abc.ABC):
+    """Abstract streaming frequency sketch over packed integer flow keys."""
+
+    #: Short algorithm label used in reports (override per subclass).
+    name: str = "sketch"
+
+    @abc.abstractmethod
+    def update(self, key: int, size: int = 1) -> None:
+        """Fold one packet ``(key, size)`` into the sketch."""
+
+    @abc.abstractmethod
+    def query(self, key: int) -> float:
+        """Point estimate of the total size of full-key flow *key*."""
+
+    @abc.abstractmethod
+    def flow_table(self) -> Dict[int, float]:
+        """Estimated sizes of all flows the sketch has recorded keys for."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Configured data-plane memory footprint in bytes."""
+
+    @abc.abstractmethod
+    def update_cost(self) -> UpdateCost:
+        """Static worst-case per-packet operation counts."""
+
+    def process(self, packets: Iterable[Tuple[int, int]]) -> None:
+        """Feed an iterable of ``(key, size)`` pairs (e.g. a Trace)."""
+        update = self.update
+        for key, size in packets:
+            update(key, size)
+
+    def reset(self) -> None:
+        """Clear all state.  Subclasses with cheap re-init may override."""
+        raise NotImplementedError(f"{type(self).__name__} does not support reset")

@@ -1,0 +1,170 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005) and CM-Heap.
+
+The CM sketch keeps ``rows`` arrays of ``width`` counters; an update
+increments one hashed counter per row, a query takes the minimum —
+a one-sided (over-)estimate.  :class:`CountMinHeap` is the paper's
+"CM-Heap" baseline: CM plus a :class:`~repro.sketches.topk.TopKHeap`
+that remembers the keys of the largest flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+from repro.sketches.topk import TopKHeap
+
+#: Heap entries per 100 KB of sketch memory for from_memory sizing; the
+#: paper tracks ~ the heavy-hitter population (threshold 1e-4 -> <= 1e4).
+DEFAULT_HEAP_FRACTION = 0.15
+
+
+class CountMinSketch(Sketch):
+    """Plain Count-Min counter array (no key storage)."""
+
+    name = "CM"
+
+    def __init__(
+        self,
+        rows: int = 3,
+        width: int = 1024,
+        seed: int = 0,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if rows < 1 or width < 1:
+            raise ValueError("rows and width must be >= 1")
+        self.rows = rows
+        self.width = width
+        self._family = HashFamily(rows, seed, backend=hash_backend)
+        self._hash = self._family.index_fns(width)
+        self._counters: List[List[int]] = [[0] * width for _ in range(rows)]
+
+    def update(self, key: int, size: int = 1) -> None:
+        for i in range(self.rows):
+            self._counters[i][self._hash[i](key)] += size
+
+    def query(self, key: int) -> float:
+        return float(
+            min(
+                self._counters[i][self._hash[i](key)]
+                for i in range(self.rows)
+            )
+        )
+
+    def update_and_query(self, key: int, size: int) -> float:
+        """Single pass: increment and return the fresh estimate."""
+        est = None
+        for i in range(self.rows):
+            row = self._counters[i]
+            j = self._hash[i](key)
+            row[j] += size
+            if est is None or row[j] < est:
+                est = row[j]
+        return float(est)
+
+    def flow_table(self) -> Dict[int, float]:
+        """CM stores no keys; the deployable variant is CM-Heap."""
+        return {}
+
+    def memory_bytes(self) -> int:
+        return self.rows * self.width * COUNTER_BYTES
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=self.rows, reads=self.rows, writes=self.rows)
+
+    def reset(self) -> None:
+        self._counters = [[0] * self.width for _ in range(self.rows)]
+
+
+class CountMinHeap(Sketch):
+    """CM sketch + top-k heap: the paper's "CM-Heap" baseline."""
+
+    name = "CM-Heap"
+
+    def __init__(
+        self,
+        rows: int = 3,
+        width: int = 1024,
+        heap_k: int = 512,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> None:
+        self.sketch = CountMinSketch(rows, width, seed, hash_backend)
+        self.heap = TopKHeap(heap_k)
+        self.key_bytes = key_bytes
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        rows: int = 3,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        heap_fraction: float = DEFAULT_HEAP_FRACTION,
+        hash_backend: str = "mix64",
+    ) -> "CountMinHeap":
+        """Split a memory budget between counters and the key heap."""
+        if not 0 < heap_fraction < 1:
+            raise ValueError("heap_fraction must be in (0, 1)")
+        heap_bytes = int(memory_bytes * heap_fraction)
+        heap_k = max(1, heap_bytes // (key_bytes + COUNTER_BYTES))
+        width = (memory_bytes - heap_bytes) // (rows * COUNTER_BYTES)
+        if width < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        return cls(rows, width, heap_k, seed, key_bytes, hash_backend)
+
+    def update(self, key: int, size: int = 1) -> None:
+        estimate = self.sketch.update_and_query(key, size)
+        self.heap.offer(key, estimate)
+
+    def query(self, key: int) -> float:
+        return self.sketch.query(key)
+
+    def flow_table(self) -> Dict[int, float]:
+        return self.heap.table()
+
+    def memory_bytes(self) -> int:
+        return self.sketch.memory_bytes() + self.heap.memory_bytes(self.key_bytes)
+
+    def update_cost(self) -> UpdateCost:
+        heap_touch = max(1, self.heap.k.bit_length())
+        return self.sketch.update_cost() + UpdateCost(
+            hashes=0, reads=heap_touch, writes=heap_touch
+        )
+
+    def reset(self) -> None:
+        self.sketch.reset()
+        self.heap = TopKHeap(self.heap.k)
+
+
+class ConservativeCountMin(CountMinSketch):
+    """Count-Min with conservative update (Estan & Varghese).
+
+    On update, only counters currently at the row minimum are raised —
+    the smallest change consistent with the sketch's own estimates.
+    Still never underestimates, with strictly less overestimation than
+    plain CM; included as an upgrade path for the CM-based baselines.
+    """
+
+    name = "CM-CU"
+
+    def update(self, key: int, size: int = 1) -> None:
+        indices = [self._hash[i](key) for i in range(self.rows)]
+        current = min(
+            self._counters[i][j] for i, j in enumerate(indices)
+        )
+        target = current + size
+        for i, j in enumerate(indices):
+            if self._counters[i][j] < target:
+                self._counters[i][j] = target
+
+    def update_and_query(self, key: int, size: int) -> float:
+        self.update(key, size)
+        return self.query(key)

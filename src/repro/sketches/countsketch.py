@@ -1,0 +1,144 @@
+"""Count sketch (Charikar, Chen & Farach-Colton 2004) and C-Heap.
+
+Each row pairs an index hash with a +/-1 sign hash; a query takes the
+median of the signed counters — an unbiased two-sided estimate.
+:class:`CountSketchHeap` is the paper's "C-Heap" baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro._util import median
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+from repro.sketches.countmin import DEFAULT_HEAP_FRACTION
+from repro.sketches.topk import TopKHeap
+
+
+class CountSketch(Sketch):
+    """Plain Count sketch counter array (no key storage)."""
+
+    name = "Count"
+
+    def __init__(
+        self,
+        rows: int = 3,
+        width: int = 1024,
+        seed: int = 0,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if rows < 1 or width < 1:
+            raise ValueError("rows and width must be >= 1")
+        self.rows = rows
+        self.width = width
+        self._family = HashFamily(rows, seed, backend=hash_backend)
+        self._hash = self._family.index_fns(width)
+        # Independent sign hashes: one extra family over a 2-bucket range.
+        self._sign_family = HashFamily(
+            rows, seed ^ 0x51F9, backend=hash_backend
+        )
+        self._sign = self._sign_family.index_fns(2)
+        self._counters: List[List[int]] = [[0] * width for _ in range(rows)]
+
+    def update(self, key: int, size: int = 1) -> None:
+        for i in range(self.rows):
+            delta = size if self._sign[i](key) else -size
+            self._counters[i][self._hash[i](key)] += delta
+
+    def _row_estimate(self, i: int, key: int) -> float:
+        value = self._counters[i][self._hash[i](key)]
+        return float(value if self._sign[i](key) else -value)
+
+    def query(self, key: int) -> float:
+        return median([self._row_estimate(i, key) for i in range(self.rows)])
+
+    def update_and_query(self, key: int, size: int) -> float:
+        """Single pass: increment and return the fresh estimate."""
+        estimates = []
+        for i in range(self.rows):
+            row = self._counters[i]
+            j = self._hash[i](key)
+            sign = 1 if self._sign[i](key) else -1
+            row[j] += sign * size
+            estimates.append(float(sign * row[j]))
+        return median(estimates)
+
+    def flow_table(self) -> Dict[int, float]:
+        return {}
+
+    def memory_bytes(self) -> int:
+        return self.rows * self.width * COUNTER_BYTES
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=2 * self.rows, reads=self.rows, writes=self.rows)
+
+    def reset(self) -> None:
+        self._counters = [[0] * self.width for _ in range(self.rows)]
+
+
+class CountSketchHeap(Sketch):
+    """Count sketch + top-k heap: the paper's "C-Heap" baseline."""
+
+    name = "C-Heap"
+
+    def __init__(
+        self,
+        rows: int = 3,
+        width: int = 1024,
+        heap_k: int = 512,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> None:
+        self.sketch = CountSketch(rows, width, seed, hash_backend)
+        self.heap = TopKHeap(heap_k)
+        self.key_bytes = key_bytes
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        rows: int = 3,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        heap_fraction: float = DEFAULT_HEAP_FRACTION,
+        hash_backend: str = "mix64",
+    ) -> "CountSketchHeap":
+        """Split a memory budget between counters and the key heap."""
+        if not 0 < heap_fraction < 1:
+            raise ValueError("heap_fraction must be in (0, 1)")
+        heap_bytes = int(memory_bytes * heap_fraction)
+        heap_k = max(1, heap_bytes // (key_bytes + COUNTER_BYTES))
+        width = (memory_bytes - heap_bytes) // (rows * COUNTER_BYTES)
+        if width < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        return cls(rows, width, heap_k, seed, key_bytes, hash_backend)
+
+    def update(self, key: int, size: int = 1) -> None:
+        estimate = self.sketch.update_and_query(key, size)
+        self.heap.offer(key, estimate)
+
+    def query(self, key: int) -> float:
+        return self.sketch.query(key)
+
+    def flow_table(self) -> Dict[int, float]:
+        return self.heap.table()
+
+    def memory_bytes(self) -> int:
+        return self.sketch.memory_bytes() + self.heap.memory_bytes(self.key_bytes)
+
+    def update_cost(self) -> UpdateCost:
+        heap_touch = max(1, self.heap.k.bit_length())
+        return self.sketch.update_cost() + UpdateCost(
+            hashes=0, reads=heap_touch, writes=heap_touch
+        )
+
+    def reset(self) -> None:
+        self.sketch.reset()
+        self.heap = TopKHeap(self.heap.k)

@@ -1,0 +1,149 @@
+"""Elastic sketch (Yang et al., SIGCOMM 2018) — software version.
+
+Two parts: a *heavy* hash table of (key, positive vote, negative vote,
+flag) buckets that keeps elephant flows exactly, and a *light* array of
+saturating 8-bit counters absorbing mice and evicted histories.  The
+"Ostracism" rule evicts a heavy bucket's incumbent when the negative
+votes reach ``lambda_`` times its positive votes.
+
+Used both as a single-key baseline (Fig 8-10, one instance per partial
+key via :class:`~repro.sketches.multikey.MultiKeySketchBank`) and as the
+hardware comparison point (Fig 15(c,d)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+
+_LIGHT_MAX = 255
+
+
+class ElasticSketch(Sketch):
+    """Software Elastic sketch: heavy buckets + light 8-bit CM row.
+
+    Args:
+        heavy_buckets: Number of heavy-part buckets.
+        light_counters: Number of light-part 8-bit counters.
+        lambda_: Ostracism eviction threshold (paper default 8).
+    """
+
+    name = "Elastic"
+
+    def __init__(
+        self,
+        heavy_buckets: int = 1024,
+        light_counters: int = 8192,
+        lambda_: int = 8,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if heavy_buckets < 1 or light_counters < 1:
+            raise ValueError("heavy_buckets and light_counters must be >= 1")
+        if lambda_ < 1:
+            raise ValueError(f"lambda_ must be >= 1, got {lambda_}")
+        self.heavy_buckets = heavy_buckets
+        self.light_counters = light_counters
+        self.lambda_ = lambda_
+        self.key_bytes = key_bytes
+        family = HashFamily(2, seed, backend=hash_backend, key_bytes=key_bytes)
+        self._heavy_hash = family.index_fn(0, heavy_buckets)
+        self._light_hash = family.index_fn(1, light_counters)
+        self._hkey: List[Optional[int]] = [None] * heavy_buckets
+        self._hpos: List[int] = [0] * heavy_buckets
+        self._hneg: List[int] = [0] * heavy_buckets
+        self._hflag: List[bool] = [False] * heavy_buckets
+        self._light: List[int] = [0] * light_counters
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        heavy_fraction: float = 0.5,
+        lambda_: int = 8,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> "ElasticSketch":
+        """Split a budget between heavy buckets and light counters."""
+        if not 0 < heavy_fraction < 1:
+            raise ValueError("heavy_fraction must be in (0, 1)")
+        bucket = key_bytes + 2 * COUNTER_BYTES + 1  # key, votes, flag
+        heavy = max(1, int(memory_bytes * heavy_fraction) // bucket)
+        light = max(1, memory_bytes - heavy * bucket)  # 1 byte each
+        return cls(heavy, light, lambda_, seed, key_bytes, hash_backend)
+
+    def _light_add(self, key: int, size: int) -> None:
+        j = self._light_hash(key)
+        self._light[j] = min(_LIGHT_MAX, self._light[j] + size)
+
+    def _light_query(self, key: int) -> int:
+        return self._light[self._light_hash(key)]
+
+    def update(self, key: int, size: int = 1) -> None:
+        j = self._heavy_hash(key)
+        incumbent = self._hkey[j]
+        if incumbent is None:
+            self._hkey[j] = key
+            self._hpos[j] = size
+            self._hneg[j] = 0
+            self._hflag[j] = False
+            return
+        if incumbent == key:
+            self._hpos[j] += size
+            return
+        self._hneg[j] += size
+        if self._hneg[j] >= self.lambda_ * self._hpos[j]:
+            # Ostracism: flush the incumbent's votes to the light part
+            # and seat the challenger, marked as having light history.
+            self._light_add(incumbent, min(_LIGHT_MAX, self._hpos[j]))
+            self._hkey[j] = key
+            self._hpos[j] = size
+            self._hneg[j] = 1
+            self._hflag[j] = True
+        else:
+            self._light_add(key, size)
+
+    def query(self, key: int) -> float:
+        j = self._heavy_hash(key)
+        if self._hkey[j] == key:
+            estimate = self._hpos[j]
+            if self._hflag[j]:
+                estimate += self._light_query(key)
+            return float(estimate)
+        return float(self._light_query(key))
+
+    def flow_table(self) -> Dict[int, float]:
+        """Heavy-part flows with their estimates (the recoverable keys)."""
+        table: Dict[int, float] = {}
+        for j in range(self.heavy_buckets):
+            key = self._hkey[j]
+            if key is None:
+                continue
+            estimate = self._hpos[j]
+            if self._hflag[j]:
+                estimate += self._light_query(key)
+            table[key] = float(estimate)
+        return table
+
+    def memory_bytes(self) -> int:
+        bucket = self.key_bytes + 2 * COUNTER_BYTES + 1
+        return self.heavy_buckets * bucket + self.light_counters
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=2, reads=2, writes=2)
+
+    def reset(self) -> None:
+        self._hkey = [None] * self.heavy_buckets
+        self._hpos = [0] * self.heavy_buckets
+        self._hneg = [0] * self.heavy_buckets
+        self._hflag = [False] * self.heavy_buckets
+        self._light = [0] * self.light_counters

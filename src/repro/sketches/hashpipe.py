@@ -1,0 +1,129 @@
+"""HashPipe (Sivaraman et al., SOSR 2017) — data-plane-only heavy hitters.
+
+Cited by the paper ([59]).  A pipeline of ``stages`` hash tables of
+(key, count) slots, designed for RMT switches (no control-plane heap):
+
+* stage 1 *always* inserts the arriving item with its weight, evicting
+  any incumbent, which is carried down the pipeline;
+* at later stages the carried item merges with a matching slot, takes
+  an empty slot, or — if its count exceeds the resident's — swaps with
+  it (the smaller item continues);
+* whatever is still carried after the last stage is dropped (the
+  sketch's only loss).
+
+Query sums the key's slots across stages (an item can occupy one slot
+per stage).  Single-key and deterministic; biased low for flows whose
+fragments get dropped, which is why the paper's unbiasedness argument
+matters for subset sums.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+
+
+class HashPipe(Sketch):
+    """HashPipe with *stages* tables of *slots* (key, count) entries."""
+
+    name = "HashPipe"
+
+    def __init__(
+        self,
+        stages: int = 4,
+        slots: int = 512,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if stages < 1 or slots < 1:
+            raise ValueError("stages and slots must be >= 1")
+        self.stages = stages
+        self.slots = slots
+        self.key_bytes = key_bytes
+        family = HashFamily(
+            stages, seed, backend=hash_backend, key_bytes=key_bytes
+        )
+        self._hash = family.index_fns(slots)
+        self._keys: List[List[Optional[int]]] = [
+            [None] * slots for _ in range(stages)
+        ]
+        self._counts: List[List[int]] = [[0] * slots for _ in range(stages)]
+        self.dropped = 0
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        stages: int = 4,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> "HashPipe":
+        slot_bytes = key_bytes + COUNTER_BYTES
+        slots = memory_bytes // (stages * slot_bytes)
+        if slots < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        return cls(stages, slots, seed, key_bytes, hash_backend)
+
+    def update(self, key: int, size: int = 1) -> None:
+        carried_key: Optional[int] = key
+        carried_count = size
+        for stage in range(self.stages):
+            j = self._hash[stage](carried_key)
+            resident_key = self._keys[stage][j]
+            if resident_key == carried_key:
+                self._counts[stage][j] += carried_count
+                return
+            if resident_key is None:
+                self._keys[stage][j] = carried_key
+                self._counts[stage][j] = carried_count
+                return
+            if stage == 0 or carried_count > self._counts[stage][j]:
+                # Stage 1 always inserts; later stages swap on larger.
+                evicted_key = resident_key
+                evicted_count = self._counts[stage][j]
+                self._keys[stage][j] = carried_key
+                self._counts[stage][j] = carried_count
+                carried_key = evicted_key
+                carried_count = evicted_count
+        self.dropped += carried_count
+
+    def query(self, key: int) -> float:
+        total = 0
+        for stage in range(self.stages):
+            j = self._hash[stage](key)
+            if self._keys[stage][j] == key:
+                total += self._counts[stage][j]
+        return float(total)
+
+    def flow_table(self) -> Dict[int, float]:
+        table: Dict[int, float] = {}
+        for stage in range(self.stages):
+            keys = self._keys[stage]
+            counts = self._counts[stage]
+            for j in range(self.slots):
+                resident = keys[j]
+                if resident is not None:
+                    table[resident] = table.get(resident, 0.0) + counts[j]
+        return table
+
+    def memory_bytes(self) -> int:
+        return self.stages * self.slots * (self.key_bytes + COUNTER_BYTES)
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(
+            hashes=self.stages, reads=self.stages, writes=self.stages
+        )
+
+    def reset(self) -> None:
+        self._keys = [[None] * self.slots for _ in range(self.stages)]
+        self._counts = [[0] * self.slots for _ in range(self.stages)]
+        self.dropped = 0

@@ -1,0 +1,78 @@
+"""One-single-key-sketch-per-key strawman (§2.3).
+
+The paper's baselines measure k partial keys by deploying k independent
+single-key sketches, splitting the memory budget k ways and updating all
+of them on every packet.  :class:`MultiKeySketchBank` packages that
+pattern behind the same surface the task harnesses use for CocoSketch:
+``process`` a trace once, then read a per-partial-key flow table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.flowkeys.key import PartialKeySpec
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class MultiKeySketchBank:
+    """k single-key sketches, one per partial key, updated per packet.
+
+    Args:
+        partial_keys: The keys to measure.
+        factory: ``factory(memory_bytes, seed) -> Sketch`` building one
+            single-key instance (e.g. ``CountMinHeap.from_memory``).
+        memory_bytes: Total budget, split equally across keys.
+        name: Report label; defaults to the first sketch's name.
+    """
+
+    def __init__(
+        self,
+        partial_keys: List[PartialKeySpec],
+        factory: Callable[[int, int], Sketch],
+        memory_bytes: int,
+        seed: int = 0,
+        name: str = "",
+    ) -> None:
+        if not partial_keys:
+            raise ValueError("need at least one partial key")
+        self.partial_keys = list(partial_keys)
+        per_sketch = memory_bytes // len(partial_keys)
+        self.sketches: List[Sketch] = [
+            factory(per_sketch, seed + 7 * i)
+            for i in range(len(partial_keys))
+        ]
+        self._mappers = [pk.mapper() for pk in self.partial_keys]
+        self.name = name or self.sketches[0].name
+
+    def update(self, key: int, size: int = 1) -> None:
+        """Map the full key onto every partial key and update its sketch."""
+        for mapper, sketch in zip(self._mappers, self.sketches):
+            sketch.update(mapper(key), size)
+
+    def process(self, packets: Iterable[Tuple[int, int]]) -> None:
+        for key, size in packets:
+            self.update(key, size)
+
+    def table_for(self, partial: PartialKeySpec) -> Dict[int, float]:
+        """Flow table of the sketch dedicated to *partial*."""
+        for pk, sketch in zip(self.partial_keys, self.sketches):
+            if pk == partial:
+                return sketch.flow_table()
+        raise KeyError(f"no sketch measures {partial}")
+
+    def query(self, partial: PartialKeySpec, partial_value: int) -> float:
+        for pk, sketch in zip(self.partial_keys, self.sketches):
+            if pk == partial:
+                return sketch.query(partial_value)
+        raise KeyError(f"no sketch measures {partial}")
+
+    def memory_bytes(self) -> int:
+        return sum(s.memory_bytes() for s in self.sketches)
+
+    def update_cost(self) -> UpdateCost:
+        """Costs add up: every packet updates every per-key sketch."""
+        total = UpdateCost(0, 0, 0, 0)
+        for sketch in self.sketches:
+            total = total + sketch.update_cost()
+        return total

@@ -1,0 +1,144 @@
+"""NitroSketch (Liu et al., SIGCOMM 2019) — sampled software sketching.
+
+The paper's §8 names NitroSketch's sampling as a composable idea.  It
+is also a natural single-key baseline: a Count sketch whose *rows* are
+updated stochastically.  Each row keeps a geometric countdown; when it
+fires, the row's hashed counter absorbs ``sign * size / p`` and a new
+geometric gap is drawn.  In expectation every row sees every packet at
+full weight (unbiased), but per-packet work drops to ``~ p * rows``
+counter updates — the always-line-rate software trick.
+
+A top-k heap (offered on sampled updates only) makes it deployable for
+heavy-hitter readout like the other "+ heap" baselines.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List
+
+from repro._util import median
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+from repro.sketches.topk import TopKHeap
+
+
+class NitroSketch(Sketch):
+    """Count sketch with geometric row sampling and a top-k heap.
+
+    Args:
+        rows: Counter rows (paper default 4-5).
+        width: Counters per row.
+        probability: Per-row per-packet update probability in (0, 1].
+        heap_k: Tracked heavy-hitter keys.
+    """
+
+    name = "NitroSketch"
+
+    def __init__(
+        self,
+        rows: int = 4,
+        width: int = 1024,
+        probability: float = 0.1,
+        heap_k: int = 256,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if rows < 1 or width < 1:
+            raise ValueError("rows and width must be >= 1")
+        if not 0 < probability <= 1:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        self.rows = rows
+        self.width = width
+        self.probability = probability
+        self.key_bytes = key_bytes
+        self._family = HashFamily(rows, seed, backend=hash_backend)
+        self._hash = self._family.index_fns(width)
+        self._sign_family = HashFamily(rows, seed ^ 0x171712, backend=hash_backend)
+        self._sign = self._sign_family.index_fns(2)
+        self._counters: List[List[float]] = [
+            [0.0] * width for _ in range(rows)
+        ]
+        self._rng = random.Random(seed ^ 0x417E0)
+        self._skip: List[int] = [self._draw_gap() for _ in range(rows)]
+        self.heap = TopKHeap(heap_k)
+
+    def _draw_gap(self) -> int:
+        """Geometric gap: packets to skip before the next row update."""
+        if self.probability >= 1.0:
+            return 0
+        u = self._rng.random()
+        return int(math.log(u or 1e-12) / math.log(1.0 - self.probability))
+
+    def update(self, key: int, size: int = 1) -> None:
+        touched = False
+        inv_p = 1.0 / self.probability
+        for i in range(self.rows):
+            if self._skip[i] > 0:
+                self._skip[i] -= 1
+                continue
+            self._skip[i] = self._draw_gap()
+            row = self._counters[i]
+            j = self._hash[i](key)
+            delta = size * inv_p
+            row[j] += delta if self._sign[i](key) else -delta
+            touched = True
+        if touched:
+            self.heap.offer(key, max(0.0, self.query(key)))
+
+    def query(self, key: int) -> float:
+        return median(
+            [
+                self._counters[i][self._hash[i](key)]
+                * (1 if self._sign[i](key) else -1)
+                for i in range(self.rows)
+            ]
+        )
+
+    def flow_table(self) -> Dict[int, float]:
+        return self.heap.table()
+
+    def memory_bytes(self) -> int:
+        counters = self.rows * self.width * COUNTER_BYTES
+        return counters + self.heap.memory_bytes(self.key_bytes)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        rows: int = 4,
+        probability: float = 0.1,
+        heap_k: int = 256,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> "NitroSketch":
+        heap_bytes = heap_k * (key_bytes + COUNTER_BYTES)
+        width = (memory_bytes - heap_bytes) // (rows * COUNTER_BYTES)
+        if width < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        return cls(
+            rows, width, probability, heap_k, seed, key_bytes, hash_backend
+        )
+
+    def update_cost(self) -> UpdateCost:
+        """Amortised: ~p*rows counter touches per packet."""
+        expected = max(1, round(self.rows * self.probability))
+        return UpdateCost(
+            hashes=2 * expected,
+            reads=expected,
+            writes=expected,
+            random_draws=expected,
+        )
+
+    def reset(self) -> None:
+        self._counters = [[0.0] * self.width for _ in range(self.rows)]
+        self._skip = [self._draw_gap() for _ in range(self.rows)]
+        self.heap = TopKHeap(self.heap.k)

@@ -1,0 +1,85 @@
+"""R-HHH (Ben-Basat et al., SIGCOMM 2017) — randomized HHH baseline.
+
+R-HHH keeps one single-key sketch per hierarchy level but, instead of
+updating all of them, draws one uniformly random level per packet and
+updates only that level's sketch with the packet's prefix at that level.
+Update cost drops to O(1); in exchange each level sees only 1/H of the
+traffic, so estimates are scaled by H and their variance grows — the
+memory blow-up CocoSketch's Fig 11/12 quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.flowkeys.key import PartialKeySpec
+from repro.sketches.base import Sketch, UpdateCost
+from repro.sketches.countmin import CountMinHeap
+
+
+class RandomizedHHH:
+    """R-HHH over an explicit hierarchy of partial keys.
+
+    Args:
+        hierarchy: The partial keys (levels), e.g. the 32 SrcIP prefixes
+            of the 1-d task or the 1089 Src x Dst grid of the 2-d task.
+        memory_bytes: Total budget, split equally across levels.
+    """
+
+    name = "R-HHH"
+
+    def __init__(
+        self,
+        hierarchy: List[PartialKeySpec],
+        memory_bytes: int,
+        rows: int = 3,
+        seed: int = 0,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if not hierarchy:
+            raise ValueError("hierarchy must be non-empty")
+        self.hierarchy = list(hierarchy)
+        self.num_levels = len(hierarchy)
+        per_level = memory_bytes // self.num_levels
+        self.sketches: List[CountMinHeap] = [
+            CountMinHeap.from_memory(
+                per_level, rows=rows, seed=seed + 13 * i, hash_backend=hash_backend
+            )
+            for i in range(self.num_levels)
+        ]
+        self._mappers = [pk.mapper() for pk in self.hierarchy]
+        self._rng = random.Random(seed ^ 0x8111)
+        self._updates = 0
+
+    def update(self, key: int, size: int = 1) -> None:
+        """Update one uniformly random level with the mapped prefix."""
+        level = self._rng.randrange(self.num_levels)
+        self.sketches[level].update(self._mappers[level](key), size)
+        self._updates += 1
+
+    def process(self, packets) -> None:
+        for key, size in packets:
+            self.update(key, size)
+
+    def level_table(self, partial: PartialKeySpec) -> Dict[int, float]:
+        """Flow table at one level, rescaled by the sampling factor H."""
+        for pk, sketch in zip(self.hierarchy, self.sketches):
+            if pk == partial:
+                scale = float(self.num_levels)
+                return {k: v * scale for k, v in sketch.flow_table().items()}
+        raise KeyError(f"level {partial} not in hierarchy")
+
+    def query(self, partial: PartialKeySpec, value: int) -> float:
+        for pk, sketch in zip(self.hierarchy, self.sketches):
+            if pk == partial:
+                return sketch.query(value) * self.num_levels
+        raise KeyError(f"level {partial} not in hierarchy")
+
+    def memory_bytes(self) -> int:
+        return sum(s.memory_bytes() for s in self.sketches)
+
+    def update_cost(self) -> UpdateCost:
+        """O(1) per packet: one level's sketch plus the level draw."""
+        one = self.sketches[0].update_cost()
+        return UpdateCost(one.hashes, one.reads, one.writes, one.random_draws + 1)

@@ -1,0 +1,111 @@
+"""Classic SpaceSaving (Metwally, Agrawal & El Abbadi 2005) — "SS".
+
+Deterministic counterpart of Unbiased SpaceSaving: for an untracked flow
+the minimum bucket is incremented and its key is *always* replaced.
+Overestimates by at most the evicted minimum; biased on subset sums,
+which is exactly why the paper moves to USS for partial-key queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+
+
+class SpaceSaving(Sketch):
+    """SpaceSaving over *capacity* (key, count, error) buckets."""
+
+    name = "SS"
+
+    def __init__(self, capacity: int, key_bytes: int = DEFAULT_KEY_BYTES) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.key_bytes = key_bytes
+        self._counts: Dict[int, int] = {}
+        self._errors: Dict[int, int] = {}
+        self._heap: List[Tuple[int, int, int]] = []  # (count, entry_id, key)
+        self._latest: Dict[int, int] = {}
+        self._next_id = 0
+
+    @classmethod
+    def from_memory(
+        cls, memory_bytes: int, key_bytes: int = DEFAULT_KEY_BYTES
+    ) -> "SpaceSaving":
+        """Size to a memory budget; bucket = key + count + error."""
+        bucket = key_bytes + 2 * COUNTER_BYTES
+        capacity = memory_bytes // bucket
+        if capacity < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        return cls(capacity, key_bytes)
+
+    def _push(self, key: int, count: int) -> None:
+        self._next_id += 1
+        self._latest[key] = self._next_id
+        heapq.heappush(self._heap, (count, self._next_id, key))
+        if len(self._heap) > 8 * self.capacity:
+            latest = self._latest
+            live = [
+                entry for entry in self._heap if latest.get(entry[2]) == entry[1]
+            ]
+            heapq.heapify(live)
+            self._heap = live
+
+    def _pop_min(self) -> Tuple[int, int]:
+        while True:
+            count, entry_id, key = heapq.heappop(self._heap)
+            if self._latest.get(key) == entry_id:
+                return count, key
+
+    def update(self, key: int, size: int = 1) -> None:
+        counts = self._counts
+        current = counts.get(key)
+        if current is not None:
+            counts[key] = current + size
+            self._push(key, current + size)
+            return
+        if len(counts) < self.capacity:
+            counts[key] = size
+            self._errors[key] = 0
+            self._push(key, size)
+            return
+        min_count, min_key = self._pop_min()
+        del counts[min_key]
+        del self._errors[min_key]
+        del self._latest[min_key]
+        counts[key] = min_count + size
+        self._errors[key] = min_count
+        self._push(key, min_count + size)
+
+    def query(self, key: int) -> float:
+        return float(self._counts.get(key, 0))
+
+    def guaranteed(self, key: int) -> float:
+        """Lower bound: count minus the recorded overestimation error."""
+        if key not in self._counts:
+            return 0.0
+        return float(self._counts[key] - self._errors[key])
+
+    def flow_table(self) -> Dict[int, float]:
+        return {k: float(v) for k, v in self._counts.items()}
+
+    def memory_bytes(self) -> int:
+        return self.capacity * (self.key_bytes + 2 * COUNTER_BYTES)
+
+    def update_cost(self) -> UpdateCost:
+        log_n = max(1, self.capacity.bit_length())
+        return UpdateCost(hashes=1, reads=1 + log_n, writes=2 + log_n)
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._errors.clear()
+        self._heap.clear()
+        self._latest.clear()
+        self._next_id = 0

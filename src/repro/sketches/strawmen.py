@@ -1,0 +1,107 @@
+"""Full-key-sketch post-recovery strawmen (§2.3, Fig 18(b)).
+
+Two ways to answer partial-key queries from a *traditional* single-key
+sketch deployed on the full key, both of which the paper shows fail:
+
+* **"Lossy"** — aggregate only the flows explicitly recorded in the
+  sketch (Elastic's heavy part here).  Mice evicted to the light part
+  are invisible, so partial-key sums are systematically low and biased.
+* **"Full"** — query the sketch for *every* candidate full key in the
+  partial-key flow's preimage and add the estimates up.  Each query
+  carries (one-sided, for CM) error, and the errors accumulate with the
+  number of aggregated keys.  Enumerating 2^72 candidates is infeasible,
+  so — generously — the candidate list is supplied by an oracle (the
+  distinct keys of the trace) at query time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.flowkeys.key import PartialKeySpec
+from repro.sketches.base import Sketch, UpdateCost
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.elastic import ElasticSketch
+
+
+class LossyRecoveryStrawman:
+    """Full-key Elastic sketch; partial keys recovered from heavy part."""
+
+    name = "Lossy"
+
+    def __init__(
+        self, memory_bytes: int, seed: int = 0, key_bytes: int = 13
+    ) -> None:
+        self.sketch = ElasticSketch.from_memory(
+            memory_bytes, seed=seed, key_bytes=key_bytes
+        )
+
+    def update(self, key: int, size: int = 1) -> None:
+        self.sketch.update(key, size)
+
+    def process(self, packets) -> None:
+        self.sketch.process(packets)
+
+    def query_full(self, key: int) -> float:
+        return self.sketch.query(key)
+
+    def table_for(self, partial: PartialKeySpec) -> Dict[int, float]:
+        """Aggregate only the heavy-part recorded flows onto *partial*."""
+        g = partial.mapper()
+        out: Dict[int, float] = {}
+        for key, size in self.sketch.flow_table().items():
+            pkey = g(key)
+            out[pkey] = out.get(pkey, 0.0) + size
+        return out
+
+    def memory_bytes(self) -> int:
+        return self.sketch.memory_bytes()
+
+    def update_cost(self) -> UpdateCost:
+        return self.sketch.update_cost()
+
+
+class FullAggregationStrawman:
+    """Full-key CM sketch; partial keys recovered by querying the whole
+    candidate preimage and summing the (error-bearing) estimates."""
+
+    name = "Full"
+
+    def __init__(
+        self, memory_bytes: int, rows: int = 3, seed: int = 0
+    ) -> None:
+        width = memory_bytes // (rows * 4)
+        if width < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        self.sketch = CountMinSketch(rows, width, seed)
+
+    def update(self, key: int, size: int = 1) -> None:
+        self.sketch.update(key, size)
+
+    def process(self, packets) -> None:
+        self.sketch.process(packets)
+
+    def query_full(self, key: int) -> float:
+        return self.sketch.query(key)
+
+    def table_for(
+        self, partial: PartialKeySpec, candidate_keys: Iterable[int]
+    ) -> Dict[int, float]:
+        """Sum per-candidate estimates under ``g(.)``.
+
+        *candidate_keys* is the oracle-provided preimage enumeration
+        (the trace's distinct full keys); in reality it would be the
+        astronomically large full-key domain.
+        """
+        g = partial.mapper()
+        out: Dict[int, float] = {}
+        for key in candidate_keys:
+            pkey = g(key)
+            out[pkey] = out.get(pkey, 0.0) + self.sketch.query(key)
+        return out
+
+    def memory_bytes(self) -> int:
+        return self.sketch.memory_bytes()
+
+    def update_cost(self) -> UpdateCost:
+        return self.sketch.update_cost()

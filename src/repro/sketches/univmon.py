@@ -1,0 +1,139 @@
+"""UnivMon (Liu et al., SIGCOMM 2016) — universal sketching baseline.
+
+UnivMon stacks L Count sketches.  A flow belongs to level i iff i
+independent sampling hash bits all come up 1 (nested 1/2 sampling), so
+level i sees ~``2**-i`` of the flows; each level also tracks its top-k
+keys.  Universal statistics (G-sums, entropy) come from the recursive
+combination of the levels; heavy hitters — what this evaluation
+queries — come from the level sketches and their heaps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.topk import TopKHeap
+
+
+class UnivMon(Sketch):
+    """UnivMon with *levels* Count sketches and per-level top-k heaps."""
+
+    name = "UnivMon"
+
+    def __init__(
+        self,
+        levels: int = 8,
+        rows: int = 4,
+        width: int = 512,
+        heap_k: int = 128,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.levels = levels
+        self.key_bytes = key_bytes
+        self._sketches: List[CountSketch] = [
+            CountSketch(rows, width, seed + 101 * i, hash_backend)
+            for i in range(levels)
+        ]
+        self._heaps: List[TopKHeap] = [TopKHeap(heap_k) for _ in range(levels)]
+        # One sampling bit per level below the top.
+        self._sample_family = HashFamily(
+            max(1, levels - 1), seed ^ 0x0A11, backend=hash_backend
+        )
+        self._sample_bits = self._sample_family.index_fns(2)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        levels: int = 8,
+        rows: int = 4,
+        heap_k: int = 128,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> "UnivMon":
+        """Equal memory split across levels (counter arrays + heaps)."""
+        heap_bytes = levels * heap_k * (key_bytes + COUNTER_BYTES)
+        counters = memory_bytes - heap_bytes
+        width = counters // (levels * rows * COUNTER_BYTES)
+        if width < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        return cls(levels, rows, width, heap_k, seed, key_bytes, hash_backend)
+
+    def _depth(self, key: int) -> int:
+        """Deepest level this key belongs to (nested 1/2 sampling)."""
+        depth = 0
+        for bit in self._sample_bits:
+            if depth == self.levels - 1 or not bit(key):
+                break
+            depth += 1
+        return depth
+
+    def update(self, key: int, size: int = 1) -> None:
+        depth = self._depth(key)
+        for i in range(depth + 1):
+            estimate = self._sketches[i].update_and_query(key, size)
+            self._heaps[i].offer(key, estimate)
+
+    def query(self, key: int) -> float:
+        """Point estimate from the level-0 (all-flows) Count sketch."""
+        return self._sketches[0].query(key)
+
+    def flow_table(self) -> Dict[int, float]:
+        """Union of the level heaps, estimated by the level-0 sketch."""
+        keys = set()
+        for heap in self._heaps:
+            keys.update(heap.table())
+        return {k: self._sketches[0].query(k) for k in keys}
+
+    def g_sum(self, g) -> float:
+        """Recursive universal estimator for sum of g(f(e)) (extension).
+
+        Y_L = sum over level-L heap; Y_i = 2*Y_{i+1} + sum over level-i
+        heap of g(f) * (1 - 2*sampled_{i+1}(key)).
+        """
+        y = 0.0
+        for i in range(self.levels - 1, -1, -1):
+            heap_table = self._heaps[i].table()
+            if i == self.levels - 1:
+                y = sum(g(v) for v in heap_table.values())
+                continue
+            bit = self._sample_bits[i] if i < len(self._sample_bits) else None
+            adjust = 0.0
+            for key, value in heap_table.items():
+                sampled = 1 if (bit is not None and bit(key)) else 0
+                adjust += g(value) * (1 - 2 * sampled)
+            y = 2 * y + adjust
+        return y
+
+    def memory_bytes(self) -> int:
+        total = sum(s.memory_bytes() for s in self._sketches)
+        total += sum(h.memory_bytes(self.key_bytes) for h in self._heaps)
+        return total
+
+    def update_cost(self) -> UpdateCost:
+        """Expected cost ~2 levels; worst case touches all L levels."""
+        per_level = self._sketches[0].update_cost()
+        heap_touch = max(1, self._heaps[0].k.bit_length())
+        return UpdateCost(
+            hashes=self.levels - 1 + per_level.hashes * self.levels,
+            reads=(per_level.reads + heap_touch) * self.levels,
+            writes=(per_level.writes + heap_touch) * self.levels,
+        )
+
+    def reset(self) -> None:
+        for sketch in self._sketches:
+            sketch.reset()
+        self._heaps = [TopKHeap(h.k) for h in self._heaps]

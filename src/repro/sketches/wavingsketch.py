@@ -1,0 +1,135 @@
+"""WavingSketch (Li et al., KDD 2020) — unbiased top-k finding.
+
+Cited by the paper ([38]) as a recent unbiased single-key design.
+Each bucket holds a signed *waving counter* plus a small heavy part of
+``cells`` (key, frequency, error-free flag) entries:
+
+* a tracked item increments its cell (and, if its cell is flagged
+  error-carrying, also waves the counter);
+* an untracked item waves the counter with its +/-1 sign hash, is
+  estimated as ``W * s(e)``, and displaces the bucket's smallest cell
+  when its estimate is larger — the evicted cell's error-free count is
+  folded back into the waving counter.
+
+Error-free cells give exact counts; displaced-in cells carry bounded,
+unbiased error.  Single-key: used here as an additional baseline for
+the per-key banks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hashing.family import HashFamily
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    Sketch,
+    UpdateCost,
+)
+
+
+class _Cell:
+    __slots__ = ("key", "freq", "error_free")
+
+    def __init__(self, key: int, freq: int, error_free: bool) -> None:
+        self.key = key
+        self.freq = freq
+        self.error_free = error_free
+
+
+class WavingSketch(Sketch):
+    """WavingSketch with *buckets* buckets of *cells* heavy cells."""
+
+    name = "WavingSketch"
+
+    def __init__(
+        self,
+        buckets: int = 512,
+        cells: int = 4,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> None:
+        if buckets < 1 or cells < 1:
+            raise ValueError("buckets and cells must be >= 1")
+        self.buckets = buckets
+        self.cells = cells
+        self.key_bytes = key_bytes
+        family = HashFamily(2, seed, backend=hash_backend, key_bytes=key_bytes)
+        self._index = family.index_fn(0, buckets)
+        self._sign = family.index_fn(1, 2)
+        self._waving: List[int] = [0] * buckets
+        self._heavy: List[List[_Cell]] = [[] for _ in range(buckets)]
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        cells: int = 4,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        hash_backend: str = "mix64",
+    ) -> "WavingSketch":
+        """Bucket = waving counter + cells x (key, freq, flag)."""
+        bucket_bytes = COUNTER_BYTES + cells * (key_bytes + COUNTER_BYTES + 1)
+        buckets = memory_bytes // bucket_bytes
+        if buckets < 1:
+            raise ValueError(f"memory {memory_bytes}B too small")
+        return cls(buckets, cells, seed, key_bytes, hash_backend)
+
+    def _sign_of(self, key: int) -> int:
+        return 1 if self._sign(key) else -1
+
+    def update(self, key: int, size: int = 1) -> None:
+        j = self._index(key)
+        heavy = self._heavy[j]
+        for cell in heavy:
+            if cell.key == key:
+                cell.freq += size
+                if not cell.error_free:
+                    self._waving[j] += self._sign_of(key) * size
+                return
+        if len(heavy) < self.cells:
+            heavy.append(_Cell(key, size, True))
+            return
+        sign = self._sign_of(key)
+        self._waving[j] += sign * size
+        estimate = self._waving[j] * sign
+        smallest = min(heavy, key=lambda c: c.freq)
+        if estimate > smallest.freq:
+            if smallest.error_free:
+                # Fold the exact evictee back into the waving counter.
+                self._waving[j] += self._sign_of(smallest.key) * smallest.freq
+            smallest.key = key
+            smallest.freq = estimate
+            smallest.error_free = False
+
+    def query(self, key: int) -> float:
+        j = self._index(key)
+        for cell in self._heavy[j]:
+            if cell.key == key:
+                return float(cell.freq)
+        return float(max(0, self._waving[j] * self._sign_of(key)))
+
+    def flow_table(self) -> Dict[int, float]:
+        table: Dict[int, float] = {}
+        for heavy in self._heavy:
+            for cell in heavy:
+                table[cell.key] = float(cell.freq)
+        return table
+
+    def memory_bytes(self) -> int:
+        bucket_bytes = COUNTER_BYTES + self.cells * (
+            self.key_bytes + COUNTER_BYTES + 1
+        )
+        return self.buckets * bucket_bytes
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(
+            hashes=2, reads=1 + self.cells, writes=2, random_draws=0
+        )
+
+    def reset(self) -> None:
+        self._waving = [0] * self.buckets
+        self._heavy = [[] for _ in range(self.buckets)]

@@ -1,0 +1,31 @@
+"""Measurement tasks (§7.2): heavy hitters, heavy changes, HHH.
+
+Each task harness takes an *estimator* — an adapter from
+:mod:`repro.tasks.harness` that knows how to produce a per-partial-key
+estimated flow table — plus the trace(s) and task parameters, and
+returns per-key :class:`~repro.metrics.accuracy.AccuracyReport` cells.
+The same harness therefore scores CocoSketch (single sketch, aggregate
+at query time), the per-key baseline banks, and R-HHH identically.
+"""
+
+from repro.tasks.harness import (
+    Estimator,
+    FullKeyEstimator,
+    HierarchyEstimator,
+    PerKeyEstimator,
+)
+from repro.tasks.heavy_change import heavy_change_task
+from repro.tasks.heavy_hitter import heavy_hitter_task
+from repro.tasks.hhh import hhh_task
+from repro.tasks.persistence import PersistenceTracker
+
+__all__ = [
+    "Estimator",
+    "FullKeyEstimator",
+    "PerKeyEstimator",
+    "HierarchyEstimator",
+    "heavy_hitter_task",
+    "heavy_change_task",
+    "hhh_task",
+    "PersistenceTracker",
+]

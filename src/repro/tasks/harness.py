@@ -1,0 +1,100 @@
+"""Estimator adapters: one surface for every algorithm family.
+
+An :class:`Estimator` consumes a trace once and then yields, for any of
+the measured partial keys, an estimated ``{partial_value: size}`` table.
+Three concrete shapes cover the evaluation:
+
+* :class:`FullKeyEstimator` — CocoSketch / USS / full-key strawmen: one
+  sketch on the full key, partial tables by control-plane aggregation
+  (§4.3).
+* :class:`PerKeyEstimator` — the single-key baselines: a
+  :class:`~repro.sketches.multikey.MultiKeySketchBank` with one sketch
+  per key.
+* :class:`HierarchyEstimator` — R-HHH: per-level sketches with sampling
+  rescale.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.core.query import FlowTable
+from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+from repro.sketches.base import Sketch
+from repro.sketches.multikey import MultiKeySketchBank
+from repro.sketches.rhhh import RandomizedHHH
+
+
+class Estimator(abc.ABC):
+    """Process a packet stream once, then answer per-partial-key tables."""
+
+    name: str = "estimator"
+
+    @abc.abstractmethod
+    def process(self, packets: Iterable[Tuple[int, int]]) -> None:
+        """Consume the trace."""
+
+    @abc.abstractmethod
+    def table(self, partial: PartialKeySpec) -> Dict[int, float]:
+        """Estimated ``{partial_value: size}`` for one measured key."""
+
+
+class FullKeyEstimator(Estimator):
+    """One full-key sketch; partial keys recovered by aggregation."""
+
+    def __init__(self, sketch: Sketch, spec: FullKeySpec) -> None:
+        self.sketch = sketch
+        self.spec = spec
+        self.name = sketch.name
+        self._full_table: "FlowTable | None" = None
+
+    def process(self, packets: Iterable[Tuple[int, int]]) -> None:
+        self.sketch.process(packets)
+        self._full_table = None  # invalidate cache
+
+    def table(self, partial: PartialKeySpec) -> Dict[int, float]:
+        if self._full_table is None:
+            self._full_table = FlowTable.from_sketch(self.sketch, self.spec)
+        return self._full_table.aggregate(partial).sizes
+
+
+class PerKeyEstimator(Estimator):
+    """One single-key sketch per partial key (the §2.3 strawman)."""
+
+    def __init__(self, bank: MultiKeySketchBank) -> None:
+        self.bank = bank
+        self.name = bank.name
+
+    @classmethod
+    def build(
+        cls,
+        partial_keys: List[PartialKeySpec],
+        factory: Callable[[int, int], Sketch],
+        memory_bytes: int,
+        seed: int = 0,
+        name: str = "",
+    ) -> "PerKeyEstimator":
+        return cls(
+            MultiKeySketchBank(partial_keys, factory, memory_bytes, seed, name)
+        )
+
+    def process(self, packets: Iterable[Tuple[int, int]]) -> None:
+        self.bank.process(packets)
+
+    def table(self, partial: PartialKeySpec) -> Dict[int, float]:
+        return self.bank.table_for(partial)
+
+
+class HierarchyEstimator(Estimator):
+    """R-HHH adapter: per-level tables with the H-times rescale."""
+
+    def __init__(self, rhhh: RandomizedHHH) -> None:
+        self.rhhh = rhhh
+        self.name = rhhh.name
+
+    def process(self, packets: Iterable[Tuple[int, int]]) -> None:
+        self.rhhh.process(packets)
+
+    def table(self, partial: PartialKeySpec) -> Dict[int, float]:
+        return self.rhhh.level_table(partial)

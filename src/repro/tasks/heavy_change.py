@@ -1,0 +1,76 @@
+"""Heavy-change detection task (Figs 10, 13(b)).
+
+A heavy change under a partial key is a flow whose size differs across
+two adjacent measurement windows by at least a threshold fraction of
+the windows' total traffic.  Each window gets a fresh estimator
+instance (as the deployments would reset or rotate sketches); changes
+are computed over the union of both windows' reported flows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.flowkeys.key import PartialKeySpec
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    average_relative_error,
+    precision_rate,
+    recall_rate,
+)
+from repro.tasks.harness import Estimator
+from repro.traffic.trace import Trace
+
+#: Paper's heavy-change threshold fraction of total traffic.
+DEFAULT_CHANGE_FRACTION = 1e-4
+
+
+def _change_table(
+    table_a: Dict[int, float], table_b: Dict[int, float]
+) -> Dict[int, float]:
+    """|size_a - size_b| per flow over the union of both tables."""
+    changes: Dict[int, float] = {}
+    for key in set(table_a) | set(table_b):
+        changes[key] = abs(table_a.get(key, 0.0) - table_b.get(key, 0.0))
+    return changes
+
+
+def heavy_change_task(
+    make_estimator: Callable[[], Estimator],
+    window_a: Trace,
+    window_b: Trace,
+    partial_keys: List[PartialKeySpec],
+    threshold_fraction: float = DEFAULT_CHANGE_FRACTION,
+) -> Dict[str, AccuracyReport]:
+    """Score heavy-change detection across two windows.
+
+    Args:
+        make_estimator: Builds a fresh estimator (same config) per
+            window; called twice.
+    """
+    if not 0 < threshold_fraction < 1:
+        raise ValueError("threshold_fraction must be in (0, 1)")
+    est_a = make_estimator()
+    est_a.process(iter(window_a))
+    est_b = make_estimator()
+    est_b.process(iter(window_b))
+    threshold = threshold_fraction * (window_a.total_size + window_b.total_size) / 2
+
+    reports: Dict[str, AccuracyReport] = {}
+    for partial in partial_keys:
+        true_changes = _change_table(
+            {k: float(v) for k, v in window_a.ground_truth(partial).items()},
+            {k: float(v) for k, v in window_b.ground_truth(partial).items()},
+        )
+        est_changes = _change_table(est_a.table(partial), est_b.table(partial))
+
+        reported = {k for k, v in est_changes.items() if v >= threshold}
+        correct = {k for k, v in true_changes.items() if v >= threshold}
+        # ARE over the true heavy changes, on the change magnitude.
+        truth_int = {k: int(round(v)) for k, v in true_changes.items() if v > 0}
+        reports[partial.name] = AccuracyReport(
+            recall=recall_rate(reported, correct),
+            precision=precision_rate(reported, correct),
+            are=average_relative_error(est_changes, truth_int, correct),
+        )
+    return reports

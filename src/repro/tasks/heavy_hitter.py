@@ -1,0 +1,55 @@
+"""Heavy-hitter detection task (Figs 8, 9, 13(a), 16, 18).
+
+A heavy hitter under a partial key is a partial-key flow whose total
+size is at least a threshold fraction of the trace's total traffic
+(§7.1 uses 1e-4).  The harness runs one estimator over the trace and
+scores its table on every measured partial key against exact ground
+truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.accuracy import AccuracyReport, evaluate_heavy_hitters
+from repro.flowkeys.key import PartialKeySpec
+from repro.tasks.harness import Estimator
+from repro.traffic.trace import Trace
+
+#: Paper default: heavy hitter = flow >= 1e-4 of total traffic.
+DEFAULT_THRESHOLD_FRACTION = 1e-4
+
+
+def heavy_hitter_task(
+    estimator: Estimator,
+    trace: Trace,
+    partial_keys: List[PartialKeySpec],
+    threshold_fraction: float = DEFAULT_THRESHOLD_FRACTION,
+    process: bool = True,
+) -> Dict[str, AccuracyReport]:
+    """Run heavy-hitter detection over *partial_keys*.
+
+    Returns one :class:`AccuracyReport` per partial key, keyed by the
+    partial key's name.  Set ``process=False`` if the estimator already
+    consumed the trace.
+    """
+    if not partial_keys:
+        raise ValueError("need at least one partial key")
+    if not 0 < threshold_fraction < 1:
+        raise ValueError("threshold_fraction must be in (0, 1)")
+    if process:
+        estimator.process(iter(trace))
+    threshold = threshold_fraction * trace.total_size
+    reports: Dict[str, AccuracyReport] = {}
+    for partial in partial_keys:
+        truth = trace.ground_truth(partial)
+        estimates = estimator.table(partial)
+        reports[partial.name] = evaluate_heavy_hitters(
+            estimates, truth, threshold
+        )
+    return reports
+
+
+def average_report(reports: Dict[str, AccuracyReport]) -> AccuracyReport:
+    """Mean RR/PR/ARE across partial keys (how the paper plots points)."""
+    return AccuracyReport.mean(reports.values())

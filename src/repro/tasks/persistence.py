@@ -1,0 +1,92 @@
+"""Persistent-item detection across measurement windows.
+
+The paper's related work cites the On-Off sketch [36] for *persistence*
+— flows that appear in many measurement windows, regardless of volume
+(low-and-slow scanners, beaconing malware).  With windowed CocoSketch
+tables the task needs no new data-plane structure: a flow's persistence
+is the number of windows whose recovered table contains it above a
+noise floor, and any partial key works.
+
+:class:`PersistenceTracker` consumes per-window
+:class:`~repro.core.query.FlowTable` s and answers "which partial-key
+flows appeared in >= k of the last n windows".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Set
+
+from repro.core.query import FlowTable
+from repro.flowkeys.key import PartialKeySpec
+
+
+class PersistenceTracker:
+    """Sliding count of window-presence per partial-key flow.
+
+    Args:
+        partial: The key persistence is defined on.
+        window_span: How many recent windows to consider (n).
+        presence_floor: Minimum per-window estimated size for a flow to
+            count as "present" (filters one-bucket noise).
+    """
+
+    def __init__(
+        self,
+        partial: PartialKeySpec,
+        window_span: int = 8,
+        presence_floor: float = 1.0,
+    ) -> None:
+        if window_span < 1:
+            raise ValueError(f"window_span must be >= 1, got {window_span}")
+        if presence_floor <= 0:
+            raise ValueError("presence_floor must be positive")
+        self.partial = partial
+        self.window_span = window_span
+        self.presence_floor = presence_floor
+        self._windows: Deque[Set[int]] = deque()
+        self._counts: Dict[int, int] = {}
+
+    @property
+    def windows_seen(self) -> int:
+        return len(self._windows)
+
+    def observe_window(self, table: FlowTable) -> None:
+        """Fold one closed window's full-key table into the tracker."""
+        present = {
+            key
+            for key, size in table.aggregate(self.partial).sizes.items()
+            if size >= self.presence_floor
+        }
+        self._windows.append(present)
+        for key in present:
+            self._counts[key] = self._counts.get(key, 0) + 1
+        if len(self._windows) > self.window_span:
+            expired = self._windows.popleft()
+            for key in expired:
+                remaining = self._counts[key] - 1
+                if remaining:
+                    self._counts[key] = remaining
+                else:
+                    del self._counts[key]
+
+    def persistence(self, flow: int) -> int:
+        """Windows (within the span) in which *flow* was present."""
+        return self._counts.get(flow, 0)
+
+    def persistent_flows(self, min_windows: int) -> Dict[int, int]:
+        """Flows present in at least *min_windows* of the tracked span."""
+        if min_windows < 1:
+            raise ValueError(f"min_windows must be >= 1, got {min_windows}")
+        return {
+            key: count
+            for key, count in self._counts.items()
+            if count >= min_windows
+        }
+
+    def top_persistent(self, k: int) -> List:
+        """The k most persistent flows as (flow, window count)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        ranked = sorted(self._counts.items(), key=lambda kv: -kv[1])
+        return ranked[:k]

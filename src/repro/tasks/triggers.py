@@ -1,0 +1,111 @@
+"""Trumpet-style measurement triggers over partial keys (§2.2).
+
+Trumpet [65] evaluates operator-installed *triggers* — predicates over
+flow statistics — at the end of each measurement epoch.  With
+CocoSketch, one sketch feeds all of them regardless of which key each
+trigger is defined on.  A :class:`Trigger` names a partial key and a
+predicate over either the window's absolute sizes or the change since
+the previous window; :class:`TriggerEngine` evaluates every trigger
+against the window tables and emits :class:`Alarm` records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.query import FlowTable
+from repro.flowkeys.key import PartialKeySpec
+
+
+class TriggerKind(enum.Enum):
+    """What quantity the predicate applies to."""
+
+    SIZE_ABOVE = "size-above"
+    SIZE_BELOW = "size-below"  # fires for *tracked* flows that shrank
+    CHANGE_ABOVE = "change-above"  # |delta| vs previous window
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """One installed trigger."""
+
+    name: str
+    partial: PartialKeySpec
+    kind: TriggerKind
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError(
+                f"trigger {self.name!r}: threshold must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One trigger firing for one flow in one window."""
+
+    trigger: str
+    window: int
+    flow: int
+    value: float
+
+
+class TriggerEngine:
+    """Evaluates triggers window by window over full-key flow tables."""
+
+    def __init__(self, triggers: List[Trigger]) -> None:
+        names = [t.name for t in triggers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate trigger names: {names}")
+        self.triggers = list(triggers)
+        self._window = 0
+        self._previous: Dict[str, Dict[int, float]] = {}
+
+    def install(self, trigger: Trigger) -> None:
+        if any(t.name == trigger.name for t in self.triggers):
+            raise ValueError(f"trigger {trigger.name!r} already installed")
+        self.triggers.append(trigger)
+
+    def remove(self, name: str) -> bool:
+        before = len(self.triggers)
+        self.triggers = [t for t in self.triggers if t.name != name]
+        self._previous.pop(name, None)
+        return len(self.triggers) < before
+
+    @property
+    def windows_evaluated(self) -> int:
+        return self._window
+
+    def evaluate(self, table: FlowTable) -> List[Alarm]:
+        """Evaluate all triggers against one closed window's table."""
+        alarms: List[Alarm] = []
+        for trigger in self.triggers:
+            sizes = table.aggregate(trigger.partial).sizes
+            if trigger.kind is TriggerKind.SIZE_ABOVE:
+                for flow, size in sizes.items():
+                    if size >= trigger.threshold:
+                        alarms.append(
+                            Alarm(trigger.name, self._window, flow, size)
+                        )
+            elif trigger.kind is TriggerKind.SIZE_BELOW:
+                previous = self._previous.get(trigger.name, {})
+                for flow in previous:
+                    size = sizes.get(flow, 0.0)
+                    if size < trigger.threshold:
+                        alarms.append(
+                            Alarm(trigger.name, self._window, flow, size)
+                        )
+            else:  # CHANGE_ABOVE
+                previous = self._previous.get(trigger.name, {})
+                for flow in set(sizes) | set(previous):
+                    delta = sizes.get(flow, 0.0) - previous.get(flow, 0.0)
+                    if abs(delta) >= trigger.threshold:
+                        alarms.append(
+                            Alarm(trigger.name, self._window, flow, delta)
+                        )
+            self._previous[trigger.name] = sizes
+        self._window += 1
+        return alarms

@@ -1,0 +1,63 @@
+"""Trace persistence: CSV round-trip.
+
+Traces serialise to a simple two-column CSV (``key,size``) with a header
+comment carrying the trace name and key-spec description.  This is enough
+to pin down a workload for cross-run comparison; it deliberately avoids
+PCAP, which the evaluation does not need (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.flowkeys.key import FullKeySpec
+from repro.traffic.trace import Trace
+
+
+def save_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Write *trace* to *path* as ``key,size`` rows."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["# trace", trace.name])
+        writer.writerow(["# spec", str(trace.spec)])
+        writer.writerow(["key", "size"])
+        for key, size in trace:
+            writer.writerow([key, size])
+
+
+def load_csv(
+    path: Union[str, Path], spec: FullKeySpec, name: str = ""
+) -> Trace:
+    """Read a trace written by :func:`save_csv`.
+
+    The caller supplies the :class:`FullKeySpec`; the stored spec string
+    is checked against it so mismatched traces fail loudly.
+    """
+    path = Path(path)
+    keys = []
+    sizes = []
+    stored_name = path.stem
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        for row in reader:
+            if not row:
+                continue
+            if row[0] == "# trace":
+                stored_name = row[1]
+                continue
+            if row[0] == "# spec":
+                if row[1] != str(spec):
+                    raise ValueError(
+                        f"spec mismatch: file has {row[1]!r}, caller "
+                        f"expects {spec!s}"
+                    )
+                continue
+            if row[0] == "key":
+                continue
+            keys.append(int(row[0]))
+            sizes.append(int(row[1]))
+    uniform = all(s == 1 for s in sizes)
+    return Trace(spec, keys, None if uniform else sizes, name=name or stored_name)

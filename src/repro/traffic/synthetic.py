@@ -1,0 +1,238 @@
+"""Synthetic workload generators.
+
+These stand in for the paper's CAIDA and MAWI traces (DESIGN.md §2).  All
+generators are deterministic given a seed and produce
+:class:`~repro.traffic.trace.Trace` objects over the 5-tuple full key.
+
+Design points that matter for fidelity:
+
+* **Heavy-tailed flow sizes.**  Packet-to-flow assignment follows a Zipf
+  law; real backbone traces are famously Zipfian, and CocoSketch's §3.2
+  accuracy intuition assumes exactly this shape.  ``caida_like`` uses a
+  moderate skew, ``mawi_like`` a stronger one with fewer flows, matching
+  the qualitative difference between the two archives.
+* **Structured addresses.**  IPs are drawn from a hierarchical prefix
+  model (a few popular /8s, more /16s under them, and so on), so
+  prefix-granularity partial keys (HHH tasks, Fig 11/12/18b) aggregate
+  non-trivially — many distinct full keys share prefixes at every level.
+* **Shared sub-fields.**  Several flows share SrcIP or (SrcIP, DstIP)
+  pairs, so the six §7.1 partial keys genuinely merge flows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.flowkeys.key import FIVE_TUPLE, FullKeySpec
+from repro.traffic.trace import Trace
+
+_COMMON_PORTS = np.array(
+    [80, 443, 53, 22, 123, 25, 8080, 3389, 1900, 445], dtype=np.int64
+)
+
+
+def _hierarchical_ips(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Draw *count* IPv4 addresses from a hierarchical prefix model.
+
+    Octets come from geometrically shrinking alphabets: ~12 popular /8s,
+    ~24 second octets, ~48 third octets, 256 hosts.  The result is a
+    population where prefix aggregation merges many addresses at every
+    level, as in real address space.
+    """
+    o1 = rng.choice(rng.integers(1, 224, size=12, dtype=np.int64), size=count)
+    o2 = rng.choice(rng.integers(0, 256, size=24, dtype=np.int64), size=count)
+    o3 = rng.choice(rng.integers(0, 256, size=48, dtype=np.int64), size=count)
+    o4 = rng.integers(0, 256, size=count, dtype=np.int64)
+    return (o1 << 24) | (o2 << 16) | (o3 << 8) | o4
+
+
+def _flow_population(
+    rng: np.random.Generator, num_flows: int
+) -> List[int]:
+    """Build *num_flows* distinct packed 5-tuple keys.
+
+    Reuses a smaller pool of (SrcIP, DstIP) host pairs so field-subset
+    partial keys ((SrcIP, DstIP), SrcIP, ...) aggregate several 5-tuple
+    flows each, as real traffic does (one host pair, many connections).
+    """
+    pair_pool = max(64, num_flows // 4)
+    src_pool = _hierarchical_ips(rng, pair_pool)
+    dst_pool = _hierarchical_ips(rng, pair_pool)
+    pair_idx = rng.integers(0, pair_pool, size=num_flows)
+
+    src_ports = np.where(
+        rng.random(num_flows) < 0.3,
+        rng.choice(_COMMON_PORTS, size=num_flows),
+        rng.integers(1024, 65536, size=num_flows, dtype=np.int64),
+    )
+    dst_ports = np.where(
+        rng.random(num_flows) < 0.6,
+        rng.choice(_COMMON_PORTS, size=num_flows),
+        rng.integers(1024, 65536, size=num_flows, dtype=np.int64),
+    )
+    protos = np.where(rng.random(num_flows) < 0.85, 6, 17)
+
+    keys: List[int] = []
+    seen = set()
+    for i in range(num_flows):
+        key = FIVE_TUPLE.pack(
+            int(src_pool[pair_idx[i]]),
+            int(dst_pool[pair_idx[i]]),
+            int(src_ports[i]),
+            int(dst_ports[i]),
+            int(protos[i]),
+        )
+        # Nudge colliding 5-tuples apart via the source port so the
+        # population really has num_flows distinct flows.
+        while key in seen:
+            key += 1 << FIVE_TUPLE.shift_of("SrcPort")
+            key &= (1 << FIVE_TUPLE.width) - 1
+        seen.add(key)
+        keys.append(key)
+    return keys
+
+
+def zipf_trace(
+    num_packets: int,
+    num_flows: int,
+    alpha: float = 1.05,
+    seed: int = 1,
+    name: str = "zipf",
+    spec: Optional[FullKeySpec] = None,
+    with_bytes: bool = False,
+) -> Trace:
+    """A Zipf-distributed trace over a structured 5-tuple population.
+
+    Flow *i* (rank order) receives packets with probability proportional
+    to ``(i + 1) ** -alpha``.  With ``with_bytes`` each packet also gets
+    a plausible wire length (40-1500 B) used as its weight.
+    """
+    if num_packets < 1 or num_flows < 1:
+        raise ValueError("num_packets and num_flows must be positive")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    rng = np.random.default_rng(seed)
+    flow_keys = _flow_population(rng, num_flows)
+
+    ranks = np.arange(1, num_flows + 1, dtype=np.float64)
+    probs = ranks**-alpha
+    probs /= probs.sum()
+    flow_idx = rng.choice(num_flows, size=num_packets, p=probs)
+    # Shuffle the rank->flow mapping so heavy flows are not correlated
+    # with the order the population was generated in.
+    perm = rng.permutation(num_flows)
+    flow_idx = perm[flow_idx]
+
+    keys = [flow_keys[i] for i in flow_idx]
+    sizes = None
+    if with_bytes:
+        # Bimodal packet sizes: ACK-sized and MTU-sized modes.
+        small = rng.integers(40, 100, size=num_packets)
+        large = rng.integers(1000, 1501, size=num_packets)
+        sizes = list(
+            np.where(rng.random(num_packets) < 0.55, small, large).astype(int)
+        )
+    return Trace(spec or FIVE_TUPLE, keys, sizes, name=name)
+
+
+def caida_like(
+    num_packets: int = 200_000,
+    num_flows: int = 20_000,
+    seed: int = 7,
+    with_bytes: bool = False,
+) -> Trace:
+    """CAIDA-Equinix-like workload: moderate Zipf skew, many flows.
+
+    Stands in for the paper's 60 s CAIDA 2018 trace (~27 M packets); the
+    packet count is scaled down for pure-Python processing, keeping the
+    flows-per-packet ratio in the same regime.
+    """
+    return zipf_trace(
+        num_packets,
+        num_flows,
+        alpha=1.05,
+        seed=seed,
+        name="caida-like",
+        with_bytes=with_bytes,
+    )
+
+
+def mawi_like(
+    num_packets: int = 200_000,
+    num_flows: int = 12_000,
+    seed: int = 11,
+    with_bytes: bool = False,
+) -> Trace:
+    """MAWI-like workload: stronger skew, fewer distinct flows."""
+    return zipf_trace(
+        num_packets,
+        num_flows,
+        alpha=1.2,
+        seed=seed,
+        name="mawi-like",
+        with_bytes=with_bytes,
+    )
+
+
+def uniform_workload(
+    num_packets: int = 100_000,
+    num_flows: int = 10_000,
+    seed: int = 23,
+) -> Trace:
+    """Non-heavy-tailed stress case (§3.2's worst-case discussion).
+
+    Every flow is equally likely, so no flow dominates its bucket and
+    CocoSketch must rely on extra buckets rather than the heavy tail.
+    """
+    rng = np.random.default_rng(seed)
+    flow_keys = _flow_population(rng, num_flows)
+    flow_idx = rng.integers(0, num_flows, size=num_packets)
+    keys = [flow_keys[i] for i in flow_idx]
+    return Trace(FIVE_TUPLE, keys, None, name="uniform")
+
+
+def heavy_change_windows(
+    num_packets: int = 150_000,
+    num_flows: int = 15_000,
+    change_fraction: float = 0.01,
+    change_factor: float = 20.0,
+    seed: int = 31,
+) -> Tuple[Trace, Trace]:
+    """Two adjacent measurement windows with injected heavy changes.
+
+    Window A is a plain Zipf trace.  Window B reuses the same flow
+    population but re-weights a *change_fraction* of mid-sized flows by
+    *change_factor* (half boosted, half suppressed), creating a ground
+    truth set of flows whose size difference across windows is large.
+    """
+    if not 0 < change_fraction < 1:
+        raise ValueError("change_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    flow_keys = _flow_population(rng, num_flows)
+
+    ranks = np.arange(1, num_flows + 1, dtype=np.float64)
+    probs_a = ranks**-1.05
+    probs_a /= probs_a.sum()
+    perm = rng.permutation(num_flows)
+
+    num_changed = max(2, int(num_flows * change_fraction))
+    # Change mid-ranked flows: big enough to detect, small enough that
+    # the change is what makes them interesting.
+    changed = rng.choice(np.arange(20, num_flows // 4), num_changed, replace=False)
+    probs_b = probs_a.copy()
+    half = num_changed // 2
+    probs_b[changed[:half]] *= change_factor
+    probs_b[changed[half:]] /= change_factor
+    probs_b /= probs_b.sum()
+
+    def window(probs: np.ndarray, wname: str, wseed: int) -> Trace:
+        wrng = np.random.default_rng(wseed)
+        idx = perm[wrng.choice(num_flows, size=num_packets, p=probs)]
+        return Trace(FIVE_TUPLE, [flow_keys[i] for i in idx], None, name=wname)
+
+    return (
+        window(probs_a, "hc-window-a", seed + 1),
+        window(probs_b, "hc-window-b", seed + 2),
+    )

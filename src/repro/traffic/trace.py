@@ -1,0 +1,106 @@
+"""Trace container with cached ground truth.
+
+A :class:`Trace` is an ordered sequence of ``(key, size)`` records over a
+fixed :class:`~repro.flowkeys.key.FullKeySpec`.  It exposes exactly what
+the evaluation needs: iteration for sketch updates, exact per-flow totals
+on the full key, and exact aggregation onto any partial key (the ground
+truth every accuracy metric compares against).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+
+
+class Trace:
+    """An ordered multiset of ``(key, size)`` records.
+
+    Args:
+        spec: The full-key spec all keys are packed under.
+        keys: Packed full-key values, one per packet.
+        sizes: Update weights; ``None`` means every packet has weight 1.
+        name: Label used in reports.
+    """
+
+    def __init__(
+        self,
+        spec: FullKeySpec,
+        keys: Sequence[int],
+        sizes: Optional[Sequence[int]] = None,
+        name: str = "trace",
+    ) -> None:
+        if sizes is not None and len(sizes) != len(keys):
+            raise ValueError(
+                f"keys ({len(keys)}) and sizes ({len(sizes)}) disagree"
+            )
+        self.spec = spec
+        self.keys: List[int] = list(keys)
+        self.sizes: Optional[List[int]] = list(sizes) if sizes is not None else None
+        self.name = name
+        self._full_counts: Optional[Dict[int, int]] = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(key, size)`` pairs in arrival order."""
+        if self.sizes is None:
+            for key in self.keys:
+                yield key, 1
+        else:
+            yield from zip(self.keys, self.sizes)
+
+    @property
+    def total_size(self) -> int:
+        """Sum of all update weights."""
+        if self.sizes is None:
+            return len(self.keys)
+        return sum(self.sizes)
+
+    def full_counts(self) -> Dict[int, int]:
+        """Exact per-flow totals on the full key (cached)."""
+        if self._full_counts is None:
+            counts: Dict[int, int] = {}
+            if self.sizes is None:
+                for key in self.keys:
+                    counts[key] = counts.get(key, 0) + 1
+            else:
+                for key, size in zip(self.keys, self.sizes):
+                    counts[key] = counts.get(key, 0) + size
+            self._full_counts = counts
+        return self._full_counts
+
+    def ground_truth(self, partial: PartialKeySpec) -> Dict[int, int]:
+        """Exact per-flow totals aggregated onto *partial* (Definition 1)."""
+        if partial.full != self.spec:
+            raise ValueError(
+                f"partial key {partial} is not over this trace's full key"
+            )
+        g = partial.mapper()
+        out: Dict[int, int] = {}
+        for key, size in self.full_counts().items():
+            pkey = g(key)
+            out[pkey] = out.get(pkey, 0) + size
+        return out
+
+    def distinct_flows(self) -> int:
+        """Number of distinct full-key flows."""
+        return len(self.full_counts())
+
+    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Trace":
+        """A sub-trace over packet positions ``[start, stop)``."""
+        sizes = self.sizes[start:stop] if self.sizes is not None else None
+        return Trace(
+            self.spec,
+            self.keys[start:stop],
+            sizes,
+            name or f"{self.name}[{start}:{stop}]",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, packets={len(self)}, "
+            f"flows={self.distinct_flows()}, spec={self.spec})"
+        )

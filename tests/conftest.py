@@ -1,0 +1,30 @@
+"""Shared fixtures: small deterministic traces and key sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowkeys.key import FIVE_TUPLE, paper_partial_keys
+from repro.traffic.synthetic import caida_like, zipf_trace
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """~30k-packet CAIDA-like trace; enough skew for HH tasks."""
+    return caida_like(num_packets=30_000, num_flows=6_000, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """~3k-packet trace for fast statistical loops."""
+    return zipf_trace(3_000, 400, alpha=1.2, seed=9, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return FIVE_TUPLE
+
+
+@pytest.fixture(scope="session")
+def six_keys():
+    return paper_partial_keys(6)

@@ -1,0 +1,59 @@
+"""Unit tests for the Bloom filter substrate."""
+
+import pytest
+
+from repro.hashing.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(4)
+        with pytest.raises(ValueError):
+            BloomFilter(64, hashes=0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, fp_rate=1.5)
+
+    def test_no_false_negatives(self):
+        bf = BloomFilter.for_capacity(1_000, fp_rate=0.01, seed=1)
+        for key in range(1_000):
+            bf.add(key)
+        assert all(key in bf for key in range(1_000))
+
+    def test_add_reports_first_occurrence(self):
+        bf = BloomFilter.for_capacity(100, seed=1)
+        assert bf.add(42) is False  # not present before
+        assert bf.add(42) is True  # present now
+
+    def test_fp_rate_near_target(self):
+        bf = BloomFilter.for_capacity(2_000, fp_rate=0.01, seed=2)
+        for key in range(2_000):
+            bf.add(key)
+        false_positives = sum(
+            1 for key in range(1_000_000, 1_020_000) if key in bf
+        )
+        assert false_positives / 20_000 < 0.03
+        assert bf.expected_fp_rate() < 0.03
+
+    def test_inserted_counts_distinct_only(self):
+        bf = BloomFilter.for_capacity(100, seed=3)
+        for _ in range(10):
+            bf.add(7)
+        assert bf.inserted == 1
+
+    def test_sizing_grows_with_capacity(self):
+        small = BloomFilter.for_capacity(100)
+        big = BloomFilter.for_capacity(10_000)
+        assert big.bits > small.bits
+
+    def test_reset(self):
+        bf = BloomFilter(128, seed=1)
+        bf.add(5)
+        bf.reset()
+        assert 5 not in bf
+        assert bf.inserted == 0
+
+    def test_memory_bytes(self):
+        assert BloomFilter(1024).memory_bytes() == 128

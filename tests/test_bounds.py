@@ -1,0 +1,111 @@
+"""Unit tests for the §5 / Appendix A closed forms."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    error_bound_probability,
+    memory_factor_vs_optimal_d,
+    optimal_d,
+    optimal_replacement_probability,
+    per_array_variance,
+    recall_lower_bound,
+    theorem3_array_length,
+    variance_increment,
+)
+
+
+class TestTheorem1And2:
+    def test_replacement_probability(self):
+        assert optimal_replacement_probability(4, 12) == pytest.approx(0.25)
+        assert optimal_replacement_probability(1, 0) == 1.0
+
+    def test_probability_in_unit_interval(self):
+        for w, f in [(1, 100), (50, 50), (1000, 1)]:
+            assert 0 < optimal_replacement_probability(w, f) <= 1
+
+    def test_variance_increment_matching_key_is_zero(self):
+        assert variance_increment(5, 100, same_key=True) == 0.0
+
+    def test_variance_increment_formula(self):
+        assert variance_increment(5, 100, same_key=False) == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_replacement_probability(0, 1)
+        with pytest.raises(ValueError):
+            optimal_replacement_probability(1, -1)
+        with pytest.raises(ValueError):
+            variance_increment(0, 1, False)
+
+
+class TestLemma5AndTheorem3:
+    def test_per_array_variance(self):
+        assert per_array_variance(10, 990, 100) == 99.0
+        with pytest.raises(ValueError):
+            per_array_variance(1, 1, 0)
+
+    def test_array_length_sizing(self):
+        assert theorem3_array_length(0.1) == 300
+        assert theorem3_array_length(1.0) == 3
+
+    def test_bound_decreases_with_d(self):
+        probs = [error_bound_probability(0.1, 300, d) for d in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_bound_decreases_with_l(self):
+        assert error_bound_probability(0.1, 600, 2) < error_bound_probability(
+            0.1, 300, 2
+        )
+
+    def test_bound_trivial_when_arrays_too_small(self):
+        assert error_bound_probability(0.1, 10, 3) == 1.0
+
+
+class TestTheorem4:
+    def test_recall_bound_monotone_in_flow_size(self):
+        bounds = [
+            recall_lower_bound(f, 10_000, 1000, 2) for f in (1, 10, 100, 1000)
+        ]
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+    def test_recall_bound_monotone_in_d(self):
+        bounds = [recall_lower_bound(10, 10_000, 1000, d) for d in (1, 2, 4)]
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+    def test_paper_example_99_percent(self):
+        # §5.3: f/f_bar = 1/99, d = 2, l = 900 -> >= 99% recall.
+        bound = recall_lower_bound(1, 99, 900, 2)
+        assert bound >= 0.99
+
+    def test_degenerate_cases(self):
+        assert recall_lower_bound(5, 0, 100, 2) == 1.0
+        with pytest.raises(ValueError):
+            recall_lower_bound(0, 1, 100, 2)
+
+
+class TestMemoryTradeoff:
+    def test_optimal_d_is_log(self):
+        assert optimal_d(0.01) == round(math.log(100))
+        assert optimal_d(0.5) >= 1
+
+    def test_paper_example_d2_delta001(self):
+        # §3.2: d = 2, delta = 0.01 needs only ~1.6x more buckets.
+        factor = memory_factor_vs_optimal_d(2, 0.01)
+        assert factor == pytest.approx(1.6, abs=0.2)
+
+    def test_optimal_d_minimises_factor(self):
+        delta = 0.01
+        best = optimal_d(delta)
+        factor_best = memory_factor_vs_optimal_d(best, delta)
+        for d in (1, 2, 3, 8, 16):
+            assert memory_factor_vs_optimal_d(d, delta) >= factor_best - 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_d(0)
+        with pytest.raises(ValueError):
+            memory_factor_vs_optimal_d(0, 0.1)
+        with pytest.raises(ValueError):
+            memory_factor_vs_optimal_d(2, 1.5)

@@ -1,0 +1,110 @@
+"""Unit tests for BasicCocoSketch (§4.1)."""
+
+import pytest
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.flowkeys.key import FIVE_TUPLE
+
+
+class TestConstruction:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BasicCocoSketch(d=0, l=10)
+        with pytest.raises(ValueError):
+            BasicCocoSketch(d=2, l=0)
+
+    def test_from_memory_bucket_accounting(self):
+        sk = BasicCocoSketch.from_memory(17 * 2 * 100, d=2)  # 100 buckets/array
+        assert sk.l == 100
+        assert sk.memory_bytes() == 17 * 2 * 100
+
+    def test_from_memory_too_small(self):
+        with pytest.raises(ValueError):
+            BasicCocoSketch.from_memory(10, d=2)
+
+    def test_memory_bytes_matches_geometry(self):
+        sk = BasicCocoSketch(d=3, l=50)
+        assert sk.memory_bytes() == 3 * 50 * 17
+
+
+class TestUpdateSemantics:
+    def test_first_insert_always_adopted(self):
+        # Empty bucket: value 0 -> adoption probability w/w = 1.
+        sk = BasicCocoSketch(d=2, l=16, seed=1)
+        sk.update(42, 5)
+        assert sk.query(42) == 5.0
+
+    def test_matching_key_increments_without_eviction(self):
+        sk = BasicCocoSketch(d=2, l=16, seed=1)
+        sk.update(42, 5)
+        sk.update(42, 3)
+        assert sk.query(42) == 8.0
+
+    def test_value_conservation(self, tiny_trace):
+        # Each update adds w to exactly one bucket: sum of all bucket
+        # values equals the stream's total weight.
+        sk = BasicCocoSketch(d=2, l=64, seed=2)
+        sk.process(iter(tiny_trace))
+        assert sum(sum(row) for row in sk._vals) == tiny_trace.total_size
+
+    def test_flow_table_total_equals_stream_total(self, tiny_trace):
+        sk = BasicCocoSketch(d=2, l=64, seed=2)
+        sk.process(iter(tiny_trace))
+        assert sum(sk.flow_table().values()) == tiny_trace.total_size
+
+    def test_query_unrecorded_flow_is_zero(self):
+        sk = BasicCocoSketch(d=2, l=16, seed=1)
+        sk.update(1, 10)
+        assert sk.query(999_999) == 0.0
+
+    def test_deterministic_given_seed(self, tiny_trace):
+        a = BasicCocoSketch(d=2, l=64, seed=7)
+        b = BasicCocoSketch(d=2, l=64, seed=7)
+        a.process(iter(tiny_trace))
+        b.process(iter(tiny_trace))
+        assert a.flow_table() == b.flow_table()
+
+    def test_d1_never_loses_weight(self):
+        sk = BasicCocoSketch(d=1, l=8, seed=3)
+        for key in range(100):
+            sk.update(key, 1)
+        assert sum(sk._vals[0]) == 100
+
+    def test_large_weights(self):
+        sk = BasicCocoSketch(d=2, l=16, seed=1)
+        sk.update(7, 1_000_000)
+        assert sk.query(7) == 1_000_000.0
+
+    def test_reset_clears_state(self, tiny_trace):
+        sk = BasicCocoSketch(d=2, l=64, seed=2)
+        sk.process(iter(tiny_trace))
+        sk.reset()
+        assert sk.flow_table() == {}
+        assert sk.occupancy() == 0.0
+
+    def test_occupancy_grows(self, tiny_trace):
+        sk = BasicCocoSketch(d=2, l=64, seed=2)
+        sk.process(iter(tiny_trace))
+        assert 0.5 < sk.occupancy() <= 1.0
+
+
+class TestAccuracyShape:
+    def test_heavy_flows_recorded_and_close(self, small_trace):
+        sk = BasicCocoSketch.from_memory(64 * 1024, d=2, seed=4)
+        sk.process(iter(small_trace))
+        truth = small_trace.full_counts()
+        top = sorted(truth.items(), key=lambda kv: -kv[1])[:20]
+        table = sk.flow_table()
+        for key, size in top:
+            assert key in table
+            assert abs(table[key] - size) / size < 0.25
+
+    def test_update_cost_is_o_d(self):
+        assert BasicCocoSketch(d=2, l=8).update_cost().hashes == 2
+        assert BasicCocoSketch(d=4, l=8).update_cost().hashes == 4
+        assert BasicCocoSketch(d=4, l=8).update_cost().memory_accesses == 6
+
+    def test_bob_backend_works(self):
+        sk = BasicCocoSketch(d=2, l=32, seed=1, hash_backend="bob")
+        sk.update(123456789, 4)
+        assert sk.query(123456789) == 4.0

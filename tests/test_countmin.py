@@ -1,0 +1,126 @@
+"""Unit tests for Count-Min sketch and CM-Heap."""
+
+import pytest
+
+from repro.sketches.countmin import CountMinHeap, CountMinSketch
+
+
+class TestCountMin:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 10)
+        with pytest.raises(ValueError):
+            CountMinSketch(3, 0)
+
+    def test_never_underestimates(self, tiny_trace):
+        cm = CountMinSketch(3, 512, seed=1)
+        cm.process(iter(tiny_trace))
+        for key, size in tiny_trace.full_counts().items():
+            assert cm.query(key) >= size
+
+    def test_exact_without_collisions(self):
+        cm = CountMinSketch(2, 4096, seed=1)
+        cm.update(1, 7)
+        assert cm.query(1) == 7.0
+
+    def test_update_and_query_matches_query(self):
+        cm = CountMinSketch(3, 128, seed=2)
+        est = None
+        for _ in range(5):
+            est = cm.update_and_query(42, 2)
+        assert est == cm.query(42)
+
+    def test_error_bounded_by_epsilon_n(self, tiny_trace):
+        # CM guarantee: overestimate <= (e/width) * N with prob 1-delta.
+        width = 256
+        cm = CountMinSketch(4, width, seed=3)
+        cm.process(iter(tiny_trace))
+        n = tiny_trace.total_size
+        bound = 2.72 * n / width
+        violations = sum(
+            1
+            for key, size in tiny_trace.full_counts().items()
+            if cm.query(key) - size > bound
+        )
+        assert violations <= 0.05 * tiny_trace.distinct_flows()
+
+    def test_memory_bytes(self):
+        assert CountMinSketch(3, 100).memory_bytes() == 1200
+
+    def test_flow_table_empty(self):
+        assert CountMinSketch(2, 16).flow_table() == {}
+
+    def test_reset(self):
+        cm = CountMinSketch(2, 16, seed=1)
+        cm.update(1, 5)
+        cm.reset()
+        assert cm.query(1) == 0.0
+
+
+class TestCountMinHeap:
+    def test_from_memory_budget_respected(self):
+        sk = CountMinHeap.from_memory(64 * 1024, rows=3, seed=1)
+        assert sk.memory_bytes() <= 64 * 1024
+        assert sk.memory_bytes() > 0.8 * 64 * 1024
+
+    def test_from_memory_validation(self):
+        with pytest.raises(ValueError):
+            CountMinHeap.from_memory(64 * 1024, heap_fraction=0.0)
+        with pytest.raises(ValueError):
+            CountMinHeap.from_memory(10, rows=3)
+
+    def test_flow_table_tracks_heavy_flows(self, small_trace):
+        sk = CountMinHeap.from_memory(64 * 1024, seed=2)
+        sk.process(iter(small_trace))
+        table = sk.flow_table()
+        top = sorted(
+            small_trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[:10]
+        hits = sum(1 for key, _ in top if key in table)
+        assert hits >= 9
+
+    def test_update_cost_constant_in_memory(self):
+        a = CountMinHeap.from_memory(32 * 1024).update_cost()
+        b = CountMinHeap.from_memory(256 * 1024).update_cost()
+        assert a.hashes == b.hashes == 3
+
+
+class TestConservativeCountMin:
+    def test_never_underestimates(self, tiny_trace):
+        from repro.sketches.countmin import ConservativeCountMin
+
+        cu = ConservativeCountMin(3, 256, seed=5)
+        cu.process(iter(tiny_trace))
+        for key, size in tiny_trace.full_counts().items():
+            assert cu.query(key) >= size
+
+    def test_no_more_error_than_plain_cm(self, tiny_trace):
+        from repro.sketches.countmin import (
+            ConservativeCountMin,
+            CountMinSketch,
+        )
+
+        cm = CountMinSketch(3, 256, seed=5)
+        cu = ConservativeCountMin(3, 256, seed=5)
+        cm.process(iter(tiny_trace))
+        cu.process(iter(tiny_trace))
+        truth = tiny_trace.full_counts()
+        cm_err = sum(cm.query(k) - v for k, v in truth.items())
+        cu_err = sum(cu.query(k) - v for k, v in truth.items())
+        assert cu_err <= cm_err
+        assert cu_err < cm_err  # strictly better under collisions
+
+    def test_exact_single_flow(self):
+        from repro.sketches.countmin import ConservativeCountMin
+
+        cu = ConservativeCountMin(2, 64, seed=1)
+        for _ in range(10):
+            cu.update(3, 4)
+        assert cu.query(3) == 40.0
+
+    def test_update_and_query_consistent(self):
+        from repro.sketches.countmin import ConservativeCountMin
+
+        cu = ConservativeCountMin(2, 64, seed=1)
+        est = cu.update_and_query(9, 5)
+        assert est == cu.query(9) == 5.0

@@ -1,0 +1,71 @@
+"""Unit tests for Count sketch and C-Heap."""
+
+import pytest
+
+from repro.analysis.empirical import estimate_moments
+from repro.sketches.countsketch import CountSketch, CountSketchHeap
+
+
+class TestCountSketch:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CountSketch(0, 10)
+
+    def test_exact_without_collisions(self):
+        cs = CountSketch(3, 4096, seed=1)
+        cs.update(1, 7)
+        assert cs.query(1) == 7.0
+
+    def test_two_sided_errors_exist(self, tiny_trace):
+        # Unlike CM, Count sketch under- and over-estimates.
+        cs = CountSketch(3, 64, seed=2)
+        cs.process(iter(tiny_trace))
+        errors = [
+            cs.query(key) - size
+            for key, size in tiny_trace.full_counts().items()
+        ]
+        assert any(e > 0 for e in errors)
+        assert any(e < 0 for e in errors)
+
+    def test_unbiased_across_seeds(self, tiny_trace):
+        # Mean estimate over independent sketches ~ true size.
+        key, size = max(
+            tiny_trace.full_counts().items(), key=lambda kv: kv[1]
+        )
+        estimates = []
+        for seed in range(30):
+            cs = CountSketch(1, 128, seed=seed)
+            cs.process(iter(tiny_trace))
+            estimates.append(cs.query(key))
+        mean, var = estimate_moments(estimates)
+        halfwidth = 4 * (var / len(estimates)) ** 0.5
+        assert abs(mean - size) <= max(halfwidth, 0.05 * size)
+
+    def test_update_and_query_matches_query(self):
+        cs = CountSketch(3, 128, seed=2)
+        est = None
+        for _ in range(5):
+            est = cs.update_and_query(42, 2)
+        assert est == cs.query(42)
+
+    def test_reset(self):
+        cs = CountSketch(2, 16, seed=1)
+        cs.update(1, 5)
+        cs.reset()
+        assert cs.query(1) == 0.0
+
+
+class TestCountSketchHeap:
+    def test_from_memory_budget(self):
+        sk = CountSketchHeap.from_memory(64 * 1024, seed=1)
+        assert sk.memory_bytes() <= 64 * 1024
+
+    def test_tracks_heavy_flows(self, small_trace):
+        sk = CountSketchHeap.from_memory(64 * 1024, seed=3)
+        sk.process(iter(small_trace))
+        table = sk.flow_table()
+        top = sorted(
+            small_trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[:10]
+        hits = sum(1 for key, _ in top if key in table)
+        assert hits >= 8

@@ -1,0 +1,72 @@
+"""Tests for the exponentially decayed CocoSketch extension."""
+
+import pytest
+
+from repro.extensions.decay import DecayedCocoSketch
+
+
+class TestDecayedCocoSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayedCocoSketch(d=0)
+        with pytest.raises(ValueError):
+            DecayedCocoSketch(decay=0.0)
+        with pytest.raises(ValueError):
+            DecayedCocoSketch(decay=1.5)
+        sk = DecayedCocoSketch()
+        with pytest.raises(ValueError):
+            sk.tick(-1)
+
+    def test_no_ticks_behaves_like_plain(self):
+        sk = DecayedCocoSketch(d=2, l=32, decay=0.5, seed=1)
+        for _ in range(10):
+            sk.update(7, 3)
+        assert sk.query(7) == 30.0
+
+    def test_tick_halves_estimates(self):
+        sk = DecayedCocoSketch(d=2, l=32, decay=0.5, seed=1)
+        sk.update(7, 16)
+        sk.tick()
+        assert sk.query(7) == pytest.approx(8.0)
+        sk.tick(2)
+        assert sk.query(7) == pytest.approx(2.0)
+
+    def test_decay_one_is_identity(self):
+        sk = DecayedCocoSketch(d=2, l=32, decay=1.0, seed=1)
+        sk.update(7, 10)
+        sk.tick(100)
+        assert sk.query(7) == 10.0
+
+    def test_lazy_decay_applied_on_update(self):
+        sk = DecayedCocoSketch(d=1, l=4, decay=0.5, seed=1)
+        sk.update(1, 8)
+        sk.tick()
+        sk.update(1, 1)  # settles to 4, then +1
+        assert sk.query(1) == pytest.approx(5.0)
+
+    def test_recent_flow_outranks_old_giant(self):
+        sk = DecayedCocoSketch(d=2, l=64, decay=0.25, seed=2)
+        for _ in range(100):
+            sk.update(1, 1)  # old giant
+        sk.tick(3)  # giant decays to ~1.6
+        for _ in range(20):
+            sk.update(2, 1)  # fresh flow
+        table = sk.flow_table()
+        assert table.get(2, 0.0) > table.get(1, 0.0)
+
+    def test_flow_table_consistent_with_queries(self):
+        sk = DecayedCocoSketch(d=2, l=64, decay=0.9, seed=3)
+        for key in range(50):
+            sk.update(key, key + 1)
+        sk.tick()
+        table = sk.flow_table()
+        for key, value in table.items():
+            assert sk.query(key) == pytest.approx(value)
+
+    def test_reset(self):
+        sk = DecayedCocoSketch(d=2, l=16, decay=0.5, seed=1)
+        sk.update(1, 4)
+        sk.tick()
+        sk.reset()
+        assert sk.epoch == 0
+        assert sk.flow_table() == {}

@@ -1,0 +1,121 @@
+"""Tests for distribution-level statistics (entropy, FSD)."""
+
+import math
+
+import pytest
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.query import FlowTable
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.tasks.distribution import (
+    empirical_entropy,
+    entropy_from_table,
+    entropy_report,
+    flow_size_histogram,
+    top_k_share,
+    wmrd,
+)
+from repro.traffic.synthetic import uniform_workload, zipf_trace
+
+
+class TestEmpiricalEntropy:
+    def test_uniform_distribution_max_entropy(self):
+        counts = {i: 1.0 for i in range(16)}
+        assert empirical_entropy(counts) == pytest.approx(4.0)
+
+    def test_single_flow_zero_entropy(self):
+        assert empirical_entropy({1: 100.0}) == 0.0
+
+    def test_empty_zero(self):
+        assert empirical_entropy({}) == 0.0
+
+    def test_skewed_less_than_uniform(self):
+        skewed = {1: 100.0, 2: 1.0, 3: 1.0, 4: 1.0}
+        uniform = {i: 25.75 for i in range(4)}
+        assert empirical_entropy(skewed) < empirical_entropy(uniform)
+
+
+class TestEntropyFromTable:
+    def test_exact_table_matches(self):
+        counts = {1: 50.0, 2: 30.0, 3: 20.0}
+        assert entropy_from_table(counts, 100.0) == pytest.approx(
+            empirical_entropy(counts)
+        )
+
+    def test_residual_spreading_increases_entropy(self):
+        table = {1: 50.0}
+        without = entropy_from_table(table, 100.0, residual_flows=0)
+        with_res = entropy_from_table(table, 100.0, residual_flows=50)
+        assert with_res > without
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            entropy_from_table({}, 0.0)
+
+    def test_sketch_entropy_close_on_zipf(self):
+        trace = zipf_trace(30_000, 3_000, alpha=1.1, seed=24)
+        sketch = BasicCocoSketch.from_memory(96 * 1024, seed=5)
+        sketch.process(iter(trace))
+        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        estimated, true, error = entropy_report(
+            table.sizes, trace.full_counts()
+        )
+        assert error < 0.1
+
+    def test_partial_key_entropy(self):
+        # Entropy on SrcIP from the same sketch (late-bound key).
+        trace = zipf_trace(30_000, 3_000, alpha=1.1, seed=25)
+        sketch = BasicCocoSketch.from_memory(96 * 1024, seed=6)
+        sketch.process(iter(trace))
+        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        src = FIVE_TUPLE.partial("SrcIP")
+        estimated, true, error = entropy_report(
+            table.aggregate(src).sizes, trace.ground_truth(src)
+        )
+        assert error < 0.1
+
+
+class TestFlowSizeDistribution:
+    def test_log_buckets(self):
+        counts = {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0, 5: 9.0}
+        hist = flow_size_histogram(counts)
+        assert hist == {0: 1, 1: 2, 2: 1, 3: 1}
+
+    def test_linear_buckets(self):
+        counts = {1: 2.0, 2: 2.0, 3: 5.0}
+        assert flow_size_histogram(counts, log_scale=False) == {2: 2, 5: 1}
+
+    def test_wmrd_zero_for_identical(self):
+        hist = {0: 5, 1: 3}
+        assert wmrd(hist, hist) == 0.0
+
+    def test_wmrd_two_for_disjoint(self):
+        assert wmrd({0: 5}, {1: 5}) == 2.0
+
+    def test_sketch_fsd_close_on_zipf(self):
+        trace = zipf_trace(30_000, 2_000, alpha=1.1, seed=26)
+        sketch = BasicCocoSketch.from_memory(128 * 1024, seed=7)
+        sketch.process(iter(trace))
+        est_hist = flow_size_histogram(sketch.flow_table())
+        true_hist = flow_size_histogram(
+            {k: float(v) for k, v in trace.full_counts().items()}
+        )
+        assert wmrd(est_hist, true_hist) < 0.3
+
+
+class TestTopKShare:
+    def test_zipf_head_dominates(self):
+        trace = zipf_trace(20_000, 2_000, alpha=1.3, seed=27)
+        counts = {k: float(v) for k, v in trace.full_counts().items()}
+        assert top_k_share(counts, 10) > top_k_share(counts, 1) > 0.05
+
+    def test_uniform_head_small(self):
+        trace = uniform_workload(20_000, 2_000, seed=27)
+        counts = {k: float(v) for k, v in trace.full_counts().items()}
+        assert top_k_share(counts, 10) < 0.05
+
+    def test_edge_cases(self):
+        assert top_k_share({}, 5) == 0.0
+        assert top_k_share({1: 10.0}, 0) == 0.0
+        with pytest.raises(ValueError):
+            top_k_share({1: 1.0}, -1)

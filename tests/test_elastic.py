@@ -1,0 +1,76 @@
+"""Unit tests for the Elastic sketch."""
+
+import pytest
+
+from repro.sketches.elastic import ElasticSketch
+
+
+class TestElastic:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ElasticSketch(0, 10)
+        with pytest.raises(ValueError):
+            ElasticSketch(10, 0)
+        with pytest.raises(ValueError):
+            ElasticSketch(10, 10, lambda_=0)
+        with pytest.raises(ValueError):
+            ElasticSketch.from_memory(64 * 1024, heavy_fraction=1.5)
+
+    def test_single_flow_exact_in_heavy_part(self):
+        sk = ElasticSketch(64, 512, seed=1)
+        for _ in range(10):
+            sk.update(5, 2)
+        assert sk.query(5) == 20.0
+
+    def test_incumbent_resists_small_challengers(self):
+        sk = ElasticSketch(1, 64, seed=1)
+        sk.update(1, 100)  # incumbent with heavy vote+
+        sk.update(2, 1)  # challenger: vote- = 1 < 8 * 100
+        assert sk.query(1) == 100.0
+        # challenger went to the light part
+        assert sk.query(2) >= 1.0
+
+    def test_ostracism_eviction(self):
+        sk = ElasticSketch(1, 1024, seed=1)
+        sk.update(1, 1)  # vote+ = 1
+        sk.update(2, 8)  # vote- = 8 >= 8 * 1 -> evict key 1
+        table = sk.flow_table()
+        assert 2 in table
+        assert 1 not in table
+        # evicted incumbent's count lives on in the light part
+        assert sk.query(1) >= 1.0
+
+    def test_evicted_flow_flag_combines_light(self):
+        sk = ElasticSketch(1, 1024, seed=1)
+        sk.update(1, 1)
+        sk.update(2, 4)  # to light (4 < 8)
+        sk.update(2, 4)  # vote- reaches 8 -> eviction, flag set
+        # key 2's estimate includes its light-part history
+        assert sk.query(2) >= 8.0
+
+    def test_light_counters_saturate_at_255(self):
+        sk = ElasticSketch(1, 8, seed=1)
+        sk.update(1, 1000)  # occupies heavy
+        for _ in range(10):
+            sk.update(2, 100)  # all vote- (< 8*1000), goes to light
+        assert sk.query(2) <= 255.0
+
+    def test_from_memory_budget(self):
+        sk = ElasticSketch.from_memory(64 * 1024, seed=1)
+        assert sk.memory_bytes() <= 66 * 1024
+
+    def test_heavy_flows_tracked(self, small_trace):
+        sk = ElasticSketch.from_memory(64 * 1024, seed=2)
+        sk.process(iter(small_trace))
+        table = sk.flow_table()
+        top = sorted(
+            small_trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[:10]
+        hits = sum(1 for key, _ in top if key in table)
+        assert hits >= 9
+
+    def test_reset(self, tiny_trace):
+        sk = ElasticSketch(64, 512, seed=1)
+        sk.process(iter(tiny_trace))
+        sk.reset()
+        assert sk.flow_table() == {}

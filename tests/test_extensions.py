@@ -1,0 +1,267 @@
+"""Tests for the future-work extensions (merge, sampling, windows, distinct)."""
+
+import pytest
+
+from repro.analysis.empirical import estimate_moments, mean_confidence_halfwidth
+from repro.core.cocosketch import BasicCocoSketch
+from repro.extensions.distinct import DistinctCocoSketch
+from repro.extensions.merging import compress_cocosketch, merge_cocosketch
+from repro.extensions.sampling import SampledCocoSketch
+from repro.extensions.windowed import WindowedMeasurement
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.traffic.synthetic import heavy_change_windows, zipf_trace
+
+
+class TestMerge:
+    def _pair(self, seed_traffic=1):
+        a = BasicCocoSketch(d=2, l=128, seed=5)
+        b = BasicCocoSketch(d=2, l=128, seed=5)  # same hash family
+        ta = zipf_trace(3_000, 400, alpha=1.1, seed=seed_traffic, name="a")
+        tb = zipf_trace(3_000, 400, alpha=1.1, seed=seed_traffic + 50, name="b")
+        a.process(iter(ta))
+        b.process(iter(tb))
+        return a, b, ta, tb
+
+    def test_merge_conserves_total_weight(self):
+        a, b, ta, tb = self._pair()
+        merged = merge_cocosketch(a, b, seed=1)
+        total = sum(sum(row) for row in merged._vals)
+        assert total == ta.total_size + tb.total_size
+
+    def test_merge_rejects_geometry_mismatch(self):
+        a = BasicCocoSketch(d=2, l=128, seed=5)
+        b = BasicCocoSketch(d=2, l=64, seed=5)
+        with pytest.raises(ValueError):
+            merge_cocosketch(a, b)
+
+    def test_merge_rejects_different_hash_families(self):
+        a = BasicCocoSketch(d=2, l=128, seed=5)
+        b = BasicCocoSketch(d=2, l=128, seed=6)
+        with pytest.raises(ValueError):
+            merge_cocosketch(a, b)
+
+    def test_merge_inputs_unmodified(self):
+        a, b, ta, _ = self._pair()
+        before = [row[:] for row in a._vals]
+        merge_cocosketch(a, b, seed=2)
+        assert a._vals == before
+
+    def test_merged_estimates_unbiased(self):
+        # Mean of merged estimate over many merge seeds ~ combined size.
+        a, b, ta, tb = self._pair()
+        key = max(ta.full_counts(), key=ta.full_counts().get)
+        combined = ta.full_counts()[key] + tb.full_counts().get(key, 0)
+        estimates = [
+            merge_cocosketch(a, b, seed=s).query(key) for s in range(40)
+        ]
+        mean, _ = estimate_moments(estimates)
+        half = mean_confidence_halfwidth(estimates, z=4.0)
+        assert abs(mean - combined) <= max(half, 0.05 * combined)
+
+    def test_merged_sketch_queryable_per_partial_key(self):
+        from repro.core.query import FlowTable
+
+        a, b, ta, tb = self._pair()
+        merged = merge_cocosketch(a, b, seed=3)
+        table = FlowTable.from_sketch(merged, FIVE_TUPLE)
+        agg = table.aggregate(FIVE_TUPLE.partial("SrcIP"))
+        assert agg.total == pytest.approx(ta.total_size + tb.total_size)
+
+
+class TestCompress:
+    def test_compress_conserves_total(self):
+        sk = BasicCocoSketch(d=2, l=128, seed=5)
+        trace = zipf_trace(3_000, 400, seed=4)
+        sk.process(iter(trace))
+        small = compress_cocosketch(sk, 4, seed=1)
+        assert small.l == 32
+        assert sum(sum(row) for row in small._vals) == trace.total_size
+
+    def test_compress_queries_through_folded_hash(self):
+        sk = BasicCocoSketch(d=2, l=128, seed=5)
+        trace = zipf_trace(3_000, 400, seed=4)
+        sk.process(iter(trace))
+        small = compress_cocosketch(sk, 2, seed=1)
+        key, size = max(trace.full_counts().items(), key=lambda kv: kv[1])
+        assert small.query(key) >= 0.5 * size  # heavy flow survives
+
+    def test_compress_validation(self):
+        sk = BasicCocoSketch(d=2, l=100, seed=5)
+        with pytest.raises(ValueError):
+            compress_cocosketch(sk, 3)  # 100 % 3 != 0
+        with pytest.raises(ValueError):
+            compress_cocosketch(sk, 0)
+
+    def test_factor_one_is_copy(self):
+        sk = BasicCocoSketch(d=1, l=16, seed=5)
+        sk.update(1, 7)
+        copy = compress_cocosketch(sk, 1)
+        assert copy.query(1) == 7.0
+
+
+class TestSampling:
+    def test_probability_validation(self):
+        inner = BasicCocoSketch(d=2, l=64, seed=1)
+        with pytest.raises(ValueError):
+            SampledCocoSketch(inner, 0.0)
+        with pytest.raises(ValueError):
+            SampledCocoSketch(inner, 1.5)
+
+    def test_p1_equals_unsampled(self):
+        trace = zipf_trace(2_000, 300, seed=6)
+        plain = BasicCocoSketch(d=2, l=64, seed=2)
+        sampled = SampledCocoSketch(BasicCocoSketch(d=2, l=64, seed=2), 1.0)
+        plain.process(iter(trace))
+        sampled.process(iter(trace))
+        assert plain.flow_table() == sampled.flow_table()
+
+    def test_sampled_estimates_unbiased(self):
+        trace = zipf_trace(4_000, 300, alpha=1.2, seed=7)
+        packets = list(trace)
+        key, size = max(trace.full_counts().items(), key=lambda kv: kv[1])
+        estimates = []
+        for seed in range(50):
+            sk = SampledCocoSketch.from_memory(
+                32 * 1024, probability=0.25, seed=seed
+            )
+            sk.process(packets)
+            estimates.append(sk.query(key))
+        mean, _ = estimate_moments(estimates)
+        half = mean_confidence_halfwidth(estimates, z=4.0)
+        assert abs(mean - size) <= max(half, 0.1 * size)
+
+    def test_sampling_reduces_amortised_cost(self):
+        inner = BasicCocoSketch(d=4, l=64, seed=1)
+        sampled = SampledCocoSketch(inner, 0.25, seed=1)
+        assert (
+            sampled.update_cost().memory_accesses
+            < inner.update_cost().memory_accesses
+        )
+
+    def test_reset_clears_inner(self):
+        sk = SampledCocoSketch.from_memory(16 * 1024, 0.5, seed=1)
+        sk.update(1, 10)
+        sk.reset()
+        assert sk.flow_table() == {}
+
+
+class TestWindowedMeasurement:
+    def _pipeline(self, history=2):
+        return WindowedMeasurement(
+            lambda: BasicCocoSketch.from_memory(64 * 1024, seed=9),
+            FIVE_TUPLE,
+            history=history,
+        )
+
+    def test_history_validation(self):
+        with pytest.raises(ValueError):
+            self._pipeline(history=0)
+
+    def test_rotate_returns_window_table(self):
+        wm = self._pipeline()
+        trace = zipf_trace(2_000, 300, seed=8)
+        for key, size in trace:
+            wm.update(key, size)
+        table = wm.rotate()
+        assert table.total == pytest.approx(trace.total_size)
+        assert wm.windows_closed == 1
+
+    def test_rotation_clears_active_sketch(self):
+        wm = self._pipeline()
+        wm.update(1, 5)
+        wm.rotate()
+        assert wm.active_sketch.flow_table() == {}
+
+    def test_history_bounded(self):
+        wm = self._pipeline(history=2)
+        for _ in range(5):
+            wm.update(1, 1)
+            wm.rotate()
+        assert wm.windows_closed == 2
+
+    def test_changes_requires_two_windows(self):
+        wm = self._pipeline()
+        wm.update(1, 1)
+        wm.rotate()
+        with pytest.raises(ValueError):
+            wm.changes(FIVE_TUPLE.partial("SrcIP"))
+
+    def test_detects_injected_heavy_changes(self):
+        wa, wb = heavy_change_windows(
+            num_packets=30_000, num_flows=4_000, change_fraction=0.02, seed=12
+        )
+        wm = WindowedMeasurement(
+            lambda: BasicCocoSketch.from_memory(96 * 1024, seed=10),
+            FIVE_TUPLE,
+        )
+        for key, size in wa:
+            wm.update(key, size)
+        wm.rotate()
+        for key, size in wb:
+            wm.update(key, size)
+        wm.rotate()
+        threshold = 2e-3 * wa.total_size
+        pk = FIVE_TUPLE.identity_partial()
+        found = set(wm.heavy_changes(pk, threshold))
+        truth_a = wa.ground_truth(pk)
+        truth_b = wb.ground_truth(pk)
+        true_heavy = {
+            key
+            for key in set(truth_a) | set(truth_b)
+            if abs(truth_b.get(key, 0) - truth_a.get(key, 0)) >= threshold
+        }
+        recall = len(found & true_heavy) / max(1, len(true_heavy))
+        assert recall > 0.8
+
+
+class TestDistinctCounting:
+    def test_counts_distinct_not_volume(self):
+        # One chatty flow (many packets) vs many one-packet flows.
+        spec = FIVE_TUPLE
+        sk = DistinctCocoSketch(
+            spec, 128 * 1024, expected_flows=2_000, seed=1
+        )
+        chatty = spec.pack(0x0A000001, 0x0B000001, 1, 1, 6)
+        for _ in range(1_000):
+            sk.update(chatty)
+        for host in range(500):
+            sk.update(spec.pack(0x0A000002, 0x0B000001, host + 2, 1, 6))
+        dst = spec.partial("DstIP")
+        table = sk.distinct_table(dst)
+        # 501 distinct flows hit DstIP 0x0B000001 despite 1500 packets.
+        assert table[0x0B000001] == pytest.approx(501, rel=0.1)
+
+    def test_super_spreader_detection(self):
+        spec = FIVE_TUPLE
+        sk = DistinctCocoSketch(
+            spec, 256 * 1024, expected_flows=20_000, seed=2
+        )
+        victim = 0x0B0B0B0B
+        # 2000 distinct sources hammer the victim (SYN-flood shape).
+        for src in range(2_000):
+            sk.update(spec.pack(src + 1, victim, 1234, 80, 6))
+        # Background: distinct flows spread over many destinations.
+        trace = zipf_trace(10_000, 3_000, seed=13)
+        sk.process(iter(trace))
+        dst = spec.partial("DstIP")
+        spreaders = sk.super_spreaders(dst, threshold=500)
+        assert victim in spreaders
+        assert spreaders[victim] == pytest.approx(2_000, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistinctCocoSketch(
+                FIVE_TUPLE, 1024, expected_flows=10, bloom_fraction=0.0
+            )
+        sk = DistinctCocoSketch(FIVE_TUPLE, 64 * 1024, expected_flows=100)
+        with pytest.raises(ValueError):
+            sk.super_spreaders(FIVE_TUPLE.partial("DstIP"), 0)
+
+    def test_repeated_packets_do_not_inflate(self):
+        spec = FIVE_TUPLE
+        sk = DistinctCocoSketch(spec, 64 * 1024, expected_flows=100, seed=3)
+        key = spec.pack(1, 2, 3, 4, 6)
+        for _ in range(100):
+            sk.update(key)
+        table = sk.distinct_table(spec.partial("DstIP"))
+        assert table.get(2, 0) == 1.0

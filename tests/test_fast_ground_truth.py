@@ -1,0 +1,78 @@
+"""Tests for the vectorised ground-truth engine."""
+
+import time
+
+import pytest
+
+from repro.flowkeys.key import FIVE_TUPLE, IPV6_FIVE_TUPLE, paper_partial_keys
+from repro.traffic.fast import FastGroundTruth
+from repro.traffic.trace import Trace
+from repro.traffic.synthetic import zipf_trace
+
+
+class TestExactness:
+    def test_full_counts_match(self, small_trace):
+        fast = FastGroundTruth(small_trace)
+        assert fast.full_counts() == small_trace.full_counts()
+
+    def test_all_paper_keys_match(self, small_trace, six_keys):
+        fast = FastGroundTruth(small_trace)
+        for pk in six_keys:
+            assert fast.ground_truth(pk) == small_trace.ground_truth(pk)
+
+    def test_prefix_keys_match(self, small_trace):
+        fast = FastGroundTruth(small_trace)
+        for plen in (1, 7, 8, 13, 24, 32):
+            pk = FIVE_TUPLE.partial(("SrcIP", plen))
+            assert fast.ground_truth(pk) == small_trace.ground_truth(pk)
+
+    def test_cross_64bit_boundary_fields(self, small_trace):
+        # SrcIP spans bits 72..104, DstIP 40..72 (crosses the split).
+        fast = FastGroundTruth(small_trace)
+        pk = FIVE_TUPLE.partial(("DstIP", 20))
+        assert fast.ground_truth(pk) == small_trace.ground_truth(pk)
+
+    def test_weighted_trace(self):
+        trace = zipf_trace(5_000, 500, seed=44, with_bytes=True)
+        fast = FastGroundTruth(trace)
+        pk = FIVE_TUPLE.partial("SrcIP", "SrcPort")
+        assert fast.ground_truth(pk) == trace.ground_truth(pk)
+
+    def test_foreign_spec_rejected(self, small_trace):
+        fast = FastGroundTruth(small_trace)
+        with pytest.raises(ValueError):
+            fast.ground_truth(IPV6_FIVE_TUPLE.partial("Proto"))
+
+
+class TestFallbacks:
+    def test_wide_spec_falls_back(self):
+        key = IPV6_FIVE_TUPLE.pack(1 << 100, 2, 3, 4, 6)
+        trace = Trace(IPV6_FIVE_TUPLE, [key, key])
+        fast = FastGroundTruth(trace)
+        assert not fast.supported
+        pk = IPV6_FIVE_TUPLE.partial("Proto")
+        assert fast.ground_truth(pk) == trace.ground_truth(pk)
+
+    def test_wide_partial_falls_back(self, small_trace):
+        fast = FastGroundTruth(small_trace)
+        pk = small_trace.spec.identity_partial()  # 104 bits > 64
+        assert fast.ground_truth(pk) == small_trace.ground_truth(pk)
+
+
+class TestSpeed:
+    def test_faster_than_dict_loop_on_many_keys(self):
+        trace = zipf_trace(60_000, 15_000, seed=45)
+        keys = [
+            FIVE_TUPLE.partial(("SrcIP", plen)) for plen in range(1, 33)
+        ]
+        start = time.perf_counter()
+        fast = FastGroundTruth(trace)
+        for pk in keys:
+            fast.ground_truth(pk)
+        fast_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for pk in keys:
+            trace.ground_truth(pk)
+        slow_elapsed = time.perf_counter() - start
+        assert fast_elapsed < slow_elapsed

@@ -1,0 +1,78 @@
+"""Unit tests for repro.flowkeys.fields."""
+
+import pytest
+
+from repro.flowkeys.fields import (
+    DST_IP,
+    PROTO,
+    SRC_IP,
+    SRC_PORT,
+    Field,
+    format_ipv4,
+    parse_ipv4,
+)
+
+
+class TestField:
+    def test_mask_covers_width(self):
+        assert Field("x", 8).mask == 0xFF
+        assert Field("x", 1).mask == 1
+        assert SRC_IP.mask == 0xFFFFFFFF
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Field("", 8)
+
+    @pytest.mark.parametrize("width", [0, -1, 129])
+    def test_rejects_bad_width(self, width):
+        with pytest.raises(ValueError):
+            Field("x", width)
+
+    def test_check_value_accepts_range(self):
+        assert SRC_PORT.check_value(0) == 0
+        assert SRC_PORT.check_value(65535) == 65535
+
+    @pytest.mark.parametrize("value", [-1, 65536])
+    def test_check_value_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            SRC_PORT.check_value(value)
+
+    def test_prefix_full_width_is_identity(self):
+        assert SRC_IP.prefix(0xC0A80101, 32) == 0xC0A80101
+
+    def test_prefix_zero_is_zero(self):
+        assert SRC_IP.prefix(0xC0A80101, 0) == 0
+
+    def test_prefix_takes_top_bits(self):
+        # 192.168.1.1 -> /24 keeps 192.168.1
+        assert SRC_IP.prefix(0xC0A80101, 24) == 0xC0A801
+        assert SRC_IP.prefix(0xC0A80101, 8) == 0xC0
+
+    def test_prefix_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SRC_IP.prefix(1, 33)
+        with pytest.raises(ValueError):
+            SRC_IP.prefix(1, -1)
+
+    def test_str_shows_name_and_width(self):
+        assert str(PROTO) == "Proto/8"
+
+    def test_fields_are_hashable_and_comparable(self):
+        assert SRC_IP == Field("SrcIP", 32)
+        assert SRC_IP != DST_IP
+        assert len({SRC_IP, Field("SrcIP", 32)}) == 1
+
+
+class TestIpv4Text:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "255.255.255.255", "192.168.1.1", "10.0.0.42"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_parse_rejects_bad_shapes(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                parse_ipv4(bad)
+
+    def test_format_rejects_wide_values(self):
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 32)

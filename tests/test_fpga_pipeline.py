@@ -1,0 +1,111 @@
+"""Tests for the cycle-driven FPGA pipeline simulator."""
+
+import pytest
+
+from repro.hwsim.fpga import FpgaModel
+from repro.hwsim.fpga_pipeline import (
+    FpgaPipelineSimulator,
+    PipelineStage,
+    basic_pipeline,
+    hardware_pipeline,
+    simulate_sketch_stream,
+)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineStage("x", 0)
+        with pytest.raises(ValueError):
+            FpgaPipelineSimulator(initiation_interval=0)
+        with pytest.raises(ValueError):
+            FpgaPipelineSimulator(stages=())
+        with pytest.raises(ValueError):
+            basic_pipeline(0)
+
+    def test_hardware_latency_is_seven_cycles(self):
+        # hash 1 + value BRAM 2 + add/prob 1 + key BRAM 2 + write 1 (§6.1)
+        assert hardware_pipeline().latency == 7
+
+    def test_basic_ii_equals_latency(self):
+        sim = basic_pipeline(d=2)
+        assert sim.initiation_interval == sim.latency
+
+
+class TestSimulation:
+    def test_empty_stream(self):
+        result = hardware_pipeline().simulate([])
+        assert result.cycles == 0
+        assert result.packets_per_cycle == 0.0
+
+    def test_single_packet_takes_latency(self):
+        result = hardware_pipeline().simulate([0])
+        assert result.cycles == 7
+
+    def test_pipelined_throughput_approaches_one(self):
+        # Distinct buckets: no hazards; N packets in N-1+latency cycles.
+        result = hardware_pipeline().simulate(list(range(10_000)))
+        assert result.cycles == 9_999 + 7
+        assert result.packets_per_cycle > 0.99
+
+    def test_basic_throughput_is_one_over_ii(self):
+        sim = basic_pipeline(d=2)
+        result = sim.simulate(list(range(1_000)))
+        assert result.packets_per_cycle == pytest.approx(
+            1 / sim.initiation_interval, rel=0.01
+        )
+
+    def test_gap_is_about_five_x(self):
+        # The execution-based view of Fig 15(b)'s pipelining gap.
+        keys = list(range(5_000))
+        hw = simulate_sketch_stream(hardware_pipeline(), keys, 4_096)
+        basic = simulate_sketch_stream(basic_pipeline(d=2), keys, 4_096)
+        ratio = hw.packets_per_cycle / basic.packets_per_cycle
+        assert 4 <= ratio <= 12  # II=11 without clock derating
+
+    def test_forwarding_removes_hazard_stalls(self):
+        # Same bucket every packet: worst-case RAW hazards.
+        stream = [5] * 1_000
+        with_fwd = hardware_pipeline(forwarding=True).simulate(stream)
+        without = hardware_pipeline(forwarding=False).simulate(stream)
+        assert with_fwd.stall_cycles == 0
+        assert without.stall_cycles > 0
+        assert without.cycles > with_fwd.cycles
+
+    def test_no_hazards_on_distinct_buckets_even_without_forwarding(self):
+        result = hardware_pipeline(forwarding=False).simulate(
+            list(range(1_000))
+        )
+        assert result.stall_cycles == 0
+
+    def test_mpps_scales_with_clock(self):
+        result = hardware_pipeline().simulate(list(range(1_000)))
+        assert result.mpps(200.0) == pytest.approx(
+            2 * result.mpps(100.0)
+        )
+
+
+class TestCrossCheckWithClosedForm:
+    def test_simulator_agrees_with_model_ordering(self):
+        # Execution-based packets/cycle ratio should be in the same
+        # ballpark as the closed-form model's Mpps ratio (the model
+        # additionally derates the basic variant's clock).
+        model = FpgaModel()
+        mem = 1024 * 1024
+        model_ratio = model.throughput_mpps(
+            "hardware", mem
+        ) / model.throughput_mpps("basic", mem)
+        keys = list(range(3_000))
+        hw = simulate_sketch_stream(hardware_pipeline(), keys, 8_192)
+        basic = simulate_sketch_stream(basic_pipeline(d=2), keys, 8_192)
+        sim_ratio = hw.packets_per_cycle / basic.packets_per_cycle
+        assert sim_ratio >= model_ratio * 0.8
+
+    def test_simulated_hw_mpps_matches_model_at_clock(self):
+        model = FpgaModel()
+        mem = 2 * 1024 * 1024
+        clock = model.clock_mhz(mem)
+        result = hardware_pipeline().simulate(list(range(50_000)))
+        assert result.mpps(clock) == pytest.approx(
+            model.throughput_mpps("hardware", mem), rel=0.02
+        )

@@ -1,0 +1,209 @@
+"""Unit tests for the hardware models (approx division, RMT, FPGA, OVS)."""
+
+import pytest
+
+from repro.hwsim.approx_div import (
+    approx_divide,
+    approx_reciprocal_probability,
+    relative_probability_error,
+    truncate_to_top4,
+)
+from repro.hwsim.fpga import FpgaDevice, FpgaModel
+from repro.hwsim.ovs import OvsSimulation
+from repro.hwsim.rmt import (
+    RmtChip,
+    basic_cocosketch_program,
+    hardware_cocosketch_program,
+    sketch_rmt_usage,
+)
+
+
+class TestApproxDivision:
+    def test_exact_for_small_values(self):
+        for v in range(1, 16):
+            assert approx_divide(2**32, v) == 2**32 // v
+
+    def test_truncate_keeps_top4_bits(self):
+        assert truncate_to_top4(17) == 16
+        assert truncate_to_top4(0b10111011) == 0b10110000
+        assert truncate_to_top4(15) == 15
+
+    def test_paper_example_value_17(self):
+        # §6.2: true p = 1/17 = 5.9%, realised difference ~0.37%.
+        p_true = 1 / 17
+        p_hat = approx_reciprocal_probability(1, 17)
+        assert abs(p_hat - p_true) == pytest.approx(0.0037, abs=0.0005)
+
+    def test_relative_error_below_10_percent(self):
+        # §6.2: "the difference ... is usually below 0.1 p".
+        worst = max(relative_probability_error(v) for v in range(1, 100_000, 7))
+        assert worst <= 0.15  # top-4-bit truncation worst case is 1/16
+
+    def test_probability_capped_at_one(self):
+        assert approx_reciprocal_probability(100, 3) == 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            approx_divide(1, 0)
+        with pytest.raises(ValueError):
+            approx_divide(-1, 3)
+        with pytest.raises(ValueError):
+            approx_reciprocal_probability(0, 5)
+        with pytest.raises(ValueError):
+            truncate_to_top4(0)
+
+
+class TestRmtResources:
+    def test_table2_count_min_utilisation(self):
+        chip = RmtChip()
+        usage = sketch_rmt_usage("count-min", 500 * 1024)
+        util = chip.utilisation(usage)
+        assert util["Hash Distribution Unit"] == pytest.approx(0.2083, abs=0.001)
+        assert util["Stateful ALU"] == pytest.approx(0.1667, abs=0.001)
+        assert util["Gateway"] == pytest.approx(0.0781, abs=0.001)
+        assert util["Map RAM"] == pytest.approx(0.0711, abs=0.001)
+        assert util["SRAM"] == pytest.approx(0.0427, abs=0.001)
+
+    def test_table2_rhhh_utilisation(self):
+        chip = RmtChip()
+        util = chip.utilisation(sketch_rmt_usage("r-hhh", 500 * 1024))
+        assert util["Hash Distribution Unit"] == pytest.approx(0.2222, abs=0.001)
+        assert util["Gateway"] == pytest.approx(0.0833, abs=0.001)
+
+    def test_hash_units_are_the_bottleneck(self):
+        chip = RmtChip()
+        usage = sketch_rmt_usage("count-min", 500 * 1024)
+        assert chip.bottleneck(usage) == "Hash Distribution Unit"
+
+    def test_at_most_four_single_key_sketches_fit(self):
+        # Table 2 caption: "cannot support more than four".
+        chip = RmtChip()
+        usage = sketch_rmt_usage("count-min", 500 * 1024)
+        assert chip.max_instances(usage) == 4
+        assert chip.fits(usage.scaled(4))
+        assert not chip.fits(usage.scaled(5))
+
+    def test_at_most_four_elastic_sketches_fit(self):
+        # §7.4: "a Tofino switch data plane can implement at most 4
+        # Elastic sketches at the same time".
+        chip = RmtChip()
+        elastic = sketch_rmt_usage("elastic", 200 * 1024)
+        assert chip.max_instances(elastic) == 4
+
+    def test_cocosketch_fig15d_shape(self):
+        # CocoSketch measuring 6 keys = ONE instance; Elastic needs 6.
+        chip = RmtChip()
+        coco = sketch_rmt_usage("cocosketch", 200 * 1024, d=2)
+        elastic = sketch_rmt_usage("elastic", 200 * 1024)
+        util_coco = chip.utilisation(coco)
+        # §7.4: CocoSketch needs 6.25% stateful ALUs.
+        assert util_coco["Stateful ALU"] == pytest.approx(0.0625, abs=0.001)
+        # Elastic: 18.75% per key; at most 4 instances fit.
+        util_e = chip.utilisation(elastic)
+        assert util_e["Stateful ALU"] == pytest.approx(0.1875, abs=0.001)
+        assert not chip.fits(elastic.scaled(6))
+        assert chip.fits(coco)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            sketch_rmt_usage("bloom", 1024)
+
+
+class TestPipelinePrograms:
+    def test_basic_cocosketch_has_circular_dependency(self):
+        program = basic_cocosketch_program(d=2)
+        assert program.layout(num_stages=12) is None
+
+    def test_hardware_cocosketch_is_layoutable(self):
+        program = hardware_cocosketch_program(d=2)
+        layout = program.layout(num_stages=12)
+        assert layout is not None
+        # value must resolve no later than the key stage (§4.2).
+        for i in range(2):
+            assert layout[f"bucket{i}.value"] <= layout[f"bucket{i}.key"]
+
+    def test_stage_budget_enforced(self):
+        program = hardware_cocosketch_program(d=2)
+        assert program.layout(num_stages=1) is None
+
+
+class TestFpgaModel:
+    def test_fig15b_pipelining_gap(self):
+        model = FpgaModel()
+        for mem_mb in (0.25, 0.5, 1, 2):
+            mem = int(mem_mb * 1024 * 1024)
+            hw = model.throughput_mpps("hardware", mem)
+            basic = model.throughput_mpps("basic", mem)
+            assert 4 <= hw / basic <= 6  # paper: ~5x
+
+    def test_fig15b_calibration_points(self):
+        model = FpgaModel()
+        hw_2mb = model.throughput_mpps("hardware", 2 * 1024 * 1024)
+        basic_2mb = model.throughput_mpps("basic", 2 * 1024 * 1024)
+        assert hw_2mb == pytest.approx(150, rel=0.15)
+        assert basic_2mb == pytest.approx(30, rel=0.15)
+
+    def test_clock_decreases_with_memory(self):
+        model = FpgaModel()
+        assert model.clock_mhz(2 * 1024 * 1024) < model.clock_mhz(256 * 1024)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            FpgaModel().throughput_mpps("quantum", 1024)
+
+    def test_fig15c_resource_shape(self):
+        model = FpgaModel()
+        device = model.device
+        coco = model.cocosketch_resources(500 * 1024, d=2)
+        elastic6 = model.elastic_resources(512 * 1024).scaled(6)
+        # CocoSketch BRAM ~5-6%; 6x Elastic ~34%.
+        assert device.utilisation(coco)["Block RAM"] == pytest.approx(
+            0.056, abs=0.01
+        )
+        assert device.utilisation(elastic6)["Block RAM"] == pytest.approx(
+            0.34, abs=0.05
+        )
+        # Registers: tens-of-times advantage for CocoSketch.
+        ratio = elastic6.registers / coco.registers
+        assert ratio > 20
+
+    def test_everything_fits_u280(self):
+        model = FpgaModel()
+        assert model.device.fits(model.cocosketch_resources(2 * 1024 * 1024))
+        assert model.device.fits(model.elastic_resources(512 * 1024).scaled(6))
+
+
+class TestOvsSimulation:
+    def test_fig15a_saturation_shape(self):
+        sim = OvsSimulation(per_thread_mpps=7.0, nic_cap_mpps=12.5)
+        curve = sim.throughput_curve(4)
+        # 1 thread below cap; >= 2 threads at (or very near) the cap.
+        assert curve[0].delivered_mpps == pytest.approx(7.0, rel=0.05)
+        for point in curve[1:]:
+            assert point.delivered_mpps == pytest.approx(12.5, rel=0.05)
+
+    def test_monotone_nondecreasing_in_threads(self):
+        sim = OvsSimulation(per_thread_mpps=3.0, nic_cap_mpps=12.5)
+        curve = sim.throughput_curve(4)
+        rates = [p.delivered_mpps for p in curve]
+        assert all(b >= a - 0.1 for a, b in zip(rates, rates[1:]))
+
+    def test_overload_drops(self):
+        sim = OvsSimulation(per_thread_mpps=2.0, nic_cap_mpps=12.5)
+        result = sim.run(threads=1)
+        assert result.dropped_mpps > 0
+        assert result.drop_rate > 0.5
+        assert result.mean_ring_occupancy > 0.9
+
+    def test_underload_no_drops(self):
+        sim = OvsSimulation(per_thread_mpps=10.0, nic_cap_mpps=12.5)
+        result = sim.run(threads=2)
+        assert result.drop_rate < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OvsSimulation(per_thread_mpps=0)
+        with pytest.raises(ValueError):
+            OvsSimulation().run(threads=0)
+        with pytest.raises(ValueError):
+            OvsSimulation(ring_capacity=8, batch=32)

@@ -1,0 +1,81 @@
+"""Additional coverage for the hardware-model dataclasses."""
+
+import pytest
+
+from repro.hwsim.fpga import FpgaDevice, FpgaModel, FpgaResources
+from repro.hwsim.rmt import RmtChip, RmtUsage, sketch_rmt_usage
+
+
+class TestRmtUsageAlgebra:
+    def test_add_sums_resources_and_maxes_stages(self):
+        a = RmtUsage(1, 2, 3, 4, 5, stages=3)
+        b = RmtUsage(10, 20, 30, 40, 50, stages=6)
+        total = a + b
+        assert total.hash_units == 11
+        assert total.sram_blocks == 55
+        assert total.stages == 6
+
+    def test_scaled_multiplies_resources_not_stages(self):
+        usage = RmtUsage(1, 2, 3, 4, 5, stages=4)
+        tripled = usage.scaled(3)
+        assert tripled.stateful_alus == 6
+        assert tripled.stages == 4
+
+    def test_fits_checks_every_resource(self):
+        chip = RmtChip()
+        over_stages = RmtUsage(1, 1, 1, 1, 1, stages=13)
+        assert not chip.fits(over_stages)
+        over_hash = RmtUsage(73, 1, 1, 1, 1, stages=1)
+        assert not chip.fits(over_hash)
+
+    def test_utilisation_keys_complete(self):
+        chip = RmtChip()
+        util = chip.utilisation(sketch_rmt_usage("count-min", 1024))
+        assert set(util) == {
+            "Hash Distribution Unit",
+            "Stateful ALU",
+            "Gateway",
+            "Map RAM",
+            "SRAM",
+        }
+
+    def test_cocosketch_usage_scales_with_d(self):
+        d2 = sketch_rmt_usage("cocosketch", 100 * 1024, d=2)
+        d4 = sketch_rmt_usage("cocosketch", 100 * 1024, d=4)
+        assert d4.hash_units > d2.hash_units
+        assert d4.stages > d2.stages
+
+    def test_sram_scales_with_memory(self):
+        small = sketch_rmt_usage("cocosketch", 64 * 1024, d=2)
+        big = sketch_rmt_usage("cocosketch", 1024 * 1024, d=2)
+        assert big.sram_blocks > small.sram_blocks
+
+
+class TestFpgaResourceAlgebra:
+    def test_scaled(self):
+        res = FpgaResources(100, 200, 3)
+        assert res.scaled(6) == FpgaResources(600, 1200, 18)
+
+    def test_device_fits(self):
+        device = FpgaDevice()
+        assert device.fits(FpgaResources(1000, 1000, 10))
+        assert not device.fits(FpgaResources(device.luts + 1, 0, 0))
+        assert not device.fits(FpgaResources(0, 0, device.bram_tiles + 1))
+
+    def test_utilisation_fractions(self):
+        device = FpgaDevice()
+        util = device.utilisation(
+            FpgaResources(device.luts // 2, device.registers // 4, 0)
+        )
+        assert util["LUTs"] == pytest.approx(0.5, abs=0.01)
+        assert util["Registers"] == pytest.approx(0.25, abs=0.01)
+
+    def test_clock_validation(self):
+        with pytest.raises(ValueError):
+            FpgaModel().clock_mhz(0)
+
+    def test_elastic_resources_monotone_in_memory(self):
+        model = FpgaModel()
+        small = model.elastic_resources(128 * 1024)
+        big = model.elastic_resources(1024 * 1024)
+        assert big.bram_tiles > small.bram_tiles

@@ -1,0 +1,139 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import pytest
+
+from repro import (
+    FIVE_TUPLE,
+    BasicCocoSketch,
+    FlowTable,
+    HardwareCocoSketch,
+    UnbiasedSpaceSaving,
+    caida_like,
+    paper_partial_keys,
+)
+from repro.flowkeys.fields import format_ipv4
+from repro.flowkeys.key import prefix_hierarchy
+from repro.metrics.accuracy import evaluate_heavy_hitters
+from repro.metrics.throughput import measure_throughput
+from repro.sketches import CountMinHeap, MultiKeySketchBank
+from repro.tasks import FullKeyEstimator, PerKeyEstimator, heavy_hitter_task
+from repro.tasks.heavy_hitter import average_report
+
+
+class TestReadmeQuickstartFlow:
+    """The documented quickstart must actually work end to end."""
+
+    def test_quickstart(self):
+        trace = caida_like(num_packets=20_000, num_flows=3_000, seed=1)
+        sketch = BasicCocoSketch.from_memory(100 * 1024, d=2, seed=1)
+        sketch.process(iter(trace))
+
+        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        src_ip = FIVE_TUPLE.partial("SrcIP")
+        top = table.aggregate(src_ip).top_k(10)
+
+        assert len(top) == 10
+        truth = trace.ground_truth(src_ip)
+        true_top = {
+            k for k, _ in sorted(truth.items(), key=lambda kv: -kv[1])[:10]
+        }
+        hits = sum(1 for key, _ in top if key in true_top)
+        assert hits >= 8
+        # IPs render for reports
+        for key, _ in top:
+            assert format_ipv4(key).count(".") == 3
+
+
+class TestLateBinding:
+    """Partial keys unknown at measurement time still answer correctly."""
+
+    def test_query_key_chosen_after_measurement(self, small_trace):
+        sketch = BasicCocoSketch.from_memory(96 * 1024, seed=2)
+        sketch.process(iter(small_trace))
+        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        # "Late bind" an exotic key: /13 SrcIP prefix + protocol.
+        exotic = FIVE_TUPLE.partial(("SrcIP", 13), "Proto")
+        truth = small_trace.ground_truth(exotic)
+        threshold = 0.005 * small_trace.total_size
+        report = evaluate_heavy_hitters(
+            table.aggregate(exotic).sizes, truth, threshold
+        )
+        assert report.f1 > 0.9
+
+    def test_every_prefix_level_answers(self, small_trace):
+        sketch = BasicCocoSketch.from_memory(128 * 1024, seed=3)
+        sketch.process(iter(small_trace))
+        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        for pk in prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=8):
+            agg = table.aggregate(pk)
+            assert agg.total == pytest.approx(table.total)
+
+
+class TestSingleSketchVsBank:
+    def test_coco_beats_per_key_cm_at_six_keys(self, small_trace, six_keys):
+        mem = 48 * 1024
+        coco = FullKeyEstimator(
+            BasicCocoSketch.from_memory(mem, seed=4), FIVE_TUPLE
+        )
+        bank = PerKeyEstimator.build(
+            six_keys,
+            lambda m, s: CountMinHeap.from_memory(m, seed=s),
+            mem,
+            seed=4,
+        )
+        f1_coco = average_report(
+            heavy_hitter_task(coco, small_trace, six_keys)
+        ).f1
+        f1_bank = average_report(
+            heavy_hitter_task(bank, small_trace, six_keys)
+        ).f1
+        assert f1_coco > f1_bank
+
+    def test_coco_throughput_flat_bank_linear(self, small_trace, six_keys):
+        # Operation counts: CocoSketch constant, bank grows with keys.
+        coco_cost = BasicCocoSketch.from_memory(48 * 1024).update_cost()
+        bank1 = MultiKeySketchBank(
+            six_keys[:1],
+            lambda m, s: CountMinHeap.from_memory(m, seed=s),
+            48 * 1024,
+        ).update_cost()
+        bank6 = MultiKeySketchBank(
+            six_keys,
+            lambda m, s: CountMinHeap.from_memory(m, seed=s),
+            48 * 1024,
+        ).update_cost()
+        assert bank6.hashes == 6 * bank1.hashes
+        assert coco_cost.hashes < bank6.hashes
+
+
+class TestThroughputHarnessIntegration:
+    def test_uss_naive_much_slower_than_coco(self):
+        # All-distinct keys: every packet takes the untracked path, so
+        # the naive engine pays its O(n) min-scan each time while
+        # CocoSketch stays O(d).
+        packets = [(key, 1) for key in range(3_000)]
+        coco = BasicCocoSketch(d=2, l=1_000, seed=1)
+        uss = UnbiasedSpaceSaving(1_000, seed=1, engine="naive")
+        r_coco = measure_throughput(coco.update, packets)
+        r_uss = measure_throughput(uss.update, packets)
+        assert r_coco.mpps > 3 * r_uss.mpps
+
+
+class TestHardwareSoftwareConsistency:
+    def test_same_trace_same_heavy_set_mostly(self, small_trace):
+        threshold = 2e-3 * small_trace.total_size
+        truth = small_trace.full_counts()
+        true_hh = {k for k, v in truth.items() if v >= threshold}
+
+        basic = BasicCocoSketch.from_memory(96 * 1024, seed=5)
+        hw = HardwareCocoSketch.from_memory(96 * 1024, seed=5)
+        basic.process(iter(small_trace))
+        hw.process(iter(small_trace))
+
+        hh_basic = {
+            k for k, v in basic.flow_table().items() if v >= threshold
+        }
+        hh_hw = {k for k, v in hw.flow_table().items() if v >= threshold}
+        for found in (hh_basic, hh_hw):
+            overlap = len(found & true_hh) / len(true_hh)
+            assert overlap > 0.85

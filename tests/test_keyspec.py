@@ -1,0 +1,182 @@
+"""Unit tests for FullKeySpec / PartialKeySpec (Definition 1 semantics)."""
+
+import pytest
+
+from repro.flowkeys.fields import DST_IP, SRC_IP, SRC_PORT, Field
+from repro.flowkeys.key import (
+    FIVE_TUPLE,
+    FullKeySpec,
+    PartialKeySpec,
+    group_table,
+    paper_partial_keys,
+    prefix_hierarchy,
+    two_dim_hierarchy,
+)
+
+
+class TestFullKeySpec:
+    def test_five_tuple_width(self):
+        assert FIVE_TUPLE.width == 104
+        assert FIVE_TUPLE.width_bytes == 13
+
+    def test_pack_unpack_roundtrip(self):
+        values = (0xC0A80101, 0x0A000001, 443, 51515, 6)
+        key = FIVE_TUPLE.pack(*values)
+        assert FIVE_TUPLE.unpack(key) == values
+
+    def test_pack_orders_msb_first(self):
+        spec = FullKeySpec((Field("a", 8), Field("b", 8)))
+        assert spec.pack(0x12, 0x34) == 0x1234
+
+    def test_pack_wrong_arity(self):
+        with pytest.raises(ValueError):
+            FIVE_TUPLE.pack(1, 2, 3)
+
+    def test_pack_checks_field_ranges(self):
+        with pytest.raises(ValueError):
+            FIVE_TUPLE.pack(1 << 32, 0, 0, 0, 0)
+
+    def test_unpack_rejects_wide_keys(self):
+        with pytest.raises(ValueError):
+            FIVE_TUPLE.unpack(1 << 104)
+
+    def test_shift_of(self):
+        assert FIVE_TUPLE.shift_of("Proto") == 0
+        assert FIVE_TUPLE.shift_of("DstPort") == 8
+        assert FIVE_TUPLE.shift_of("SrcIP") == 72
+
+    def test_field_lookup(self):
+        assert FIVE_TUPLE.field("DstIP") == DST_IP
+        with pytest.raises(KeyError):
+            FIVE_TUPLE.field("nope")
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError):
+            FullKeySpec((SRC_IP, Field("SrcIP", 16)))
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            FullKeySpec(())
+
+    def test_to_bytes_is_big_endian(self):
+        spec = FullKeySpec((Field("a", 16),))
+        assert spec.to_bytes(0x0102) == b"\x01\x02"
+
+
+class TestPartialKeySpec:
+    def test_field_subset_mapping(self):
+        key = FIVE_TUPLE.pack(0xC0A80101, 0x0A000001, 443, 51515, 6)
+        pk = FIVE_TUPLE.partial("SrcIP", "DstIP")
+        assert pk.map(key) == (0xC0A80101 << 32) | 0x0A000001
+
+    def test_prefix_mapping(self):
+        key = FIVE_TUPLE.pack(0xC0A80101, 0, 0, 0, 0)
+        pk = FIVE_TUPLE.partial(("SrcIP", 24))
+        assert pk.map(key) == 0xC0A801
+
+    def test_mapper_matches_map(self, six_keys):
+        key = FIVE_TUPLE.pack(0xDEADBEEF, 0x0A0B0C0D, 80, 1234, 17)
+        for pk in six_keys + [FIVE_TUPLE.partial(("SrcIP", 13), ("DstPort", 5))]:
+            assert pk.mapper()(key) == pk.map(key)
+
+    def test_identity_partial_is_full(self):
+        pk = FIVE_TUPLE.identity_partial()
+        assert pk.is_full()
+        key = FIVE_TUPLE.pack(1, 2, 3, 4, 5)
+        assert pk.map(key) == key
+
+    def test_non_full_is_not_full(self):
+        assert not FIVE_TUPLE.partial("SrcIP").is_full()
+
+    def test_width_sums_prefixes(self):
+        pk = FIVE_TUPLE.partial(("SrcIP", 24), ("DstIP", 8))
+        assert pk.width == 32
+
+    def test_name_label(self):
+        assert FIVE_TUPLE.partial(("SrcIP", 24)).name == "SrcIP/24"
+        assert FIVE_TUPLE.partial("SrcIP", "DstIP").name == "SrcIP/32+DstIP/32"
+
+    def test_unpack_splits_parts(self):
+        pk = FIVE_TUPLE.partial(("SrcIP", 8), ("DstIP", 8))
+        assert pk.unpack(pk.map(FIVE_TUPLE.pack(0xC0000000, 0x0A000000, 0, 0, 0))) == (
+            0xC0,
+            0x0A,
+        )
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            PartialKeySpec(FIVE_TUPLE, (("SrcIP", 32), ("SrcIP", 24)))
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ValueError):
+            PartialKeySpec(FIVE_TUPLE, (("DstIP", 32), ("SrcIP", 32)))
+
+    def test_excess_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            FIVE_TUPLE.partial(("SrcPort", 17))
+
+    def test_specs_hashable(self):
+        assert FIVE_TUPLE.partial("SrcIP") == FIVE_TUPLE.partial(("SrcIP", 32))
+        assert len({FIVE_TUPLE.partial("SrcIP"), FIVE_TUPLE.partial("SrcIP")}) == 1
+
+
+class TestPaperKeySets:
+    def test_paper_partial_keys_order_and_count(self):
+        keys = paper_partial_keys(6)
+        assert [k.name for k in keys] == [
+            "SrcIP/32+DstIP/32+SrcPort/16+DstPort/16+Proto/8",
+            "SrcIP/32+DstIP/32",
+            "SrcIP/32+SrcPort/16",
+            "DstIP/32+DstPort/16",
+            "SrcIP/32",
+            "DstIP/32",
+        ]
+        assert len(paper_partial_keys(3)) == 3
+
+    def test_paper_partial_keys_bounds(self):
+        with pytest.raises(ValueError):
+            paper_partial_keys(0)
+        with pytest.raises(ValueError):
+            paper_partial_keys(7)
+
+    def test_prefix_hierarchy_32_levels(self):
+        levels = prefix_hierarchy(FIVE_TUPLE, "SrcIP")
+        assert len(levels) == 32
+        assert levels[0].name == "SrcIP/32"
+        assert levels[-1].name == "SrcIP/1"
+
+    def test_prefix_hierarchy_granularity(self):
+        levels = prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=8)
+        assert [l.name for l in levels] == [
+            "SrcIP/32",
+            "SrcIP/24",
+            "SrcIP/16",
+            "SrcIP/8",
+        ]
+
+    def test_prefix_hierarchy_rejects_nondivisor(self):
+        with pytest.raises(ValueError):
+            prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=5)
+
+    def test_two_dim_hierarchy_grid_size(self):
+        # 8-bit granularity: (4+1)x(4+1)-1 = 24 keys.
+        grid = two_dim_hierarchy(FIVE_TUPLE, "SrcIP", "DstIP", granularity=8)
+        assert len(grid) == 24
+
+    def test_two_dim_bit_granularity_paper_count(self):
+        grid = two_dim_hierarchy(FIVE_TUPLE, "SrcIP", "DstIP", granularity=1)
+        assert len(grid) == 33 * 33 - 1  # 1088 non-trivial keys
+
+
+class TestGroupTable:
+    def test_definition1_sum_preservation(self):
+        pk = FIVE_TUPLE.partial(("SrcIP", 24))
+        sizes = {
+            FIVE_TUPLE.pack(0xC0A80101, 1, 1, 1, 6): 10,
+            FIVE_TUPLE.pack(0xC0A80102, 2, 2, 2, 6): 5,
+            FIVE_TUPLE.pack(0x0A000001, 3, 3, 3, 6): 7,
+        }
+        grouped = group_table(pk, sizes)
+        assert grouped[0xC0A801] == 15
+        assert grouped[0x0A0000] == 7
+        assert sum(grouped.values()) == sum(sizes.values())

@@ -1,0 +1,158 @@
+"""Unit tests for accuracy metrics, error CDFs and throughput harness."""
+
+import pytest
+
+from repro._util import percentile
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    average_relative_error,
+    evaluate_heavy_hitters,
+    f1_score,
+    precision_rate,
+    recall_rate,
+)
+from repro.metrics.cdf import ErrorCdf, error_cdf
+from repro.metrics.throughput import best_of, measure_throughput
+
+
+class TestRates:
+    def test_recall(self):
+        assert recall_rate({1, 2}, {1, 2, 3, 4}) == 0.5
+        assert recall_rate(set(), {1}) == 0.0
+        assert recall_rate({1}, set()) == 1.0
+
+    def test_precision(self):
+        assert precision_rate({1, 2, 3, 4}, {1, 2}) == 0.5
+        assert precision_rate(set(), {1}) == 1.0
+
+    def test_f1(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.0, 0.0) == 0.0
+        assert f1_score(1.0, 0.5) == pytest.approx(2 / 3)
+
+    def test_report_f1_property(self):
+        report = AccuracyReport(recall=0.8, precision=0.6, are=0.1)
+        assert report.f1 == pytest.approx(f1_score(0.8, 0.6))
+
+    def test_report_mean(self):
+        mean = AccuracyReport.mean(
+            [
+                AccuracyReport(1.0, 0.5, 0.2),
+                AccuracyReport(0.5, 1.0, 0.4),
+            ]
+        )
+        assert mean.recall == 0.75
+        assert mean.precision == 0.75
+        assert mean.are == pytest.approx(0.3)
+
+    def test_report_mean_empty(self):
+        with pytest.raises(ValueError):
+            AccuracyReport.mean([])
+
+
+class TestAre:
+    def test_exact_estimates_zero_error(self):
+        assert average_relative_error({1: 10.0}, {1: 10}) == 0.0
+
+    def test_missing_flow_counts_full_error(self):
+        assert average_relative_error({}, {1: 10}) == 1.0
+
+    def test_query_set_restriction(self):
+        are = average_relative_error(
+            {1: 5.0, 2: 100.0}, {1: 10, 2: 10}, query_set=[1]
+        )
+        assert are == 0.5
+
+    def test_empty_query_set(self):
+        assert average_relative_error({}, {}) == 0.0
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            average_relative_error({1: 5.0}, {1: 0})
+
+
+class TestEvaluateHeavyHitters:
+    def test_perfect_detection(self):
+        truth = {1: 100, 2: 50, 3: 1}
+        est = {1: 100.0, 2: 50.0, 3: 1.0}
+        report = evaluate_heavy_hitters(est, truth, threshold=50)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        assert report.are == 0.0
+
+    def test_false_positive_hurts_precision_only(self):
+        truth = {1: 100, 2: 10}
+        est = {1: 100.0, 2: 60.0}
+        report = evaluate_heavy_hitters(est, truth, threshold=50)
+        assert report.recall == 1.0
+        assert report.precision == 0.5
+
+    def test_miss_hurts_recall_and_are(self):
+        truth = {1: 100, 2: 80}
+        est = {1: 100.0}
+        report = evaluate_heavy_hitters(est, truth, threshold=50)
+        assert report.recall == 0.5
+        assert report.are == 0.5  # flow 2 contributes |0-80|/80 = 1, /2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_heavy_hitters({}, {}, threshold=0)
+
+
+class TestErrorCdf:
+    def test_probability_at(self):
+        cdf = error_cdf({1: 10.0, 2: 5.0}, {1: 10, 2: 10})
+        # errors: [0, 5]
+        assert cdf.probability_at(0) == 0.5
+        assert cdf.probability_at(5) == 1.0
+        assert cdf.probability_at(4.9) == 0.5
+
+    def test_quantile_and_worst(self):
+        cdf = ErrorCdf(list(range(100)))
+        assert cdf.quantile(0.5) == 49
+        assert cdf.worst(0.01) == 98
+        with pytest.raises(ValueError):
+            cdf.quantile(0)
+
+    def test_missing_flows_full_error(self):
+        cdf = error_cdf({}, {1: 7})
+        assert cdf.errors == [7.0]
+
+    def test_points_monotone(self):
+        cdf = ErrorCdf([1.0, 2.0, 3.0])
+        points = cdf.points()
+        assert points[-1][1] == 1.0
+        assert all(
+            points[i][1] < points[i + 1][1] for i in range(len(points) - 1)
+        )
+
+
+class TestThroughput:
+    def test_counts_and_positive_rate(self):
+        sink = []
+        result = measure_throughput(
+            lambda k, s: sink.append(k), [(i, 1) for i in range(1000)]
+        )
+        assert result.packets == 1000
+        assert len(sink) == 1000
+        assert result.mpps > 0
+        assert result.p95_ns >= result.p50_ns >= 0
+
+    def test_latency_stride_validation(self):
+        with pytest.raises(ValueError):
+            measure_throughput(lambda k, s: None, [], latency_stride=0)
+
+    def test_best_of_median(self):
+        result = best_of(
+            3, lambda: (lambda k, s: None), [(i, 1) for i in range(200)]
+        )
+        assert result.packets == 200
+
+    def test_percentile_helper(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50, abs=1)
+        assert percentile(values, 95) == pytest.approx(95, abs=1)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 200)

@@ -1,0 +1,93 @@
+"""Edge-case coverage: base classes, empirical helpers, small utils."""
+
+import pytest
+
+from repro.analysis.empirical import (
+    empirical_estimates,
+    estimate_moments,
+    mean_confidence_halfwidth,
+)
+from repro.core.cocosketch import BasicCocoSketch
+from repro.hwsim.ovs import OvsSimulationResult
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class TestUpdateCost:
+    def test_memory_accesses(self):
+        assert UpdateCost(1, 2, 3).memory_accesses == 5
+
+    def test_addition(self):
+        total = UpdateCost(1, 2, 3, 4) + UpdateCost(10, 20, 30, 40)
+        assert total == UpdateCost(11, 22, 33, 44)
+
+
+class TestSketchBase:
+    def test_process_consumes_pairs(self):
+        sk = BasicCocoSketch(d=1, l=8, seed=1)
+        sk.process([(1, 2), (1, 3)])
+        assert sk.query(1) == 5.0
+
+    def test_reset_default_raises(self):
+        class Stub(Sketch):
+            def update(self, key, size=1):
+                pass
+
+            def query(self, key):
+                return 0.0
+
+            def flow_table(self):
+                return {}
+
+            def memory_bytes(self):
+                return 0
+
+            def update_cost(self):
+                return UpdateCost(0, 0, 0)
+
+        with pytest.raises(NotImplementedError):
+            Stub().reset()
+
+
+class TestEmpiricalHelpers:
+    def test_estimate_moments_known_values(self):
+        mean, var = estimate_moments([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert var == 1.0
+
+    def test_estimate_moments_needs_two(self):
+        with pytest.raises(ValueError):
+            estimate_moments([1.0])
+
+    def test_halfwidth_scales_with_z(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert mean_confidence_halfwidth(samples, z=4.0) == pytest.approx(
+            2 * mean_confidence_halfwidth(samples, z=2.0)
+        )
+
+    def test_empirical_estimates_validation(self):
+        with pytest.raises(ValueError):
+            empirical_estimates(
+                lambda seed: BasicCocoSketch(d=1, l=4, seed=seed),
+                [(1, 1)],
+                1,
+                trials=0,
+            )
+
+    def test_empirical_estimates_distinct_seeds(self):
+        estimates = empirical_estimates(
+            lambda seed: BasicCocoSketch(d=1, l=2, seed=seed),
+            [(k, 1) for k in range(40)],
+            5,
+            trials=10,
+        )
+        assert len(estimates) == 10
+
+
+class TestOvsResultProperties:
+    def test_drop_rate(self):
+        result = OvsSimulationResult(1, 10.0, 8.0, 2.0, 0.5)
+        assert result.drop_rate == pytest.approx(0.2)
+
+    def test_drop_rate_zero_offered(self):
+        result = OvsSimulationResult(1, 0.0, 0.0, 0.0, 0.0)
+        assert result.drop_rate == 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for MultiKeySketchBank, R-HHH and the §2.3 strawmen."""
+
+import pytest
+
+from repro.flowkeys.key import FIVE_TUPLE, paper_partial_keys, prefix_hierarchy
+from repro.sketches.countmin import CountMinHeap
+from repro.sketches.multikey import MultiKeySketchBank
+from repro.sketches.rhhh import RandomizedHHH
+from repro.sketches.strawmen import FullAggregationStrawman, LossyRecoveryStrawman
+
+
+def _cm_factory(memory, seed):
+    return CountMinHeap.from_memory(memory, seed=seed)
+
+
+class TestMultiKeyBank:
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            MultiKeySketchBank([], _cm_factory, 1024)
+
+    def test_memory_split_equally(self):
+        keys = paper_partial_keys(4)
+        bank = MultiKeySketchBank(keys, _cm_factory, 256 * 1024)
+        mems = [s.memory_bytes() for s in bank.sketches]
+        assert max(mems) - min(mems) < 1024
+        assert bank.memory_bytes() <= 256 * 1024
+
+    def test_update_feeds_mapped_keys(self, tiny_trace):
+        keys = paper_partial_keys(2)
+        bank = MultiKeySketchBank(keys, _cm_factory, 128 * 1024, seed=1)
+        bank.process(iter(tiny_trace))
+        # The (SrcIP, DstIP) sketch must answer on mapped values.
+        pk = keys[1]
+        truth = tiny_trace.ground_truth(pk)
+        top_val, top_size = max(truth.items(), key=lambda kv: kv[1])
+        assert bank.query(pk, top_val) >= top_size
+
+    def test_table_for_unknown_key_raises(self):
+        keys = paper_partial_keys(2)
+        bank = MultiKeySketchBank(keys, _cm_factory, 64 * 1024)
+        with pytest.raises(KeyError):
+            bank.table_for(FIVE_TUPLE.partial("Proto"))
+
+    def test_update_cost_scales_with_keys(self):
+        one = MultiKeySketchBank(
+            paper_partial_keys(1), _cm_factory, 64 * 1024
+        ).update_cost()
+        six = MultiKeySketchBank(
+            paper_partial_keys(6), _cm_factory, 64 * 1024
+        ).update_cost()
+        assert six.hashes == 6 * one.hashes
+
+
+class TestRandomizedHHH:
+    def test_requires_hierarchy(self):
+        with pytest.raises(ValueError):
+            RandomizedHHH([], 1024)
+
+    def test_one_level_updated_per_packet(self, tiny_trace):
+        levels = prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=8)
+        rhhh = RandomizedHHH(levels, 256 * 1024, seed=1)
+        rhhh.process(iter(tiny_trace))
+        # Total raw (unscaled) counts across levels equal packets seen.
+        raw_total = sum(
+            sum(s.sketch._counters[0]) for s in rhhh.sketches
+        ) / 1  # row 0 of each CM absorbs every update once
+        assert raw_total == len(tiny_trace)
+
+    def test_scaling_corrects_sampling(self, small_trace):
+        levels = prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=8)
+        rhhh = RandomizedHHH(levels, 512 * 1024, seed=2)
+        rhhh.process(iter(small_trace))
+        pk = levels[0]  # SrcIP/32
+        truth = small_trace.ground_truth(pk)
+        top_val, top_size = max(truth.items(), key=lambda kv: kv[1])
+        est = rhhh.query(pk, top_val)
+        assert est == pytest.approx(top_size, rel=0.5)
+
+    def test_unknown_level_raises(self):
+        levels = prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=8)
+        rhhh = RandomizedHHH(levels, 64 * 1024)
+        with pytest.raises(KeyError):
+            rhhh.query(FIVE_TUPLE.partial("DstIP"), 0)
+
+    def test_update_cost_constant_in_levels(self):
+        short = RandomizedHHH(
+            prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=16), 256 * 1024
+        ).update_cost()
+        # Same per-level sketch size => same per-packet cost regardless
+        # of hierarchy depth (the R-HHH selling point).
+        tall = RandomizedHHH(
+            prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=8), 512 * 1024
+        ).update_cost()
+        assert short.hashes == tall.hashes
+
+
+class TestStrawmen:
+    def test_lossy_recovers_partial_from_heavy_part(self, small_trace):
+        strawman = LossyRecoveryStrawman(128 * 1024, seed=1)
+        strawman.process(iter(small_trace))
+        pk = FIVE_TUPLE.partial("SrcIP")
+        table = strawman.table_for(pk)
+        truth = small_trace.ground_truth(pk)
+        top_val, _ = max(truth.items(), key=lambda kv: kv[1])
+        assert top_val in table
+
+    def test_lossy_underestimates_partial_sums(self, small_trace):
+        # Mice living in the light part are invisible to the recovery.
+        strawman = LossyRecoveryStrawman(64 * 1024, seed=1)
+        strawman.process(iter(small_trace))
+        pk = FIVE_TUPLE.partial("SrcIP")
+        est_total = sum(strawman.table_for(pk).values())
+        assert est_total < small_trace.total_size
+
+    def test_full_aggregation_overestimates(self, small_trace):
+        # CM one-sided error accumulates over aggregated candidates.
+        strawman = FullAggregationStrawman(32 * 1024, seed=1)
+        strawman.process(iter(small_trace))
+        pk = FIVE_TUPLE.partial("SrcIP")
+        candidates = list(small_trace.full_counts())
+        table = strawman.table_for(pk, candidates)
+        truth = small_trace.ground_truth(pk)
+        overs = sum(
+            1 for val, size in truth.items() if table.get(val, 0) >= size
+        )
+        assert overs == len(truth)  # every estimate >= truth (CM)
+
+    def test_full_rejects_tiny_memory(self):
+        with pytest.raises(ValueError):
+            FullAggregationStrawman(4)

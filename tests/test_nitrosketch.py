@@ -1,0 +1,69 @@
+"""Tests for the NitroSketch baseline."""
+
+import pytest
+
+from repro.analysis.empirical import estimate_moments, mean_confidence_halfwidth
+from repro.metrics.throughput import measure_throughput
+from repro.sketches.nitrosketch import NitroSketch
+from repro.traffic.synthetic import zipf_trace
+
+
+class TestNitroSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NitroSketch(rows=0)
+        with pytest.raises(ValueError):
+            NitroSketch(probability=0.0)
+        with pytest.raises(ValueError):
+            NitroSketch(probability=1.5)
+        with pytest.raises(ValueError):
+            NitroSketch.from_memory(64)
+
+    def test_p1_exact_single_flow(self):
+        sk = NitroSketch(rows=3, width=2048, probability=1.0, seed=1)
+        for _ in range(100):
+            sk.update(5, 2)
+        assert sk.query(5) == pytest.approx(200.0)
+
+    def test_sampled_estimates_unbiased(self):
+        trace = zipf_trace(4_000, 300, alpha=1.2, seed=22)
+        packets = list(trace)
+        key, size = max(trace.full_counts().items(), key=lambda kv: kv[1])
+        estimates = []
+        for seed in range(50):
+            sk = NitroSketch(rows=3, width=2048, probability=0.2, seed=seed)
+            sk.process(packets)
+            estimates.append(sk.query(key))
+        mean, _ = estimate_moments(estimates)
+        half = mean_confidence_halfwidth(estimates, z=4.0)
+        assert abs(mean - size) <= max(half, 0.1 * size)
+
+    def test_lower_probability_is_faster(self):
+        packets = [(i % 500, 1) for i in range(20_000)]
+        fast = NitroSketch(rows=4, width=4096, probability=0.02, seed=1)
+        slow = NitroSketch(rows=4, width=4096, probability=1.0, seed=1)
+        mpps_fast = measure_throughput(fast.update, packets).mpps
+        mpps_slow = measure_throughput(slow.update, packets).mpps
+        assert mpps_fast > 1.5 * mpps_slow
+
+    def test_heavy_flows_tracked(self, small_trace):
+        sk = NitroSketch.from_memory(96 * 1024, probability=0.2, seed=2)
+        sk.process(iter(small_trace))
+        table = sk.flow_table()
+        top = sorted(
+            small_trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[:10]
+        hits = sum(1 for key, _ in top if key in table)
+        assert hits >= 8
+
+    def test_update_cost_scales_with_probability(self):
+        low = NitroSketch(rows=10, width=64, probability=0.1).update_cost()
+        high = NitroSketch(rows=10, width=64, probability=1.0).update_cost()
+        assert low.memory_accesses < high.memory_accesses
+
+    def test_reset(self):
+        sk = NitroSketch(rows=2, width=64, probability=1.0, seed=1)
+        sk.update(1, 5)
+        sk.reset()
+        assert sk.query(1) == 0.0
+        assert sk.flow_table() == {}

@@ -1,0 +1,122 @@
+"""Tests for the RMT stage allocator."""
+
+import pytest
+
+from repro.hwsim.p4alloc import (
+    AllocationError,
+    Dependency,
+    RmtAllocator,
+    StageBudget,
+    TableNode,
+    cocosketch_tables,
+    count_min_tables,
+    elastic_tables,
+)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RmtAllocator(num_stages=0)
+        with pytest.raises(ValueError):
+            TableNode("t", salus=-1)
+        with pytest.raises(ValueError):
+            cocosketch_tables(0)
+        with pytest.raises(ValueError):
+            count_min_tables(0)
+
+    def test_duplicate_tables_rejected(self):
+        alloc = RmtAllocator()
+        with pytest.raises(ValueError):
+            alloc.allocate([TableNode("a"), TableNode("a")])
+
+    def test_unknown_dependency_rejected(self):
+        alloc = RmtAllocator()
+        with pytest.raises(ValueError):
+            alloc.allocate([TableNode("a")], [Dependency("a", "ghost")])
+
+
+class TestDependencies:
+    def test_chain_gets_increasing_stages(self):
+        alloc = RmtAllocator()
+        tables = [TableNode(n, salus=1) for n in ("a", "b", "c")]
+        deps = [Dependency("a", "b"), Dependency("b", "c")]
+        plan = alloc.allocate(tables, deps)
+        assert plan.stage_of("a") < plan.stage_of("b") < plan.stage_of("c")
+
+    def test_independent_tables_share_a_stage(self):
+        alloc = RmtAllocator()
+        plan = alloc.allocate([TableNode("a", salus=1), TableNode("b", salus=1)])
+        assert plan.stage_of("a") == plan.stage_of("b") == 0
+
+    def test_cycle_raises(self):
+        alloc = RmtAllocator()
+        tables = [TableNode("a"), TableNode("b")]
+        deps = [Dependency("a", "b"), Dependency("b", "a")]
+        with pytest.raises(AllocationError):
+            alloc.allocate(tables, deps)
+
+    def test_chain_longer_than_pipeline_fails(self):
+        alloc = RmtAllocator(num_stages=3)
+        tables = [TableNode(f"t{i}") for i in range(5)]
+        deps = [Dependency(f"t{i}", f"t{i+1}") for i in range(4)]
+        with pytest.raises(AllocationError):
+            alloc.allocate(tables, deps)
+
+
+class TestBudgets:
+    def test_overflow_shifts_to_next_stage(self):
+        alloc = RmtAllocator(budget=StageBudget(salus=2))
+        tables = [TableNode(f"t{i}", salus=1) for i in range(5)]
+        plan = alloc.allocate(tables)
+        stages = [plan.stage_of(f"t{i}") for i in range(5)]
+        assert max(stages) >= 2  # 5 SALUs at 2/stage -> 3 stages
+        for usage in plan.per_stage_usage:
+            assert usage["salus"] <= 2
+
+    def test_single_table_exceeding_stage_budget_fails(self):
+        alloc = RmtAllocator(budget=StageBudget(salus=2))
+        with pytest.raises(AllocationError):
+            alloc.allocate([TableNode("fat", salus=3)])
+
+
+class TestCanonicalPrograms:
+    def test_cocosketch_places_on_twelve_stages(self):
+        alloc = RmtAllocator()
+        plan = alloc.allocate(*cocosketch_tables(d=2))
+        assert plan.num_stages_used <= 12
+        # value precedes probability precedes key in each array (§4.2).
+        for i in range(2):
+            assert plan.stage_of(f"value_{i}") < plan.stage_of(f"key_{i}")
+
+    def test_cocosketch_d4_still_places(self):
+        plan = RmtAllocator().allocate(*cocosketch_tables(d=4))
+        assert plan.num_stages_used <= 12
+
+    def test_elastic_places_once(self):
+        plan = RmtAllocator().allocate(*elastic_tables())
+        assert plan.num_stages_used <= 12
+
+    def test_count_min_places_once(self):
+        plan = RmtAllocator().allocate(*count_min_tables())
+        assert plan.num_stages_used <= 12
+
+    def test_max_copies_elastic_limited(self):
+        # §7.4: only a handful of Elastic instances place; CocoSketch
+        # measures any number of keys with a single instance.
+        alloc = RmtAllocator()
+        elastic_copies = alloc.max_copies(*elastic_tables())
+        assert 1 <= elastic_copies <= 6
+        coco_plan = alloc.allocate(*cocosketch_tables(d=2))
+        assert coco_plan.num_stages_used <= 12
+
+    def test_max_copies_monotone_in_stage_budget(self):
+        rich = RmtAllocator(budget=StageBudget(salus=8, hash_units=12))
+        poor = RmtAllocator(budget=StageBudget(salus=2, hash_units=3))
+        tables, deps = count_min_tables()
+        assert rich.max_copies(tables, deps) >= poor.max_copies(tables, deps)
+
+    def test_copies_are_independent(self):
+        alloc = RmtAllocator()
+        tables, deps = cocosketch_tables(d=2)
+        assert alloc.max_copies(tables, deps) >= 2

@@ -1,0 +1,85 @@
+"""Structural tests for the generated P4 program."""
+
+import re
+
+import pytest
+
+from repro.flowkeys.fields import Field
+from repro.flowkeys.key import FIVE_TUPLE, FullKeySpec
+from repro.hwsim.p4gen import generate_p4, resource_summary
+
+
+class TestGeneration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_p4(d=0)
+        with pytest.raises(ValueError):
+            generate_p4(l=1000)  # not a power of two
+
+    def test_braces_balanced(self):
+        source = generate_p4(d=2, l=1 << 14)
+        assert source.count("{") == source.count("}")
+
+    def test_one_value_register_per_array(self):
+        source = generate_p4(d=3, l=1 << 12)
+        for i in range(3):
+            assert f") value_{i};" in source
+        assert ") value_3;" not in source
+
+    def test_five_tuple_needs_four_key_slices(self):
+        source = generate_p4(d=2, l=1 << 12)
+        for s in range(4):  # 104 bits / 32 = 4 slices
+            assert f"key_0_part{s}" in source
+        assert "key_0_part4" not in source
+
+    def test_value_stage_emitted_before_key_stage(self):
+        source = generate_p4(d=2, l=1 << 12)
+        apply_block = source.split("apply {", 1)[1]
+        for i in range(2):
+            value_pos = apply_block.index(f"add_value_{i}.execute")
+            key_pos = apply_block.index(f"replace_key_{i}_part0.execute")
+            assert value_pos < key_pos  # §4.2 ordering
+
+    def test_unconditional_value_increment_documented(self):
+        assert "unconditional" in generate_p4()
+
+    def test_math_unit_approximation_emitted(self):
+        source = generate_p4()
+        assert "MathUnit" in source
+        assert "top-4-bit" in source
+
+    def test_index_width_matches_l(self):
+        source = generate_p4(d=1, l=1 << 10)
+        assert "bit<10> index_0;" in source
+
+    def test_custom_spec_fields_emitted(self):
+        spec = FullKeySpec((Field("VlanId", 12), Field("Proto", 8)))
+        source = generate_p4(d=1, l=1 << 8, spec=spec)
+        assert "bit<12> vlanid;" in source
+        assert "bit<8> proto;" in source
+        # 20-bit key fits one 32-bit slice.
+        assert "key_0_part0" in source
+        assert "key_0_part1" not in source
+
+    def test_hash_polynomials_differ_per_array(self):
+        source = generate_p4(d=2, l=1 << 8)
+        polys = re.findall(r"0x04C11DB7 \+ (\d)", source)
+        assert polys == ["0", "1"]
+
+
+class TestResourceSummary:
+    def test_counts_match_generated_structure(self):
+        source = generate_p4(d=2, l=1 << 12)
+        summary = resource_summary(d=2, l=1 << 12)
+        assert summary["register_arrays"] == source.count("Register<bit<32>")
+        assert summary["key_slices"] == 4
+
+    def test_sram_accounting(self):
+        summary = resource_summary(d=2, l=1 << 10, spec=FIVE_TUPLE)
+        # 2 arrays x 1024 entries x 4 B x (1 value + 4 key slices)
+        assert summary["sram_bytes"] == 2 * 1024 * 4 * 5
+
+    def test_salus_linear_in_d(self):
+        a = resource_summary(d=1)["stateful_alus"]
+        b = resource_summary(d=3)["stateful_alus"]
+        assert b == 3 * a

@@ -1,0 +1,172 @@
+"""Tests for the frame parser and PCAP reader/writer."""
+
+import struct
+
+import pytest
+
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.flowkeys.parser import (
+    ParseError,
+    build_ethernet_frame,
+    parse_ethernet_frame,
+    try_parse,
+)
+from repro.traffic.pcap import (
+    PcapError,
+    PcapPacket,
+    pcap_to_trace,
+    read_pcap,
+    trace_to_pcap,
+    write_pcap,
+)
+from repro.traffic.synthetic import zipf_trace
+
+
+def _key(src=0x0A000001, dst=0x0B000002, sport=1234, dport=80, proto=6):
+    return FIVE_TUPLE.pack(src, dst, sport, dport, proto)
+
+
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize("proto", [6, 17])
+    def test_build_then_parse(self, proto):
+        key = _key(proto=proto)
+        parsed = parse_ethernet_frame(build_ethernet_frame(key, 100))
+        assert parsed.key == key
+        assert parsed.proto == proto
+
+    def test_total_length_reflects_payload(self):
+        parsed = parse_ethernet_frame(build_ethernet_frame(_key(), 100))
+        assert parsed.total_length == 20 + 20 + 100  # IP + TCP + payload
+
+    def test_udp_header_is_8_bytes(self):
+        parsed = parse_ethernet_frame(
+            build_ethernet_frame(_key(proto=17), 64)
+        )
+        assert parsed.total_length == 20 + 8 + 64
+
+    def test_cannot_build_non_tcp_udp(self):
+        with pytest.raises(ParseError):
+            build_ethernet_frame(_key(proto=1))
+        with pytest.raises(ParseError):
+            build_ethernet_frame(_key(), payload_length=-1)
+
+
+class TestParserRejects:
+    def test_short_frame(self):
+        with pytest.raises(ParseError):
+            parse_ethernet_frame(b"\x00" * 20)
+
+    def test_wrong_ethertype(self):
+        frame = bytearray(build_ethernet_frame(_key()))
+        frame[12:14] = (0x86DD).to_bytes(2, "big")  # IPv6
+        with pytest.raises(ParseError):
+            parse_ethernet_frame(bytes(frame))
+
+    def test_wrong_ip_version(self):
+        frame = bytearray(build_ethernet_frame(_key()))
+        frame[14] = 0x65  # version 6
+        with pytest.raises(ParseError):
+            parse_ethernet_frame(bytes(frame))
+
+    def test_fragment_rejected(self):
+        frame = bytearray(build_ethernet_frame(_key()))
+        frame[20:22] = (0x0001).to_bytes(2, "big")  # frag offset 1
+        with pytest.raises(ParseError):
+            parse_ethernet_frame(bytes(frame))
+
+    def test_icmp_rejected(self):
+        frame = bytearray(build_ethernet_frame(_key()))
+        frame[23] = 1  # ICMP
+        with pytest.raises(ParseError):
+            parse_ethernet_frame(bytes(frame))
+
+    def test_try_parse_returns_none(self):
+        assert try_parse(b"junk") is None
+        assert try_parse(build_ethernet_frame(_key())) is not None
+
+
+class TestPcapFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        frames = [
+            PcapPacket(1.5, build_ethernet_frame(_key(sport=p), 10))
+            for p in range(1, 6)
+        ]
+        path = tmp_path / "t.pcap"
+        write_pcap(path, frames)
+        loaded = list(read_pcap(path))
+        assert len(loaded) == 5
+        assert loaded[0].timestamp == pytest.approx(1.5, abs=1e-6)
+        assert loaded[2].data == frames[2].data
+
+    def test_big_endian_pcap_readable(self, tmp_path):
+        # Hand-build a big-endian capture with one frame.
+        frame = build_ethernet_frame(_key())
+        path = tmp_path / "be.pcap"
+        with path.open("wb") as fh:
+            fh.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+            fh.write(struct.pack(">IIII", 10, 250_000, len(frame), len(frame)))
+            fh.write(frame)
+        loaded = list(read_pcap(path))
+        assert len(loaded) == 1
+        assert loaded[0].timestamp == pytest.approx(10.25)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PcapError):
+            list(read_pcap(path))
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(PcapError):
+            list(read_pcap(path))
+
+    def test_snaplen_truncates(self, tmp_path):
+        frame = build_ethernet_frame(_key(), 1000)
+        path = tmp_path / "snap.pcap"
+        write_pcap(path, [PcapPacket(0.0, frame)], snaplen=96)
+        (loaded,) = read_pcap(path)
+        assert len(loaded.data) == 96
+
+
+class TestTracePcapBridge:
+    def test_trace_roundtrip_preserves_keys(self, tmp_path):
+        trace = zipf_trace(2_000, 300, seed=19)
+        path = tmp_path / "trace.pcap"
+        trace_to_pcap(trace, path)
+        loaded, skipped = pcap_to_trace(path)
+        assert skipped == 0
+        assert loaded.keys == trace.keys
+        assert loaded.full_counts() == trace.full_counts()
+
+    def test_byte_mode_weights_from_ip_length(self, tmp_path):
+        trace = zipf_trace(500, 100, seed=20, with_bytes=True)
+        path = tmp_path / "bytes.pcap"
+        trace_to_pcap(trace, path)
+        loaded, _ = pcap_to_trace(path, count_bytes=True)
+        assert loaded.sizes is not None
+        assert all(s >= 28 for s in loaded.sizes)
+
+    def test_unparseable_frames_skipped_and_counted(self, tmp_path):
+        frames = [
+            PcapPacket(0.0, build_ethernet_frame(_key())),
+            PcapPacket(0.1, b"\x00" * 64),  # junk
+        ]
+        path = tmp_path / "mixed.pcap"
+        write_pcap(path, frames)
+        trace, skipped = pcap_to_trace(path)
+        assert len(trace) == 1
+        assert skipped == 1
+
+    def test_sketch_over_pcap_end_to_end(self, tmp_path):
+        from repro.core.cocosketch import BasicCocoSketch
+
+        trace = zipf_trace(5_000, 500, seed=21)
+        path = tmp_path / "e2e.pcap"
+        trace_to_pcap(trace, path)
+        loaded, _ = pcap_to_trace(path)
+        sketch = BasicCocoSketch.from_memory(64 * 1024, seed=1)
+        sketch.process(iter(loaded))
+        key, size = max(trace.full_counts().items(), key=lambda kv: kv[1])
+        assert sketch.query(key) == pytest.approx(size, rel=0.1)

@@ -1,0 +1,148 @@
+"""Additional property-based tests: trie, codec, pcap, decay, merge."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.serialize import dump_sketch, load_sketch
+from repro.extensions.decay import DecayedCocoSketch
+from repro.extensions.merging import merge_cocosketch
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.flowkeys.parser import build_ethernet_frame, parse_ethernet_frame
+from repro.flowkeys.trie import PrefixTrie
+
+
+class TestTrieProperties:
+    @given(
+        st.lists(
+            st.integers(0, 8).flatmap(
+                lambda plen: st.tuples(
+                    st.just(plen), st.integers(0, max(0, (1 << plen) - 1))
+                )
+            ),
+            max_size=30,
+        ),
+        st.integers(0, 255),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_lpm_matches_brute_force(self, rule_list, probe):
+        trie = PrefixTrie(8)
+        rule_map = {}
+        for plen, value in rule_list:
+            trie.insert(value, plen, f"{value}/{plen}")
+            rule_map[(value, plen)] = f"{value}/{plen}"
+
+        # Brute force: longest (value, plen) whose prefix matches probe.
+        best = None
+        for (value, plen) in rule_map:
+            if plen == 0 or probe >> (8 - plen) == value:
+                if best is None or plen > best[1]:
+                    best = (value, plen)
+        result = trie.longest_match(probe)
+        if best is None:
+            assert result is None
+        else:
+            assert result[:2] == best
+
+    @given(
+        st.lists(
+            st.integers(1, 8).flatmap(
+                lambda plen: st.tuples(
+                    st.just(plen), st.integers(0, (1 << plen) - 1)
+                )
+            ),
+            max_size=20,
+            unique=True,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_items_roundtrip(self, rule_list):
+        trie = PrefixTrie(8)
+        expected = {}
+        for plen, value in rule_list:
+            trie.insert(value, plen, (value, plen))
+            expected[(value, plen)] = (value, plen)
+        got = {(v, l): p for v, l, p in trie.items()}
+        assert got == expected
+        assert len(trie) == len(expected)
+
+
+class TestCodecProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**104 - 1), st.integers(1, 1000)),
+            max_size=60,
+        ),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dump_load_preserves_tables(self, packets, d):
+        sketch = BasicCocoSketch(d=d, l=16, seed=5)
+        for key, size in packets:
+            sketch.update(key, size)
+        restored = load_sketch(dump_sketch(sketch))
+        assert restored.flow_table() == sketch.flow_table()
+        assert restored._vals == sketch._vals
+
+
+class TestFrameProperties:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 2**16 - 1),
+        st.sampled_from([6, 17]),
+        st.integers(0, 1200),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_frame_roundtrip_any_tuple(self, src, dst, sp, dp, proto, payload):
+        key = FIVE_TUPLE.pack(src, dst, sp, dp, proto)
+        parsed = parse_ethernet_frame(build_ethernet_frame(key, payload))
+        assert parsed.key == key
+
+
+class TestDecayProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(1, 20)),
+            min_size=1,
+            max_size=100,
+        ),
+        st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_values_never_negative_and_bounded(self, packets, decay):
+        sk = DecayedCocoSketch(d=2, l=8, decay=decay, seed=3)
+        total = 0.0
+        for key, size in packets:
+            sk.update(key, size)
+            total += size
+        # Without ticks, weight is conserved up to float rounding.
+        stored = sum(sum(row) for row in sk._vals)
+        assert stored <= total + 1e-6
+        sk.tick(3)
+        for value in sk.flow_table().values():
+            assert value >= 0.0
+
+
+class TestMergeProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(1, 9)), max_size=80
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(1, 9)), max_size=80
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_total_is_sum_of_totals(self, stream_a, stream_b):
+        a = BasicCocoSketch(d=2, l=8, seed=9)
+        b = BasicCocoSketch(d=2, l=8, seed=9)
+        for key, size in stream_a:
+            a.update(key, size)
+        for key, size in stream_b:
+            b.update(key, size)
+        merged = merge_cocosketch(a, b, seed=4)
+        assert sum(sum(row) for row in merged._vals) == sum(
+            s for _, s in stream_a
+        ) + sum(s for _, s in stream_b)

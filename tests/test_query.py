@@ -1,0 +1,117 @@
+"""Unit tests for the control-plane query front-end (§4.3)."""
+
+import pytest
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.query import FlowTable, partial_key_report
+from repro.flowkeys.key import FIVE_TUPLE, paper_partial_keys
+
+
+def _key(src, dst=1, sport=1, dport=1, proto=6):
+    return FIVE_TUPLE.pack(src, dst, sport, dport, proto)
+
+
+class TestFlowTable:
+    def test_query_and_total(self):
+        table = FlowTable({1: 10.0, 2: 5.0}, FIVE_TUPLE)
+        assert table.query(1) == 10.0
+        assert table.query(99) == 0.0
+        assert table.total == 15.0
+        assert len(table) == 2
+
+    def test_aggregate_groups_by_mapping(self):
+        sizes = {
+            _key(0x0A000001, sport=80): 10.0,
+            _key(0x0A000001, sport=443): 5.0,
+            _key(0x0B000001): 7.0,
+        }
+        table = FlowTable(sizes, FIVE_TUPLE)
+        srcip = FIVE_TUPLE.partial("SrcIP")
+        agg = table.aggregate(srcip)
+        assert agg.sizes == {0x0A000001: 15.0, 0x0B000001: 7.0}
+        assert agg.spec == srcip
+
+    def test_aggregate_preserves_total(self, small_trace, six_keys):
+        sk = BasicCocoSketch.from_memory(64 * 1024, seed=1)
+        sk.process(iter(small_trace))
+        table = FlowTable.from_sketch(sk, FIVE_TUPLE)
+        for pk in six_keys:
+            assert table.aggregate(pk).total == pytest.approx(table.total)
+
+    def test_aggregate_identity_partial_copies(self):
+        table = FlowTable({1: 2.0}, FIVE_TUPLE)
+        agg = table.aggregate(FIVE_TUPLE.identity_partial())
+        assert agg.sizes == {1: 2.0}
+        assert agg.sizes is not table.sizes
+
+    def test_aggregate_foreign_spec_rejected(self):
+        from repro.flowkeys.fields import Field
+        from repro.flowkeys.key import FullKeySpec
+
+        other = FullKeySpec((Field("x", 8),))
+        table = FlowTable({1: 2.0}, FIVE_TUPLE)
+        with pytest.raises(ValueError):
+            table.aggregate(other.partial("x"))
+
+    def test_heavy_hitters_threshold(self):
+        table = FlowTable({1: 10.0, 2: 5.0, 3: 1.0}, FIVE_TUPLE)
+        assert table.heavy_hitters(5.0) == {1: 10.0, 2: 5.0}
+        with pytest.raises(ValueError):
+            table.heavy_hitters(-1)
+
+    def test_top_k_descending(self):
+        table = FlowTable({1: 10.0, 2: 5.0, 3: 7.0}, FIVE_TUPLE)
+        assert table.top_k(2) == [(1, 10.0), (3, 7.0)]
+        assert table.top_k(0) == []
+        with pytest.raises(ValueError):
+            table.top_k(-1)
+
+    def test_group_by_sql_semantics(self):
+        # SELECT g(k), SUM(size) GROUP BY g(k) with g = parity
+        table = FlowTable({0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0}, FIVE_TUPLE)
+        agg = table.group_by(lambda k: k % 2)
+        assert agg.sizes == {0: 4.0, 1: 6.0}
+
+
+class TestPartialKeyReport:
+    def test_report_covers_all_keys(self, small_trace):
+        sk = BasicCocoSketch.from_memory(64 * 1024, seed=2)
+        sk.process(iter(small_trace))
+        keys = paper_partial_keys(3)
+        report = partial_key_report(sk, FIVE_TUPLE, keys)
+        assert set(report) == {pk.name for pk in keys}
+
+    def test_report_threshold_filters(self, small_trace):
+        sk = BasicCocoSketch.from_memory(64 * 1024, seed=2)
+        sk.process(iter(small_trace))
+        keys = paper_partial_keys(2)
+        thr = 0.001 * small_trace.total_size
+        report = partial_key_report(sk, FIVE_TUPLE, keys, threshold=thr)
+        for table in report.values():
+            assert all(v >= thr for v in table.values())
+
+
+class TestCombined:
+    def test_sums_over_union_of_keys(self):
+        a = FlowTable({1: 10.0, 2: 5.0}, FIVE_TUPLE, name="w1")
+        b = FlowTable({2: 3.0, 3: 7.0}, FIVE_TUPLE, name="w2")
+        combined = a.combined(b)
+        assert combined.sizes == {1: 10.0, 2: 8.0, 3: 7.0}
+        assert combined.name == "w1+w2"
+
+    def test_rejects_spec_mismatch(self):
+        from repro.flowkeys.fields import Field
+        from repro.flowkeys.key import FullKeySpec
+
+        other_spec = FullKeySpec((Field("x", 8),))
+        a = FlowTable({1: 1.0}, FIVE_TUPLE)
+        b = FlowTable({1: 1.0}, other_spec)
+        with pytest.raises(ValueError):
+            a.combined(b)
+
+    def test_inputs_untouched(self):
+        a = FlowTable({1: 1.0}, FIVE_TUPLE)
+        b = FlowTable({1: 2.0}, FIVE_TUPLE)
+        a.combined(b)
+        assert a.sizes == {1: 1.0}
+        assert b.sizes == {1: 2.0}

@@ -1,0 +1,83 @@
+"""Tests for the results-report generator."""
+
+import json
+
+import pytest
+
+from repro.reporting import (
+    check_paper_references,
+    load_results,
+    main,
+    render_report,
+    render_table,
+)
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "table2.json").write_text(
+        json.dumps(
+            {
+                "title": "Table 2 demo",
+                "headers": ["resource", "CM paper", "CM model"],
+                "rows": [
+                    ["Hash Distribution Unit", 0.2083, 0.2083],
+                    ["SRAM", 0.0427, 0.0427],
+                ],
+                "extra": {"bottleneck": "Hash Distribution Unit"},
+            }
+        )
+    )
+    (tmp_path / "fig99.json").write_text(
+        json.dumps(
+            {
+                "title": "Imaginary figure",
+                "headers": ["algo", "f1"],
+                "rows": [["Ours", 0.95]],
+            }
+        )
+    )
+    return tmp_path
+
+
+class TestReporting:
+    def test_load_results(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {"table2", "fig99"}
+
+    def test_render_table_markdown(self, results_dir):
+        payload = load_results(results_dir)["fig99"]
+        block = render_table(payload)
+        assert block[0].startswith("### Imaginary")
+        assert "| Ours | 0.95 |" in block
+
+    def test_extra_rendered(self, results_dir):
+        payload = load_results(results_dir)["table2"]
+        block = "\n".join(render_table(payload))
+        assert "bottleneck: Hash Distribution Unit" in block
+
+    def test_reference_check_matches(self, results_dir):
+        payload = load_results(results_dir)["table2"]
+        notes = check_paper_references("table2", payload)
+        assert any("matches paper" in note for note in notes)
+        assert not any("DIFFERS" in note for note in notes)
+
+    def test_reference_check_flags_divergence(self, results_dir):
+        payload = load_results(results_dir)["table2"]
+        payload["rows"][0][2] = 0.5  # corrupt the measured value
+        notes = check_paper_references("table2", payload)
+        assert any("DIFFERS" in note for note in notes)
+
+    def test_full_report(self, results_dir):
+        report = render_report(results_dir)
+        assert "2 experiments found" in report
+        assert "Table 2 demo" in report
+
+    def test_main_on_real_results(self, capsys):
+        # The repository's own results directory renders cleanly.
+        assert main(["results"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments found" in out
+
+    def test_main_missing_dir(self, capsys):
+        assert main(["/nonexistent-results"]) == 1

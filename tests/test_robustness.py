@@ -1,0 +1,110 @@
+"""Robustness tests: adversarial streams, weighted traffic, stability."""
+
+import pytest
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch
+from repro.core.query import FlowTable
+from repro.core.uss import UnbiasedSpaceSaving
+from repro.flowkeys.key import FIVE_TUPLE, paper_partial_keys
+from repro.tasks import FullKeyEstimator, heavy_hitter_task
+from repro.tasks.heavy_hitter import average_report
+from repro.traffic.synthetic import zipf_trace
+
+
+class TestAdversarialStreams:
+    @pytest.mark.parametrize(
+        "cls", [BasicCocoSketch, HardwareCocoSketch]
+    )
+    def test_single_flow_stream_is_exact(self, cls):
+        sk = cls(d=2, l=32, seed=1)
+        for _ in range(10_000):
+            sk.update(7, 1)
+        assert sk.query(7) == 10_000.0
+
+    def test_all_distinct_stream_conserves_weight(self):
+        sk = BasicCocoSketch(d=2, l=64, seed=1)
+        for key in range(50_000):
+            sk.update(key, 1)
+        assert sum(sum(row) for row in sk._vals) == 50_000
+
+    def test_two_giants_share_one_bucket(self):
+        # Force two heavy flows into the same buckets (d=1, l=1):
+        # values sum, key flips proportionally — still unbiased overall.
+        sk = BasicCocoSketch(d=1, l=1, seed=1)
+        for _ in range(1_000):
+            sk.update(1, 1)
+            sk.update(2, 1)
+        (key,) = sk._keys[0]
+        (value,) = sk._vals[0]
+        assert value == 2_000
+        assert key in (1, 2)
+
+    def test_alternating_heavy_light(self):
+        sk = BasicCocoSketch(d=2, l=256, seed=2)
+        for i in range(20_000):
+            sk.update(1, 1)  # persistent heavy flow
+            sk.update(1000 + (i % 5000), 1)  # churn
+        # The heavy flow must survive with a close estimate.
+        assert sk.query(1) == pytest.approx(20_000, rel=0.15)
+
+    def test_uss_single_giant_never_evicted(self):
+        uss = UnbiasedSpaceSaving(8, seed=1)
+        uss.update(1, 100_000)
+        for key in range(2, 2_000):
+            uss.update(key, 1)
+        assert uss.query(1) >= 100_000
+
+
+class TestWeightedTraffic:
+    def test_byte_counting_pipeline(self):
+        trace = zipf_trace(20_000, 2_000, seed=3, with_bytes=True)
+        est = FullKeyEstimator(
+            BasicCocoSketch.from_memory(96 * 1024, seed=3), FIVE_TUPLE
+        )
+        keys = paper_partial_keys(3)
+        reports = heavy_hitter_task(est, trace, keys, 5e-4)
+        assert average_report(reports).f1 > 0.85
+
+    def test_flow_table_total_matches_bytes(self):
+        trace = zipf_trace(5_000, 500, seed=4, with_bytes=True)
+        sk = BasicCocoSketch(d=2, l=512, seed=4)
+        sk.process(iter(trace))
+        table = FlowTable.from_sketch(sk, FIVE_TUPLE)
+        assert table.total == pytest.approx(trace.total_size)
+
+
+class TestStability:
+    def test_f1_stable_across_seeds(self, small_trace, six_keys):
+        f1s = []
+        for seed in range(5):
+            est = FullKeyEstimator(
+                BasicCocoSketch.from_memory(96 * 1024, seed=seed), FIVE_TUPLE
+            )
+            f1s.append(
+                average_report(
+                    heavy_hitter_task(est, small_trace, six_keys)
+                ).f1
+            )
+        assert max(f1s) - min(f1s) < 0.06
+
+    def test_pipeline_fully_deterministic(self, small_trace, six_keys):
+        def run():
+            est = FullKeyEstimator(
+                BasicCocoSketch.from_memory(64 * 1024, seed=11), FIVE_TUPLE
+            )
+            return heavy_hitter_task(est, small_trace, six_keys)
+
+        assert run() == run()
+
+    def test_d3_median_convention(self):
+        sk = HardwareCocoSketch(d=3, l=8, seed=1)
+        sk.update(1, 30)
+        # Drop the key from one array: median of [0, v, v] = v.
+        j = sk._hash[0](1)
+        sk._keys[0][j] = None
+        assert sk.query(1) == 30.0
+        # Drop from two arrays: median of [0, 0, v] = 0.
+        j = sk._hash[1](1)
+        sk._keys[1][j] = None
+        assert sk.query(1) == 0.0

@@ -1,0 +1,167 @@
+"""Tests for ECMP routing, persistence tracking, and bootstrap CIs."""
+
+import pytest
+
+from repro.core.query import FlowTable
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.metrics.significance import (
+    bootstrap_ci,
+    bootstrap_diff_ci,
+    comparison_significant,
+)
+from repro.network.routing import EcmpRouter
+from repro.network.topology import leaf_spine, linear
+from repro.tasks.persistence import PersistenceTracker
+
+
+class TestEcmpRouting:
+    def test_leaf_spine_has_one_path_per_spine(self):
+        topo = leaf_spine(num_spines=4, num_leaves=2, hosts_per_leaf=1)
+        router = EcmpRouter(topo)
+        paths = router.equal_cost_paths("h0_0", "h1_0")
+        assert len(paths) == 4
+        assert all(len(p) == 3 for p in paths)
+
+    def test_route_is_stable_per_flow(self):
+        topo = leaf_spine(4, 2, 1)
+        router = EcmpRouter(topo, seed=1)
+        for key in (5, 123456, 1 << 100):
+            assert router.route("h0_0", "h1_0", key) == router.route(
+                "h0_0", "h1_0", key
+            )
+
+    def test_flows_spread_across_paths(self):
+        topo = leaf_spine(4, 2, 1)
+        router = EcmpRouter(topo, seed=2)
+        spread = router.path_spread("h0_0", "h1_0", range(4_000))
+        assert len(spread) == 4
+        for count in spread.values():
+            assert 800 < count < 1200  # ~uniform
+
+    def test_single_path_topology_short_circuits(self):
+        topo = linear(3, hosts_per_switch=1)
+        router = EcmpRouter(topo)
+        assert router.route("h0_0", "h2_0", 7) == ["s0", "s1", "s2"]
+
+    def test_host_validation(self):
+        topo = leaf_spine(2, 2, 1)
+        router = EcmpRouter(topo)
+        with pytest.raises(ValueError):
+            router.route("leaf0", "h1_0", 1)
+
+
+def _table(present_keys):
+    sizes = {
+        FIVE_TUPLE.pack(k, 1, 1, 1, 6): 5.0 for k in present_keys
+    }
+    return FlowTable(sizes, FIVE_TUPLE)
+
+
+class TestPersistenceTracker:
+    def _tracker(self, span=3, floor=1.0):
+        return PersistenceTracker(
+            FIVE_TUPLE.partial("SrcIP"), window_span=span, presence_floor=floor
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersistenceTracker(FIVE_TUPLE.partial("SrcIP"), window_span=0)
+        with pytest.raises(ValueError):
+            PersistenceTracker(
+                FIVE_TUPLE.partial("SrcIP"), presence_floor=0.0
+            )
+        tracker = self._tracker()
+        with pytest.raises(ValueError):
+            tracker.persistent_flows(0)
+        with pytest.raises(ValueError):
+            tracker.top_persistent(-1)
+
+    def test_counts_presence_across_windows(self):
+        tracker = self._tracker(span=4)
+        tracker.observe_window(_table([1, 2]))
+        tracker.observe_window(_table([1, 3]))
+        tracker.observe_window(_table([1]))
+        assert tracker.persistence(1) == 3
+        assert tracker.persistence(2) == 1
+        assert tracker.persistence(99) == 0
+
+    def test_sliding_span_expires_old_windows(self):
+        tracker = self._tracker(span=2)
+        tracker.observe_window(_table([1]))
+        tracker.observe_window(_table([1]))
+        tracker.observe_window(_table([2]))  # window 0 expires
+        assert tracker.persistence(1) == 1
+        assert tracker.persistence(2) == 1
+        assert tracker.windows_seen == 2
+
+    def test_persistent_flows_threshold(self):
+        tracker = self._tracker(span=5)
+        for _ in range(4):
+            tracker.observe_window(_table([7, 8]))
+        tracker.observe_window(_table([8]))
+        assert tracker.persistent_flows(5) == {8: 5}
+        assert set(tracker.persistent_flows(4)) == {7, 8}
+
+    def test_presence_floor_filters_noise(self):
+        tracker = self._tracker(floor=10.0)
+        tracker.observe_window(_table([1]))  # size 5 < floor 10
+        assert tracker.persistence(1) == 0
+
+    def test_top_persistent_order(self):
+        tracker = self._tracker(span=5)
+        tracker.observe_window(_table([1, 2]))
+        tracker.observe_window(_table([1]))
+        top = tracker.top_persistent(2)
+        assert top[0] == (1, 2)
+
+    def test_low_and_slow_scanner_detected(self):
+        # A scanner present every window at tiny volume outranks a
+        # one-window elephant on persistence.
+        tracker = self._tracker(span=6)
+        for window in range(6):
+            keys = [0xBAD]  # scanner
+            if window == 2:
+                keys.append(0xE1E)  # one-off elephant
+            tracker.observe_window(_table(keys))
+        assert tracker.persistence(0xBAD) == 6
+        assert tracker.persistence(0xE1E) == 1
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_for_tight_sample(self):
+        lo, hi = bootstrap_ci([10.0] * 10, seed=1)
+        assert lo == hi == 10.0
+
+    def test_ci_widens_with_spread(self):
+        lo1, hi1 = bootstrap_ci([10.0, 10.1, 9.9, 10.0] * 3, seed=1)
+        lo2, hi2 = bootstrap_ci([5.0, 15.0, 2.0, 18.0] * 3, seed=1)
+        assert (hi2 - lo2) > (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_clear_gap_is_significant(self):
+        a = [0.95, 0.94, 0.96, 0.95, 0.93]
+        b = [0.60, 0.62, 0.58, 0.61, 0.63]
+        assert comparison_significant(a, b, seed=2)
+        lo, hi = bootstrap_diff_ci(a, b, seed=2)
+        assert lo > 0.25
+
+    def test_overlapping_samples_not_significant(self):
+        a = [0.50, 0.70, 0.60, 0.40, 0.80]
+        b = [0.55, 0.65, 0.45, 0.75, 0.50]
+        assert not comparison_significant(a, b, seed=3)
+
+    def test_deterministic_given_seed(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(a, seed=7) == bootstrap_ci(a, seed=7)
+        assert bootstrap_ci(a, seed=7) != bootstrap_ci(a, seed=8)
+
+    def test_fig8_style_comparison_is_significant(self):
+        # Seeds' F1 for Coco vs Elastic at 6 keys (from quick reruns)
+        coco = [0.96, 0.95, 0.97, 0.96, 0.94]
+        elastic = [0.55, 0.57, 0.52, 0.56, 0.54]
+        assert comparison_significant(coco, elastic, seed=4)

@@ -1,0 +1,100 @@
+"""Tests for the CocoSketch binary codec."""
+
+import pytest
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
+from repro.core.serialize import (
+    SerializationError,
+    blob_size,
+    dump_sketch,
+    load_sketch,
+)
+from repro.extensions.merging import merge_cocosketch
+from repro.traffic.synthetic import zipf_trace
+
+
+@pytest.fixture()
+def loaded_sketch():
+    sketch = BasicCocoSketch(d=2, l=64, seed=7)
+    trace = zipf_trace(3_000, 400, seed=41)
+    sketch.process(iter(trace))
+    return sketch, trace
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", [BasicCocoSketch, HardwareCocoSketch, P4CocoSketch]
+    )
+    def test_all_variants_roundtrip(self, cls):
+        sketch = cls(d=2, l=32, seed=3)
+        sketch.update(12345, 6)
+        restored = load_sketch(dump_sketch(sketch))
+        assert type(restored) is cls
+        assert restored.flow_table() == sketch.flow_table()
+
+    def test_identical_queries(self, loaded_sketch):
+        sketch, trace = loaded_sketch
+        restored = load_sketch(dump_sketch(sketch))
+        for key in list(trace.full_counts())[:100]:
+            assert restored.query(key) == sketch.query(key)
+
+    def test_restored_sketch_continues_identically(self, loaded_sketch):
+        sketch, _ = loaded_sketch
+        restored = load_sketch(dump_sketch(sketch))
+        # Same hash family: the same new key maps to the same buckets.
+        probe = 999_999_999
+        assert [fn(probe) for fn in restored._hash] == [
+            fn(probe) for fn in sketch._hash
+        ]
+
+    def test_restored_sketch_mergeable_with_original_family(self):
+        a = BasicCocoSketch(d=2, l=64, seed=7)
+        b = BasicCocoSketch(d=2, l=64, seed=7)
+        a.update(1, 5)
+        b.update(2, 6)
+        restored = load_sketch(dump_sketch(b))
+        merged = merge_cocosketch(a, restored, seed=1)
+        assert sum(sum(row) for row in merged._vals) == 11
+
+    def test_blob_size_formula(self):
+        sketch = BasicCocoSketch(d=3, l=17, seed=1)
+        assert len(dump_sketch(sketch)) == blob_size(3, 17)
+
+    def test_empty_sketch_roundtrip(self):
+        sketch = BasicCocoSketch(d=1, l=4, seed=2)
+        restored = load_sketch(dump_sketch(sketch))
+        assert restored.flow_table() == {}
+
+
+class TestRejections:
+    def test_bad_magic(self):
+        blob = bytearray(dump_sketch(BasicCocoSketch(d=1, l=2)))
+        blob[0:4] = b"XXXX"
+        with pytest.raises(SerializationError):
+            load_sketch(bytes(blob))
+
+    def test_truncated(self):
+        blob = dump_sketch(BasicCocoSketch(d=1, l=2))
+        with pytest.raises(SerializationError):
+            load_sketch(blob[:10])
+        with pytest.raises(SerializationError):
+            load_sketch(blob[:-4])
+
+    def test_bad_version(self):
+        blob = bytearray(dump_sketch(BasicCocoSketch(d=1, l=2)))
+        blob[4] = 99
+        with pytest.raises(SerializationError):
+            load_sketch(bytes(blob))
+
+    def test_unknown_kind(self):
+        blob = bytearray(dump_sketch(BasicCocoSketch(d=1, l=2)))
+        blob[6] = 42
+        with pytest.raises(SerializationError):
+            load_sketch(bytes(blob))
+
+    def test_unsupported_type(self):
+        from repro.core.uss import UnbiasedSpaceSaving
+
+        with pytest.raises(SerializationError):
+            dump_sketch(UnbiasedSpaceSaving(4))

@@ -1,0 +1,73 @@
+"""Unit tests for classic SpaceSaving."""
+
+import pytest
+
+from repro.sketches.spacesaving import SpaceSaving
+
+
+class TestSpaceSaving:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+        with pytest.raises(ValueError):
+            SpaceSaving.from_memory(4)
+
+    def test_below_capacity_exact(self):
+        ss = SpaceSaving(8)
+        for key in range(8):
+            ss.update(key, key + 1)
+        for key in range(8):
+            assert ss.query(key) == key + 1
+            assert ss.guaranteed(key) == key + 1
+
+    def test_eviction_is_deterministic_and_total_conserved(self):
+        ss = SpaceSaving(2)
+        ss.update(1, 5)
+        ss.update(2, 3)
+        ss.update(3, 1)  # evicts key 2 (min=3), count becomes 4
+        assert ss.query(2) == 0.0
+        assert ss.query(3) == 4.0
+        assert ss.guaranteed(3) == 1.0
+        assert sum(ss._counts.values()) == 9
+
+    def test_never_underestimates_tracked_flows(self, tiny_trace):
+        ss = SpaceSaving(64)
+        ss.process(iter(tiny_trace))
+        truth = tiny_trace.full_counts()
+        for key, est in ss.flow_table().items():
+            assert est >= truth.get(key, 0)
+
+    def test_overestimate_bounded_by_n_over_m(self, tiny_trace):
+        # SpaceSaving guarantee: error <= N / m.
+        m = 64
+        ss = SpaceSaving(m)
+        ss.process(iter(tiny_trace))
+        bound = tiny_trace.total_size / m
+        truth = tiny_trace.full_counts()
+        for key, est in ss.flow_table().items():
+            assert est - truth.get(key, 0) <= bound + 1e-9
+
+    def test_capacity_never_exceeded(self, tiny_trace):
+        ss = SpaceSaving(16)
+        ss.process(iter(tiny_trace))
+        assert len(ss.flow_table()) <= 16
+
+    def test_top_flows_always_tracked(self, small_trace):
+        # SS guarantees any flow > N/m is in the summary.
+        m = 256
+        ss = SpaceSaving(m)
+        ss.process(iter(small_trace))
+        bound = small_trace.total_size / m
+        table = ss.flow_table()
+        for key, size in small_trace.full_counts().items():
+            if size > bound:
+                assert key in table
+
+    def test_memory_accounting(self):
+        assert SpaceSaving(100).memory_bytes() == 100 * 21
+
+    def test_reset(self, tiny_trace):
+        ss = SpaceSaving(16)
+        ss.process(iter(tiny_trace))
+        ss.reset()
+        assert ss.flow_table() == {}

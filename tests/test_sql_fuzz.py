@@ -1,0 +1,98 @@
+"""Property-based fuzzing of the SQL front-end (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import FlowTable
+from repro.core.sql import SqlError, parse_query, run_query
+from repro.flowkeys.key import FIVE_TUPLE
+
+_FIELDS = ["SrcIP", "DstIP", "SrcPort", "DstPort", "Proto"]
+_WIDTHS = {"SrcIP": 32, "DstIP": 32, "SrcPort": 16, "DstPort": 16, "Proto": 8}
+
+
+def _key_expr_strategy():
+    def render(pairs):
+        return ", ".join(
+            name if prefix is None else f"{name}/{prefix}"
+            for name, prefix in pairs
+        )
+
+    def pair(index):
+        name = _FIELDS[index]
+        return st.tuples(
+            st.just(name),
+            st.one_of(st.none(), st.integers(1, _WIDTHS[name])),
+        )
+
+    indices = st.lists(
+        st.integers(0, len(_FIELDS) - 1), min_size=1, max_size=3, unique=True
+    ).map(sorted)
+    return indices.flatmap(
+        lambda idx: st.tuples(*[pair(i) for i in idx])
+    ).map(lambda pairs: (render(pairs), pairs))
+
+
+_tables = st.dictionaries(
+    st.tuples(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 2**8 - 1),
+    ),
+    st.floats(1.0, 1e6),
+    min_size=0,
+    max_size=40,
+).map(
+    lambda d: FlowTable(
+        {FIVE_TUPLE.pack(*k): v for k, v in d.items()}, FIVE_TUPLE
+    )
+)
+
+
+class TestSqlFuzz:
+    @given(_key_expr_strategy(), _tables)
+    @settings(max_examples=120, deadline=None)
+    def test_generated_queries_never_crash_and_conserve(self, expr, table):
+        text, _pairs = expr
+        rows = run_query(
+            f"SELECT {text}, SUM(size) FROM flows GROUP BY {text}", table
+        )
+        # GROUP BY + SUM conserves total weight.
+        assert sum(v for _, v in rows) == sum(table.sizes.values()) or (
+            abs(sum(v for _, v in rows) - sum(table.sizes.values())) < 1e-6
+        )
+
+    @given(_key_expr_strategy(), _tables, st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_limit_respected(self, expr, table, limit):
+        text, _ = expr
+        rows = run_query(
+            f"SELECT {text}, SUM(size) FROM flows GROUP BY {text} "
+            f"ORDER BY SUM(size) DESC LIMIT {limit}",
+            table,
+        )
+        assert len(rows) <= limit
+        assert all(a[1] >= b[1] for a, b in zip(rows, rows[1:]))
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_raises_sqlerror_not_crash(self, text):
+        try:
+            parse_query(text)
+        except (SqlError, KeyError, ValueError):
+            pass  # rejection is the contract; crashes are not
+
+    @given(_tables, st.integers(0, 2**16 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_where_filter_never_increases_total(self, table, port):
+        base = run_query(
+            "SELECT SrcIP, SUM(size) FROM flows GROUP BY SrcIP", table
+        )
+        filtered = run_query(
+            f"SELECT SrcIP, SUM(size) FROM flows WHERE DstPort = {port} "
+            "GROUP BY SrcIP",
+            table,
+        )
+        assert sum(v for _, v in filtered) <= sum(v for _, v in base) + 1e-6

@@ -1,0 +1,149 @@
+"""Unit/integration tests for the measurement-task harnesses."""
+
+import pytest
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.flowkeys.key import FIVE_TUPLE, paper_partial_keys, prefix_hierarchy
+from repro.sketches.countmin import CountMinHeap
+from repro.sketches.rhhh import RandomizedHHH
+from repro.tasks import (
+    FullKeyEstimator,
+    HierarchyEstimator,
+    PerKeyEstimator,
+    heavy_change_task,
+    heavy_hitter_task,
+    hhh_task,
+)
+from repro.tasks.heavy_hitter import average_report
+from repro.tasks.hhh import discounted_hhh
+from repro.traffic.synthetic import heavy_change_windows
+
+
+def _coco_estimator(mem=96 * 1024, seed=1):
+    return FullKeyEstimator(
+        BasicCocoSketch.from_memory(mem, d=2, seed=seed), FIVE_TUPLE
+    )
+
+
+class TestHeavyHitterTask:
+    def test_reports_every_key(self, small_trace, six_keys):
+        reports = heavy_hitter_task(_coco_estimator(), small_trace, six_keys)
+        assert set(reports) == {pk.name for pk in six_keys}
+
+    def test_cocosketch_scores_high(self, small_trace, six_keys):
+        reports = heavy_hitter_task(_coco_estimator(), small_trace, six_keys)
+        avg = average_report(reports)
+        assert avg.f1 > 0.9
+        assert avg.are < 0.2
+
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            heavy_hitter_task(_coco_estimator(), small_trace, [])
+        with pytest.raises(ValueError):
+            heavy_hitter_task(
+                _coco_estimator(), small_trace, paper_partial_keys(1), 2.0
+            )
+
+    def test_process_false_reuses_state(self, small_trace, six_keys):
+        est = _coco_estimator()
+        est.process(iter(small_trace))
+        a = heavy_hitter_task(est, small_trace, six_keys, process=False)
+        b = heavy_hitter_task(est, small_trace, six_keys, process=False)
+        assert a == b
+
+    def test_perkey_estimator_runs(self, small_trace):
+        keys = paper_partial_keys(2)
+        est = PerKeyEstimator.build(
+            keys, lambda m, s: CountMinHeap.from_memory(m, seed=s), 128 * 1024
+        )
+        reports = heavy_hitter_task(est, small_trace, keys)
+        assert all(0 <= r.f1 <= 1 for r in reports.values())
+
+
+class TestHeavyChangeTask:
+    def test_detects_injected_changes(self):
+        a, b = heavy_change_windows(
+            num_packets=40_000, num_flows=4_000, change_fraction=0.02, seed=8
+        )
+        keys = paper_partial_keys(2)
+        reports = heavy_change_task(
+            lambda: _coco_estimator(mem=96 * 1024, seed=3),
+            a,
+            b,
+            keys,
+            threshold_fraction=2e-3,
+        )
+        avg = average_report(reports)
+        assert avg.f1 > 0.8
+
+    def test_fresh_estimator_per_window(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return _coco_estimator()
+
+        a, b = heavy_change_windows(num_packets=2_000, num_flows=300, seed=8)
+        heavy_change_task(factory, a, b, paper_partial_keys(1), 0.01)
+        assert len(calls) == 2
+
+    def test_threshold_validation(self):
+        a, b = heavy_change_windows(num_packets=1_000, num_flows=200, seed=8)
+        with pytest.raises(ValueError):
+            heavy_change_task(
+                _coco_estimator, a, b, paper_partial_keys(1), 0.0
+            )
+
+
+class TestHHHTask:
+    def test_cocosketch_hhh_1d(self, small_trace):
+        hierarchy = prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=4)
+        report = hhh_task(
+            _coco_estimator(mem=128 * 1024),
+            small_trace,
+            hierarchy,
+            threshold_fraction=5e-3,
+        )
+        assert report.f1 > 0.9
+
+    def test_rhhh_estimator_compatible(self, small_trace):
+        hierarchy = prefix_hierarchy(FIVE_TUPLE, "SrcIP", granularity=8)
+        est = HierarchyEstimator(RandomizedHHH(hierarchy, 128 * 1024, seed=1))
+        report = hhh_task(
+            est, small_trace, hierarchy, threshold_fraction=5e-3
+        )
+        assert 0 <= report.f1 <= 1
+
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            hhh_task(_coco_estimator(), small_trace, [])
+
+    def test_discounted_hhh_subtracts_descendants(self):
+        # Two-level toy hierarchy over an 8-bit field: /8 then /4.
+        from repro.flowkeys.fields import Field
+        from repro.flowkeys.key import FullKeySpec
+
+        spec = FullKeySpec((Field("x", 8),))
+        hier = [spec.partial(("x", 8)), spec.partial(("x", 4))]
+        tables = {
+            0: {0x10: 100.0, 0x11: 5.0},
+            1: {0x1: 105.0},  # parent of both
+        }
+        hhh = discounted_hhh(tables, hier, threshold=50)
+        # level-0 0x10 is an HHH; parent 0x1's residual is 5 < 50.
+        assert (0, 0x10) in hhh
+        assert (1, 0x1) not in hhh
+
+    def test_discounted_hhh_parent_survives_on_residual(self):
+        from repro.flowkeys.fields import Field
+        from repro.flowkeys.key import FullKeySpec
+
+        spec = FullKeySpec((Field("x", 8),))
+        hier = [spec.partial(("x", 8)), spec.partial(("x", 4))]
+        tables = {
+            0: {0x10: 100.0},
+            1: {0x1: 180.0},  # residual 80 >= 50
+        }
+        hhh = discounted_hhh(tables, hier, threshold=50)
+        assert (0, 0x10) in hhh
+        assert (1, 0x1) in hhh

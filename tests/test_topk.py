@@ -1,0 +1,79 @@
+"""Unit tests for the TopKHeap helper."""
+
+import pytest
+
+from repro.sketches.topk import TopKHeap
+
+
+class TestTopKHeap:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+
+    def test_tracks_up_to_k(self):
+        heap = TopKHeap(3)
+        for key in range(3):
+            heap.offer(key, float(key + 1))
+        assert len(heap) == 3
+        assert set(heap.table()) == {0, 1, 2}
+
+    def test_evicts_smallest_when_full(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 10.0)
+        heap.offer(2, 5.0)
+        heap.offer(3, 7.0)
+        assert set(heap.table()) == {1, 3}
+
+    def test_small_offer_ignored_when_full(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 10.0)
+        heap.offer(2, 5.0)
+        heap.offer(3, 1.0)
+        assert set(heap.table()) == {1, 2}
+
+    def test_existing_key_estimate_grows(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 3.0)
+        heap.offer(1, 8.0)
+        assert heap.table()[1] == 8.0
+
+    def test_existing_key_never_shrinks(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 8.0)
+        heap.offer(1, 3.0)
+        assert heap.table()[1] == 8.0
+
+    def test_grown_member_not_evicted_by_mid_value(self):
+        # Key 1 grows to 20 after insertion at 2; an offer of 10 must
+        # evict key 2 (value 5), not key 1 — the lazy repair path.
+        heap = TopKHeap(2)
+        heap.offer(1, 2.0)
+        heap.offer(2, 5.0)
+        heap.offer(1, 20.0)
+        heap.offer(3, 10.0)
+        assert set(heap.table()) == {1, 3}
+
+    def test_contains(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 1.0)
+        assert 1 in heap
+        assert 2 not in heap
+
+    def test_stream_keeps_true_top_k(self):
+        # Monotone estimates (like CM's) always keep the max.
+        heap = TopKHeap(5)
+        import random
+
+        rng = random.Random(4)
+        truth = {}
+        for _ in range(5000):
+            key = rng.randrange(200)
+            truth[key] = truth.get(key, 0) + 1
+            heap.offer(key, float(truth[key]))
+        expected = sorted(truth, key=truth.get, reverse=True)[:5]
+        got = set(heap.table())
+        # Ties at the boundary may differ; require >= 4 of 5.
+        assert len(got & set(expected)) >= 4
+
+    def test_memory_accounting(self):
+        assert TopKHeap(10).memory_bytes(13, 4) == 170

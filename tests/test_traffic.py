@@ -1,0 +1,180 @@
+"""Unit tests for the traffic substrate (Trace, generators, storage)."""
+
+import pytest
+
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.flowkeys.packet import Packet
+from repro.traffic.storage import load_csv, save_csv
+from repro.traffic.synthetic import (
+    caida_like,
+    heavy_change_windows,
+    mawi_like,
+    uniform_workload,
+    zipf_trace,
+)
+from repro.traffic.trace import Trace
+
+
+class TestPacket:
+    def test_defaults(self):
+        assert Packet(5).size == 1
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            Packet(-1)
+        with pytest.raises(ValueError):
+            Packet(1, 0)
+
+
+class TestTrace:
+    def test_iteration_and_counts(self):
+        trace = Trace(FIVE_TUPLE, [1, 2, 1, 1], None)
+        assert len(trace) == 4
+        assert list(trace) == [(1, 1), (2, 1), (1, 1), (1, 1)]
+        assert trace.total_size == 4
+        assert trace.full_counts() == {1: 3, 2: 1}
+        assert trace.distinct_flows() == 2
+
+    def test_weighted_counts(self):
+        trace = Trace(FIVE_TUPLE, [1, 2], [10, 5])
+        assert trace.total_size == 15
+        assert trace.full_counts() == {1: 10, 2: 5}
+
+    def test_sizes_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Trace(FIVE_TUPLE, [1, 2], [1])
+
+    def test_ground_truth_aggregates(self):
+        k1 = FIVE_TUPLE.pack(0x0A000001, 1, 1, 1, 6)
+        k2 = FIVE_TUPLE.pack(0x0A000001, 2, 2, 2, 6)
+        trace = Trace(FIVE_TUPLE, [k1, k2, k1])
+        srcip = FIVE_TUPLE.partial("SrcIP")
+        assert trace.ground_truth(srcip) == {0x0A000001: 3}
+
+    def test_ground_truth_conserves_total(self, small_trace, six_keys):
+        for pk in six_keys:
+            assert (
+                sum(small_trace.ground_truth(pk).values())
+                == small_trace.total_size
+            )
+
+    def test_ground_truth_rejects_foreign_spec(self):
+        from repro.flowkeys.fields import Field
+        from repro.flowkeys.key import FullKeySpec
+
+        other = FullKeySpec((Field("x", 8),))
+        trace = Trace(FIVE_TUPLE, [1])
+        with pytest.raises(ValueError):
+            trace.ground_truth(other.partial("x"))
+
+    def test_slice(self):
+        trace = Trace(FIVE_TUPLE, [1, 2, 3, 4], [1, 2, 3, 4])
+        part = trace.slice(1, 3)
+        assert part.keys == [2, 3]
+        assert part.sizes == [2, 3]
+
+
+class TestGenerators:
+    def test_deterministic_given_seed(self):
+        a = caida_like(num_packets=2_000, num_flows=500, seed=3)
+        b = caida_like(num_packets=2_000, num_flows=500, seed=3)
+        assert a.keys == b.keys
+
+    def test_seed_changes_trace(self):
+        a = caida_like(num_packets=2_000, num_flows=500, seed=3)
+        b = caida_like(num_packets=2_000, num_flows=500, seed=4)
+        assert a.keys != b.keys
+
+    def test_keys_fit_five_tuple(self, tiny_trace):
+        width = FIVE_TUPLE.width
+        assert all(0 <= k < 1 << width for k in tiny_trace.keys)
+
+    def test_zipf_is_heavy_tailed(self):
+        trace = zipf_trace(20_000, 2_000, alpha=1.2, seed=1)
+        counts = sorted(trace.full_counts().values(), reverse=True)
+        top10 = sum(counts[:10])
+        assert top10 > 0.2 * trace.total_size  # head dominates
+
+    def test_uniform_is_not_heavy_tailed(self):
+        trace = uniform_workload(20_000, 2_000, seed=1)
+        counts = sorted(trace.full_counts().values(), reverse=True)
+        assert sum(counts[:10]) < 0.05 * trace.total_size
+
+    def test_mawi_skews_harder_than_caida(self):
+        caida = caida_like(num_packets=30_000, num_flows=5_000, seed=2)
+        mawi = mawi_like(num_packets=30_000, num_flows=5_000, seed=2)
+
+        def top_share(trace, n=20):
+            counts = sorted(trace.full_counts().values(), reverse=True)
+            return sum(counts[:n]) / trace.total_size
+
+        assert top_share(mawi) > top_share(caida)
+
+    def test_with_bytes_produces_weights(self):
+        trace = zipf_trace(1_000, 100, seed=1, with_bytes=True)
+        assert trace.sizes is not None
+        assert all(40 <= s <= 1500 for s in trace.sizes)
+
+    def test_partial_keys_aggregate_nontrivially(self, small_trace):
+        # Prefix aggregation must merge flows at every /8 boundary.
+        full = small_trace.distinct_flows()
+        for plen in (24, 16, 8):
+            pk = FIVE_TUPLE.partial(("SrcIP", plen))
+            merged = len(small_trace.ground_truth(pk))
+            assert merged < full
+            full = merged
+
+    def test_field_subset_keys_merge_flows(self, small_trace):
+        pair = FIVE_TUPLE.partial("SrcIP", "DstIP")
+        assert len(small_trace.ground_truth(pair)) < small_trace.distinct_flows()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_trace(0, 10)
+        with pytest.raises(ValueError):
+            zipf_trace(10, 0)
+        with pytest.raises(ValueError):
+            zipf_trace(10, 10, alpha=0)
+
+    def test_heavy_change_windows_inject_changes(self):
+        a, b = heavy_change_windows(
+            num_packets=30_000, num_flows=3_000, change_fraction=0.02, seed=6
+        )
+        counts_a = a.full_counts()
+        counts_b = b.full_counts()
+        big_moves = sum(
+            1
+            for key in set(counts_a) | set(counts_b)
+            if abs(counts_a.get(key, 0) - counts_b.get(key, 0)) >= 30
+        )
+        assert big_moves >= 10
+
+    def test_heavy_change_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            heavy_change_windows(change_fraction=0.0)
+
+
+class TestStorage:
+    def test_csv_roundtrip(self, tmp_path, tiny_trace):
+        path = tmp_path / "t.csv"
+        save_csv(tiny_trace, path)
+        loaded = load_csv(path, FIVE_TUPLE)
+        assert loaded.keys == tiny_trace.keys
+        assert loaded.name == tiny_trace.name
+        assert loaded.total_size == tiny_trace.total_size
+
+    def test_csv_roundtrip_weighted(self, tmp_path):
+        trace = Trace(FIVE_TUPLE, [1, 2, 3], [5, 6, 7], name="w")
+        path = tmp_path / "w.csv"
+        save_csv(trace, path)
+        loaded = load_csv(path, FIVE_TUPLE)
+        assert loaded.sizes == [5, 6, 7]
+
+    def test_csv_spec_mismatch_fails(self, tmp_path, tiny_trace):
+        from repro.flowkeys.fields import Field
+        from repro.flowkeys.key import FullKeySpec
+
+        path = tmp_path / "t.csv"
+        save_csv(tiny_trace, path)
+        with pytest.raises(ValueError):
+            load_csv(path, FullKeySpec((Field("x", 8),)))

@@ -1,0 +1,195 @@
+"""Tests for the LPM trie substrate and the trigger engine."""
+
+import pytest
+
+from repro.core.query import FlowTable
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.flowkeys.trie import PrefixTrie, classify_traffic
+from repro.tasks.triggers import (
+    Alarm,
+    Trigger,
+    TriggerEngine,
+    TriggerKind,
+)
+
+
+class TestPrefixTrie:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixTrie(0)
+        trie = PrefixTrie(8)
+        with pytest.raises(ValueError):
+            trie.insert(0, 9, "x")
+        with pytest.raises(ValueError):
+            trie.insert(1 << 5, 4, "x")
+        with pytest.raises(ValueError):
+            trie.longest_match(256)
+
+    def test_insert_and_exact(self):
+        trie = PrefixTrie(8)
+        trie.insert(0b1010, 4, "A")
+        assert trie.exact(0b1010, 4) == "A"
+        assert trie.exact(0b1010, 5) is None
+        assert len(trie) == 1
+
+    def test_overwrite_keeps_size(self):
+        trie = PrefixTrie(8)
+        trie.insert(0b1, 1, "A")
+        trie.insert(0b1, 1, "B")
+        assert len(trie) == 1
+        assert trie.exact(0b1, 1) == "B"
+
+    def test_longest_match_prefers_deeper(self):
+        trie = PrefixTrie(8)
+        trie.insert(0b1, 1, "half")
+        trie.insert(0b1010, 4, "nibble")
+        # 0b10101111 matches both; LPM picks the /4.
+        assert trie.longest_match(0b10101111) == (0b1010, 4, "nibble")
+        # 0b11000000 only matches the /1.
+        assert trie.longest_match(0b11000000) == (0b1, 1, "half")
+
+    def test_no_match_returns_none(self):
+        trie = PrefixTrie(8)
+        trie.insert(0b1, 1, "x")
+        assert trie.longest_match(0b01111111) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie(8)
+        trie.insert(0, 0, "default")
+        assert trie.longest_match(0xFF) == (0, 0, "default")
+
+    def test_remove(self):
+        trie = PrefixTrie(8)
+        trie.insert(0b10, 2, "x")
+        assert trie.remove(0b10, 2) is True
+        assert trie.remove(0b10, 2) is False
+        assert trie.longest_match(0b10000000) is None
+
+    def test_items_enumerates_rules(self):
+        trie = PrefixTrie(8)
+        trie.insert(0b1, 1, "a")
+        trie.insert(0b00, 2, "b")
+        rules = {(v, l): p for v, l, p in trie.items()}
+        assert rules == {(0b1, 1): "a", (0b00, 2): "b"}
+
+    def test_classify_traffic(self):
+        trie = PrefixTrie(8)
+        trie.insert(0b1, 1, "upper")
+        trie.insert(0b1010, 4, "special")
+        counts = {0b10101111: 10.0, 0b11000000: 5.0, 0b00000001: 3.0}
+        per_rule = classify_traffic(trie, counts)
+        assert per_rule[(0b1010, 4)] == 10.0
+        assert per_rule[(0b1, 1)] == 5.0
+        assert per_rule[(0, -1)] == 3.0  # unmatched
+
+
+def _key(src, dst=1, sport=1, dport=1, proto=6):
+    return FIVE_TUPLE.pack(src, dst, sport, dport, proto)
+
+
+class TestTriggerEngine:
+    def _table(self, sizes):
+        return FlowTable(sizes, FIVE_TUPLE)
+
+    def test_validation(self):
+        src = FIVE_TUPLE.partial("SrcIP")
+        with pytest.raises(ValueError):
+            Trigger("t", src, TriggerKind.SIZE_ABOVE, 0)
+        t = Trigger("t", src, TriggerKind.SIZE_ABOVE, 1)
+        with pytest.raises(ValueError):
+            TriggerEngine([t, t])
+        engine = TriggerEngine([t])
+        with pytest.raises(ValueError):
+            engine.install(t)
+
+    def test_size_above_fires(self):
+        src = FIVE_TUPLE.partial("SrcIP")
+        engine = TriggerEngine(
+            [Trigger("big-src", src, TriggerKind.SIZE_ABOVE, 100)]
+        )
+        alarms = engine.evaluate(
+            self._table({_key(0xA): 150.0, _key(0xB): 50.0})
+        )
+        assert [a.flow for a in alarms] == [0xA]
+        assert alarms[0].trigger == "big-src"
+        assert alarms[0].window == 0
+
+    def test_change_above_uses_previous_window(self):
+        src = FIVE_TUPLE.partial("SrcIP")
+        engine = TriggerEngine(
+            [Trigger("surge", src, TriggerKind.CHANGE_ABOVE, 80)]
+        )
+        first = engine.evaluate(self._table({_key(0xA): 100.0}))
+        # window 0: change vs empty previous = 100 >= 80 -> fires
+        assert len(first) == 1
+        second = engine.evaluate(self._table({_key(0xA): 150.0}))
+        # delta 50 < 80 -> silent
+        assert second == []
+        third = engine.evaluate(self._table({_key(0xA): 10.0}))
+        assert len(third) == 1
+        assert third[0].value == pytest.approx(-140.0)
+
+    def test_size_below_fires_only_for_previously_seen(self):
+        src = FIVE_TUPLE.partial("SrcIP")
+        engine = TriggerEngine(
+            [Trigger("vanish", src, TriggerKind.SIZE_BELOW, 20)]
+        )
+        assert engine.evaluate(self._table({_key(0xA): 100.0})) == []
+        alarms = engine.evaluate(self._table({}))
+        assert [a.flow for a in alarms] == [0xA]
+
+    def test_multiple_triggers_different_keys(self):
+        src = FIVE_TUPLE.partial("SrcIP")
+        dst = FIVE_TUPLE.partial("DstIP")
+        engine = TriggerEngine(
+            [
+                Trigger("src", src, TriggerKind.SIZE_ABOVE, 100),
+                Trigger("dst", dst, TriggerKind.SIZE_ABOVE, 100),
+            ]
+        )
+        table = self._table(
+            {_key(0xA, dst=0xD): 80.0, _key(0xB, dst=0xD): 70.0}
+        )
+        alarms = engine.evaluate(table)
+        # No single source exceeds 100; the shared destination does.
+        assert [a.trigger for a in alarms] == ["dst"]
+        assert alarms[0].flow == 0xD
+
+    def test_remove(self):
+        src = FIVE_TUPLE.partial("SrcIP")
+        engine = TriggerEngine(
+            [Trigger("t", src, TriggerKind.SIZE_ABOVE, 1)]
+        )
+        assert engine.remove("t") is True
+        assert engine.remove("t") is False
+        assert engine.evaluate(self._table({_key(1): 10.0})) == []
+
+    def test_end_to_end_with_windowed_sketch(self):
+        from repro.core.cocosketch import BasicCocoSketch
+        from repro.extensions.windowed import WindowedMeasurement
+        from repro.traffic.synthetic import heavy_change_windows
+
+        wa, wb = heavy_change_windows(
+            num_packets=20_000, num_flows=3_000, change_fraction=0.02, seed=40
+        )
+        wm = WindowedMeasurement(
+            lambda: BasicCocoSketch.from_memory(96 * 1024, seed=8),
+            FIVE_TUPLE,
+        )
+        engine = TriggerEngine(
+            [
+                Trigger(
+                    "hc",
+                    FIVE_TUPLE.identity_partial(),
+                    TriggerKind.CHANGE_ABOVE,
+                    3e-3 * wa.total_size,
+                )
+            ]
+        )
+        for key, size in wa:
+            wm.update(key, size)
+        engine.evaluate(wm.rotate())
+        for key, size in wb:
+            wm.update(key, size)
+        alarms = engine.evaluate(wm.rotate())
+        assert len(alarms) >= 5  # the injected heavy changes fire

@@ -1,0 +1,62 @@
+"""Unit tests for UnivMon."""
+
+import pytest
+
+from repro.sketches.univmon import UnivMon
+
+
+class TestUnivMon:
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            UnivMon(levels=0)
+
+    def test_depth_distribution_halves(self):
+        um = UnivMon(levels=6, rows=2, width=64, heap_k=8, seed=1)
+        depths = [um._depth(k) for k in range(20_000)]
+        level_counts = [0] * 6
+        for d in depths:
+            for i in range(d + 1):
+                level_counts[i] += 1
+        assert level_counts[0] == 20_000
+        # each deeper level sees roughly half the previous one
+        for i in range(1, 4):
+            ratio = level_counts[i] / level_counts[i - 1]
+            assert 0.4 < ratio < 0.6
+
+    def test_depth_capped_at_levels(self):
+        um = UnivMon(levels=3, rows=2, width=64, heap_k=8, seed=1)
+        assert max(um._depth(k) for k in range(5_000)) <= 2
+
+    def test_single_flow_estimate(self):
+        um = UnivMon(levels=4, rows=3, width=2048, heap_k=8, seed=1)
+        for _ in range(10):
+            um.update(7, 3)
+        assert um.query(7) == pytest.approx(30.0)
+
+    def test_flow_table_tracks_heavy_flows(self, small_trace):
+        um = UnivMon.from_memory(96 * 1024, levels=4, seed=2)
+        um.process(iter(small_trace))
+        table = um.flow_table()
+        top = sorted(
+            small_trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[:5]
+        hits = sum(1 for key, _ in top if key in table)
+        assert hits >= 4
+
+    def test_from_memory_budget(self):
+        um = UnivMon.from_memory(128 * 1024, levels=4)
+        assert um.memory_bytes() <= 128 * 1024
+
+    def test_g_sum_cardinality_order_of_magnitude(self, tiny_trace):
+        # G(x) = 1 estimates distinct count; expect right order.
+        um = UnivMon.from_memory(256 * 1024, levels=6, heap_k=256, seed=3)
+        um.process(iter(tiny_trace))
+        est = um.g_sum(lambda v: 1.0)
+        true = tiny_trace.distinct_flows()
+        assert 0.2 * true < est < 5 * true
+
+    def test_reset(self, tiny_trace):
+        um = UnivMon(levels=3, rows=2, width=128, heap_k=16, seed=1)
+        um.process(iter(tiny_trace))
+        um.reset()
+        assert um.flow_table() == {}

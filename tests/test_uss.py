@@ -1,0 +1,105 @@
+"""Unit tests for Unbiased SpaceSaving."""
+
+import pytest
+
+from repro.core.uss import AUX_MEMORY_FACTOR, UnbiasedSpaceSaving
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            UnbiasedSpaceSaving(0)
+        with pytest.raises(ValueError):
+            UnbiasedSpaceSaving(4, engine="gpu")
+        with pytest.raises(ValueError):
+            UnbiasedSpaceSaving.from_memory(8)
+
+    def test_from_memory_charges_aux_overhead(self):
+        uss = UnbiasedSpaceSaving.from_memory(17 * 4 * 100)
+        assert uss.capacity == 100
+        assert uss.memory_bytes() == 17 * 4 * 100
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("engine", ["fast", "naive"])
+    def test_tracked_flow_increments(self, engine):
+        uss = UnbiasedSpaceSaving(4, seed=1, engine=engine)
+        uss.update(1, 5)
+        uss.update(1, 3)
+        assert uss.query(1) == 8.0
+
+    @pytest.mark.parametrize("engine", ["fast", "naive"])
+    def test_below_capacity_all_tracked_exactly(self, engine):
+        uss = UnbiasedSpaceSaving(10, seed=1, engine=engine)
+        for key in range(10):
+            uss.update(key, key + 1)
+        for key in range(10):
+            assert uss.query(key) == key + 1
+
+    @pytest.mark.parametrize("engine", ["fast", "naive"])
+    def test_capacity_never_exceeded(self, engine, tiny_trace):
+        uss = UnbiasedSpaceSaving(16, seed=1, engine=engine)
+        uss.process(iter(tiny_trace))
+        assert len(uss.flow_table()) <= 16
+
+    @pytest.mark.parametrize("engine", ["fast", "naive"])
+    def test_total_count_conservation(self, engine, tiny_trace):
+        # Every update adds w to exactly one counter (SpaceSaving's
+        # defining invariant, inherited by USS).
+        uss = UnbiasedSpaceSaving(32, seed=2, engine=engine)
+        uss.process(iter(tiny_trace))
+        assert sum(uss._counts.values()) == tiny_trace.total_size
+
+    def test_fast_and_naive_equivalent_behaviour(self, tiny_trace):
+        # The engines share semantics up to min tie-breaking: both
+        # conserve total weight and keep the same heavy flows.
+        fast = UnbiasedSpaceSaving(64, seed=3, engine="fast")
+        naive = UnbiasedSpaceSaving(64, seed=3, engine="naive")
+        fast.process(iter(tiny_trace))
+        naive.process(iter(tiny_trace))
+        assert sum(fast._counts.values()) == sum(naive._counts.values())
+        top_true = sorted(
+            tiny_trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[:5]
+        for key, _ in top_true:
+            assert key in fast._counts
+            assert key in naive._counts
+
+    def test_heap_compaction_bounds_heap(self):
+        uss = UnbiasedSpaceSaving(8, seed=1, engine="fast")
+        for i in range(10_000):
+            uss.update(i % 4, 1)
+        assert len(uss._heap) <= 8 * uss.capacity + 1
+
+    def test_query_unknown_flow(self):
+        uss = UnbiasedSpaceSaving(4, seed=1)
+        assert uss.query(12345) == 0.0
+
+    def test_reset(self, tiny_trace):
+        uss = UnbiasedSpaceSaving(16, seed=1)
+        uss.process(iter(tiny_trace))
+        uss.reset()
+        assert uss.flow_table() == {}
+        uss.update(1, 1)
+        assert uss.query(1) == 1.0
+
+    def test_update_cost_naive_scales_with_capacity(self):
+        small = UnbiasedSpaceSaving(10, engine="naive").update_cost()
+        big = UnbiasedSpaceSaving(10_000, engine="naive").update_cost()
+        assert big.reads > small.reads
+        assert big.reads == 10_000
+
+    def test_update_cost_fast_is_logarithmic(self):
+        cost = UnbiasedSpaceSaving(10_000, engine="fast").update_cost()
+        assert cost.reads < 30
+
+
+class TestHeavyHitterBehaviour:
+    def test_heavy_flows_survive_eviction_pressure(self, small_trace):
+        uss = UnbiasedSpaceSaving(512, seed=4)
+        uss.process(iter(small_trace))
+        truth = small_trace.full_counts()
+        top = sorted(truth.items(), key=lambda kv: -kv[1])[:10]
+        table = uss.flow_table()
+        hits = sum(1 for key, _ in top if key in table)
+        assert hits >= 9

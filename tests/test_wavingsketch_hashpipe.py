@@ -1,0 +1,136 @@
+"""Tests for the WavingSketch and HashPipe baselines."""
+
+import pytest
+
+from repro.analysis.empirical import estimate_moments, mean_confidence_halfwidth
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.wavingsketch import WavingSketch
+from repro.traffic.synthetic import zipf_trace
+
+
+class TestWavingSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WavingSketch(0)
+        with pytest.raises(ValueError):
+            WavingSketch(4, cells=0)
+        with pytest.raises(ValueError):
+            WavingSketch.from_memory(8)
+
+    def test_tracked_item_exact_when_error_free(self):
+        sk = WavingSketch(buckets=64, cells=4, seed=1)
+        for _ in range(100):
+            sk.update(7, 2)
+        assert sk.query(7) == 200.0
+
+    def test_small_items_live_in_waving_counter(self):
+        sk = WavingSketch(buckets=1, cells=2, seed=1)
+        sk.update(1, 100)
+        sk.update(2, 100)
+        sk.update(3, 1)  # heavy full, estimate 1 < 100 -> waved only
+        table = sk.flow_table()
+        assert set(table) == {1, 2}
+
+    def test_large_newcomer_displaces_smallest(self):
+        sk = WavingSketch(buckets=1, cells=2, seed=1)
+        sk.update(1, 100)
+        sk.update(2, 5)
+        for _ in range(60):
+            sk.update(3, 1)
+        table = sk.flow_table()
+        assert 1 in table  # the giant survives
+        assert 3 in table or sk.query(3) > 0
+
+    def test_heavy_flows_found(self, small_trace):
+        sk = WavingSketch.from_memory(64 * 1024, seed=2)
+        sk.process(iter(small_trace))
+        table = sk.flow_table()
+        top = sorted(
+            small_trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[:10]
+        hits = sum(1 for key, _ in top if key in table)
+        assert hits >= 9
+
+    def test_unbiased_for_displaced_items(self):
+        # Estimates for a mid-sized flow across seeds: mean ~ truth.
+        trace = zipf_trace(4_000, 500, alpha=1.1, seed=31)
+        packets = list(trace)
+        key, size = sorted(
+            trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[30]
+        estimates = []
+        for seed in range(40):
+            sk = WavingSketch(buckets=64, cells=4, seed=seed)
+            sk.process(packets)
+            estimates.append(sk.query(key))
+        mean, _ = estimate_moments(estimates)
+        half = mean_confidence_halfwidth(estimates, z=4.0)
+        assert abs(mean - size) <= max(half, 0.15 * size)
+
+    def test_memory_accounting_and_reset(self):
+        sk = WavingSketch(buckets=10, cells=2, key_bytes=13)
+        assert sk.memory_bytes() == 10 * (4 + 2 * 18)
+        sk.update(1, 5)
+        sk.reset()
+        assert sk.flow_table() == {}
+
+
+class TestHashPipe:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashPipe(0)
+        with pytest.raises(ValueError):
+            HashPipe(2, 0)
+        with pytest.raises(ValueError):
+            HashPipe.from_memory(8)
+
+    def test_single_flow_exact(self):
+        hp = HashPipe(stages=3, slots=64, seed=1)
+        for _ in range(50):
+            hp.update(9, 2)
+        assert hp.query(9) == 100.0
+
+    def test_stage1_always_inserts(self):
+        hp = HashPipe(stages=2, slots=1, seed=1)
+        hp.update(1, 10)
+        hp.update(2, 1)  # evicts key 1 from stage 1 despite being smaller
+        assert hp._keys[0][0] == 2
+
+    def test_larger_carried_item_swaps_downstream(self):
+        hp = HashPipe(stages=2, slots=1, seed=1)
+        hp.update(1, 10)  # stage 1
+        hp.update(2, 1)  # 1 carried to stage 2 (empty) -> placed
+        hp.update(3, 1)  # 2 carried; 2's count=1 vs resident 1's 10 -> drop
+        assert hp.query(1) == 10.0
+        assert hp.dropped >= 1
+
+    def test_weight_conservation_with_drops(self, tiny_trace):
+        hp = HashPipe(stages=3, slots=32, seed=2)
+        hp.process(iter(tiny_trace))
+        stored = sum(sum(row) for row in hp._counts)
+        assert stored + hp.dropped == tiny_trace.total_size
+
+    def test_heavy_flows_found(self, small_trace):
+        hp = HashPipe.from_memory(64 * 1024, seed=3)
+        hp.process(iter(small_trace))
+        table = hp.flow_table()
+        top = sorted(
+            small_trace.full_counts().items(), key=lambda kv: -kv[1]
+        )[:10]
+        hits = sum(1 for key, _ in top if key in table)
+        assert hits >= 9
+
+    def test_never_overestimates(self, tiny_trace):
+        # HashPipe only drops weight, so estimates are one-sided low.
+        hp = HashPipe(stages=3, slots=64, seed=4)
+        hp.process(iter(tiny_trace))
+        truth = tiny_trace.full_counts()
+        for key, est in hp.flow_table().items():
+            assert est <= truth[key]
+
+    def test_reset(self, tiny_trace):
+        hp = HashPipe(stages=2, slots=32, seed=1)
+        hp.process(iter(tiny_trace))
+        hp.reset()
+        assert hp.flow_table() == {}
+        assert hp.dropped == 0
