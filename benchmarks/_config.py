@@ -16,10 +16,11 @@ Heavy-hitter threshold stays the paper's 1e-4 of total traffic.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import os
+from typing import Callable, Dict, Optional
 
-from repro.core.cocosketch import BasicCocoSketch
 from repro.core.uss import UnbiasedSpaceSaving
+from repro.engine import get_engine
 from repro.flowkeys.key import FIVE_TUPLE, PartialKeySpec
 from repro.sketches.base import Sketch
 from repro.sketches.countmin import CountMinHeap
@@ -43,6 +44,16 @@ CAIDA_FLOWS = 70_000
 MAWI_PACKETS = 150_000
 MAWI_FLOWS = 50_000
 
+#: Execution engine for the "Ours" update path.  Overridable via the
+#: ``REPRO_ENGINE`` env var or ``pytest benchmarks/ --engine numpy``
+#: (conftest rewrites these module attributes, so benches must read
+#: ``_config.ENGINE`` at call time rather than from-import a copy).
+ENGINE = os.environ.get("REPRO_ENGINE", "scalar")
+
+#: Packets per ``update_batch`` call on vectorised engines; env var
+#: ``REPRO_BATCH_SIZE`` or ``--batch-size``.
+BATCH_SIZE = int(os.environ.get("REPRO_BATCH_SIZE", "4096"))
+
 
 def mem_bytes(paper_kb: float) -> int:
     """Scale a paper memory point (KB) to benchmark bytes."""
@@ -50,18 +61,25 @@ def mem_bytes(paper_kb: float) -> int:
 
 
 def make_estimator(
-    name: str, memory_bytes: int, partial_keys: list, seed: int = 1
+    name: str,
+    memory_bytes: int,
+    partial_keys: list,
+    seed: int = 1,
+    engine: Optional[str] = None,
 ) -> Estimator:
     """Build one of the §7.2 competitors at a memory budget.
 
     ``Ours`` and ``USS`` deploy one full-key sketch and aggregate;
     every other baseline deploys one single-key sketch per partial key
-    (memory split equally), exactly as §7.1 configures them.
+    (memory split equally), exactly as §7.1 configures them.  *engine*
+    picks the execution engine for ``Ours`` (default: the configured
+    :data:`ENGINE`); baselines have no vectorised path and ignore it.
     """
     if name == "Ours":
-        return FullKeyEstimator(
-            BasicCocoSketch.from_memory(memory_bytes, d=2, seed=seed), FIVE_TUPLE
+        sketch = get_engine(engine or ENGINE).cocosketch_from_memory(
+            memory_bytes, d=2, seed=seed
         )
+        return FullKeyEstimator(sketch, FIVE_TUPLE)
     if name == "USS":
         return FullKeyEstimator(
             UnbiasedSpaceSaving.from_memory(memory_bytes, seed=seed), FIVE_TUPLE

@@ -13,13 +13,44 @@ from __future__ import annotations
 
 import pytest
 
+import _config
+from _config import mem_bytes
+
+from repro.engine import get_engine
 from repro.hwsim.fpga import FpgaModel
 from repro.hwsim.ovs import OvsSimulation
 from repro.hwsim.rmt import RmtChip, sketch_rmt_usage
+from repro.metrics.throughput import (
+    columnar_batches,
+    measure_batch_throughput,
+    measure_throughput,
+)
+
+
+def _engine_calibration(caida, packets=20_000):
+    """Single-thread Mpps of the configured software engine.
+
+    Fig 15(a)'s curve comes from the ring-buffer model (the paper's OVS
+    numbers are a property of the deployment, not of this Python
+    substrate), but recording the measured per-thread update rate of
+    the configured engine alongside it shows what feeds the model's
+    ``per_thread_mpps`` knob on each engine.
+    """
+    stream = list(caida)[:packets]
+    sketch = get_engine(_config.ENGINE).cocosketch_from_memory(
+        mem_bytes(500), d=2, seed=7
+    )
+    if sketch.vectorized:
+        result = measure_batch_throughput(
+            sketch.update_batch, columnar_batches(stream, _config.BATCH_SIZE)
+        )
+    else:
+        result = measure_throughput(sketch.update, stream)
+    return result.mpps
 
 
 @pytest.mark.benchmark(group="fig15")
-def test_fig15a_ovs_throughput(benchmark, record):
+def test_fig15a_ovs_throughput(benchmark, caida, record):
     sim = OvsSimulation(per_thread_mpps=7.0, nic_cap_mpps=12.5)
     curve = benchmark.pedantic(sim.throughput_curve, args=(4,), rounds=1, iterations=1)
     record(
@@ -30,6 +61,10 @@ def test_fig15a_ovs_throughput(benchmark, record):
             [r.threads, r.delivered_mpps, r.dropped_mpps, r.mean_ring_occupancy]
             for r in curve
         ],
+        extra={
+            "engine": _config.ENGINE,
+            "engine_single_thread_mpps": _engine_calibration(caida),
+        },
     )
     assert curve[0].delivered_mpps < 0.6 * 12.5
     for point in curve[1:]:

@@ -18,11 +18,40 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+import _config  # noqa: E402
 from _config import CAIDA_FLOWS, CAIDA_PACKETS, MAWI_FLOWS, MAWI_PACKETS  # noqa: E402
 
+from repro.engine import available_engines  # noqa: E402
 from repro.traffic.synthetic import caida_like, mawi_like  # noqa: E402
 
 _RECORDED: List[str] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="execution engine for the 'Ours' update path "
+        "(default: REPRO_ENGINE env var or 'scalar')",
+    )
+    parser.addoption(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="packets per update_batch call on vectorised engines",
+    )
+
+
+def pytest_configure(config):
+    # Rewrite the _config module attributes so benches reading
+    # _config.ENGINE at call time see the CLI override.
+    engine = config.getoption("--engine")
+    if engine is not None:
+        _config.ENGINE = engine
+    batch_size = config.getoption("--batch-size")
+    if batch_size is not None:
+        _config.BATCH_SIZE = batch_size
 
 
 @pytest.fixture(scope="session")

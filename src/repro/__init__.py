@@ -29,6 +29,7 @@ from repro.core import (
     P4CocoSketch,
     UnbiasedSpaceSaving,
 )
+from repro.engine import available_engines, get_engine
 from repro.flowkeys import (
     FIVE_TUPLE,
     FullKeySpec,
@@ -54,6 +55,8 @@ __all__ = [
     "prefix_hierarchy",
     "Packet",
     "Trace",
+    "available_engines",
+    "get_engine",
     "caida_like",
     "mawi_like",
     "zipf_trace",

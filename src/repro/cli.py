@@ -5,10 +5,16 @@ Usage::
     python -m repro.cli generate --packets 100000 --flows 20000 out.csv
     python -m repro.cli measure out.csv --memory-kb 200 --top 10 \
         --key SrcIP --key SrcIP/24 --key SrcIP+DstIP
-    python -m repro.cli evaluate out.csv --memory-kb 200 --threshold 1e-4
+    python -m repro.cli evaluate out.csv --memory-kb 200 --threshold 1e-4 \
+        --engine numpy --batch-size 4096
 
 Key syntax: ``Field[/prefix]`` joined by ``+``, over the 5-tuple full
 key — e.g. ``SrcIP``, ``SrcIP/24``, ``SrcIP+DstIP``, ``DstIP+DstPort``.
+
+``--engine`` picks the execution engine for the measuring sketch:
+``scalar`` (reference pure Python, default) or ``numpy`` (columnar
+batched updates; same estimator, much faster on large traces).
+``--batch-size`` overrides the numpy engine's 4096-packet default.
 """
 
 from __future__ import annotations
@@ -17,8 +23,8 @@ import argparse
 import sys
 from typing import List
 
-from repro.core.cocosketch import BasicCocoSketch
 from repro.core.query import FlowTable
+from repro.engine import available_engines, get_engine
 from repro.flowkeys.key import FIVE_TUPLE, PartialKeySpec, paper_partial_keys
 from repro.metrics.accuracy import evaluate_heavy_hitters
 from repro.traffic.storage import load_csv, save_csv
@@ -57,10 +63,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _load_sketch(args: argparse.Namespace):
     trace = load_csv(args.path, FIVE_TUPLE)
-    sketch = BasicCocoSketch.from_memory(
+    engine = get_engine(args.engine)
+    sketch = engine.cocosketch_from_memory(
         int(args.memory_kb * 1024), d=args.d, seed=args.seed
     )
-    sketch.process(iter(trace))
+    # batch_size None lets vectorised sketches pick their default and
+    # keeps the scalar engine on the plain per-packet loop.
+    sketch.process(trace, batch_size=args.batch_size)
     return trace, sketch
 
 
@@ -117,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--memory-kb", type=float, default=200)
     common.add_argument("--d", type=int, default=2)
     common.add_argument("--seed", type=int, default=1)
+    common.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default="scalar",
+        help="execution engine for the sketch update path",
+    )
+    common.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="packets per update_batch call (default: engine's choice)",
+    )
     common.add_argument(
         "--key",
         action="append",

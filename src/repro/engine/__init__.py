@@ -1,0 +1,55 @@
+"""Pluggable execution engines for the sketch update hot path.
+
+Two engines ship, selected by name (CLI ``--engine``, benchmark
+``REPRO_ENGINE``):
+
+* ``scalar`` — the reference pure-Python sketches, one packet per call.
+* ``numpy`` — columnar sketches over uint64/int64 numpy state consuming
+  whole ``(keys_hi, keys_lo, sizes)`` batches (see
+  :mod:`repro.engine.vectorized` for the scheduling that keeps the
+  paper's exact update rule).
+
+Typical use::
+
+    from repro.engine import get_engine
+
+    sketch = get_engine("numpy").cocosketch_from_memory(200 * 1024, d=2)
+    sketch.process(trace, batch_size=4096)   # columnar Trace.batches path
+
+When to stay scalar: traces of a few thousand packets (batch setup
+overhead dominates), exotic hash backends (``bob`` has no vectorised
+path), or geometries with many arrays (d > 4) where the basic rule's
+epoch scheduling loses its advantage.
+"""
+
+from repro.engine.base import (
+    ENGINES,
+    ExecutionEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.engine.scalar import ScalarEngine
+from repro.engine.vectorized import (
+    NumpyCocoSketch,
+    NumpyCountMin,
+    NumpyCountSketch,
+    NumpyEngine,
+    NumpyHardwareCocoSketch,
+    as_columns,
+)
+
+__all__ = [
+    "ENGINES",
+    "ExecutionEngine",
+    "ScalarEngine",
+    "NumpyEngine",
+    "NumpyCocoSketch",
+    "NumpyHardwareCocoSketch",
+    "NumpyCountMin",
+    "NumpyCountSketch",
+    "as_columns",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]

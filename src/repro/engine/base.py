@@ -1,0 +1,125 @@
+"""Execution engines: pluggable sketch backends (scalar vs columnar).
+
+An :class:`ExecutionEngine` is a factory for the sketches the evaluation
+drives hardest — CocoSketch (basic and hardware rules) and the CM/Count
+counter arrays — under one of two execution strategies:
+
+* ``scalar`` — the reference pure-Python classes, one packet at a time.
+* ``numpy`` — columnar implementations from :mod:`repro.engine.vectorized`
+  that keep sketch state in uint64/int64 numpy arrays and consume whole
+  ``(keys_hi, keys_lo, sizes)`` batches per call.
+
+Both engines implement the same :class:`~repro.sketches.base.Sketch`
+interface and the same statistical contract: CocoSketch replacement
+probabilities are identical (so unbiasedness is preserved), and the
+deterministic sketches (CountMin / CountSketch) are bit-identical across
+engines under a fixed seed.  Pick with :func:`get_engine`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Tuple
+
+from repro.sketches.base import COUNTER_BYTES, DEFAULT_KEY_BYTES, Sketch
+
+
+def buckets_for_memory(memory_bytes: int, d: int, key_bytes: int) -> int:
+    """Shared ``from_memory`` arithmetic: buckets per array for a budget."""
+    bucket = key_bytes + COUNTER_BYTES
+    l = memory_bytes // (d * bucket)
+    if l < 1:
+        raise ValueError(
+            f"memory {memory_bytes}B too small for d={d} "
+            f"({d * bucket}B minimum)"
+        )
+    return l
+
+
+class ExecutionEngine(abc.ABC):
+    """Factory for sketches under one execution strategy."""
+
+    #: Registry key and report label (``scalar`` / ``numpy``).
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def cocosketch(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> Sketch:
+        """Basic CocoSketch (§4.1 rule) with d arrays of l buckets."""
+
+    @abc.abstractmethod
+    def hardware_cocosketch(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> Sketch:
+        """Hardware CocoSketch (§4.2 rule: independent per-array updates)."""
+
+    @abc.abstractmethod
+    def countmin(
+        self, rows: int = 3, width: int = 1024, seed: int = 0
+    ) -> Sketch:
+        """Plain Count-Min counter array."""
+
+    @abc.abstractmethod
+    def countsketch(
+        self, rows: int = 3, width: int = 1024, seed: int = 0
+    ) -> Sketch:
+        """Plain Count sketch counter array."""
+
+    def cocosketch_from_memory(
+        self,
+        memory_bytes: int,
+        d: int = 2,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> Sketch:
+        """Size a basic CocoSketch to a data-plane memory budget."""
+        l = buckets_for_memory(memory_bytes, d, key_bytes)
+        return self.cocosketch(d, l, seed, key_bytes)
+
+    def hardware_cocosketch_from_memory(
+        self,
+        memory_bytes: int,
+        d: int = 2,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> Sketch:
+        """Size a hardware CocoSketch to a data-plane memory budget."""
+        l = buckets_for_memory(memory_bytes, d, key_bytes)
+        return self.hardware_cocosketch(d, l, seed, key_bytes)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: Engine registry: name -> zero-arg constructor (populated on import).
+ENGINES: Dict[str, Callable[[], "ExecutionEngine"]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], "ExecutionEngine"]) -> None:
+    """Register an engine constructor under *name* (last write wins)."""
+    ENGINES[name] = factory
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names accepted by :func:`get_engine` (CLI choices)."""
+    return tuple(sorted(ENGINES))
+
+
+def get_engine(name: str) -> ExecutionEngine:
+    """Instantiate the engine registered under *name*."""
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {', '.join(available_engines())}"
+        ) from None
+    return factory()

@@ -1,0 +1,53 @@
+"""The scalar engine: reference pure-Python sketches, unchanged.
+
+Kept as the baseline the vectorised engine is validated against
+(bit-identical CM/Count, statistically equivalent CocoSketch) and as the
+right choice for tiny traces or exotic geometries where batch setup
+overhead dominates.
+"""
+
+from __future__ import annotations
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch
+from repro.engine.base import ExecutionEngine, register_engine
+from repro.sketches.base import DEFAULT_KEY_BYTES, Sketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+
+
+class ScalarEngine(ExecutionEngine):
+    """One packet at a time through the reference implementations."""
+
+    name = "scalar"
+
+    def cocosketch(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> Sketch:
+        return BasicCocoSketch(d, l, seed, key_bytes)
+
+    def hardware_cocosketch(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> Sketch:
+        return HardwareCocoSketch(d, l, seed, key_bytes)
+
+    def countmin(
+        self, rows: int = 3, width: int = 1024, seed: int = 0
+    ) -> Sketch:
+        return CountMinSketch(rows, width, seed)
+
+    def countsketch(
+        self, rows: int = 3, width: int = 1024, seed: int = 0
+    ) -> Sketch:
+        return CountSketch(rows, width, seed)
+
+
+register_engine(ScalarEngine.name, ScalarEngine)

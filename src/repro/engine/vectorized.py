@@ -1,0 +1,527 @@
+"""Numpy execution engine: columnar sketch state, batched updates.
+
+Every sketch here keeps its state in flat numpy arrays (uint64 key
+columns, int64 counters) and consumes whole batches per call, so the
+per-packet pure-Python work of the scalar classes — d hash closures, RNG
+draws, list indexing — becomes a handful of array operations per batch.
+
+Correctness contracts, enforced by ``tests/test_engine.py``:
+
+* :class:`NumpyCountMin` / :class:`NumpyCountSketch` are **bit-identical**
+  to the scalar classes under the same seed: same mix64 hash family
+  (via :meth:`HashFamily.index_arrays`), same integer arithmetic, the
+  batch merely reassociates additions (``np.add.at``).
+* :class:`NumpyCocoSketch` / :class:`NumpyHardwareCocoSketch` apply the
+  paper's **exact replacement rule with exact probabilities** to every
+  packet.  Batching never merges packets and never changes a decision
+  probability; it only schedules non-interfering updates together, which
+  corresponds to processing some permutation of the batch one packet at
+  a time.  Unbiasedness (Theorem 1 / Lemma 3) is a per-update inductive
+  invariant, so it is preserved under any such permutation; the
+  statistical equivalence tests check this empirically.
+
+Batch scheduling:
+
+* The hardware rule updates each array independently, so each batch is
+  resolved per array by sorting packets on bucket index: group totals
+  via cumulative sums give every packet its exact ``V_new``, replacement
+  draws are vectorised, and the bucket's final key is the key of the
+  last packet in its conflict group whose draw succeeded.  No python
+  loop at all.
+* The basic rule couples the d arrays (min across candidate buckets), so
+  batches run in *epochs*: first all packets whose key currently sits in
+  one of their buckets commit their counter adds in one ``np.add.at``
+  (pure additions commute), then a maximal earliest-first set of
+  bucket-disjoint remaining packets runs the full eviction rule
+  vectorised.  Conflicting packets wait for the next epoch, which
+  re-checks matches against the updated keys — so a flow adopted
+  mid-batch absorbs its later packets as cheap matched adds.  Skewed
+  traffic typically needs only a few epochs per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.base import ExecutionEngine, register_engine
+from repro.hashing.family import HashFamily, fold_columns
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    KeyBatch,
+    Sketch,
+    UpdateCost,
+)
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+
+_MASK64 = (1 << 64) - 1
+
+
+def as_columns(
+    keys: KeyBatch, sizes: Optional[Sequence[int]] = None
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Normalise any batch representation to (hi, lo, sizes) columns."""
+    if isinstance(keys, tuple):
+        hi = np.ascontiguousarray(keys[0], dtype=np.uint64)
+        lo = np.ascontiguousarray(keys[1], dtype=np.uint64)
+        if len(hi) != len(lo):
+            raise ValueError(
+                f"hi ({len(hi)}) and lo ({len(lo)}) columns disagree"
+            )
+    elif isinstance(keys, np.ndarray):
+        lo = keys.astype(np.uint64, copy=False)
+        hi = np.zeros(len(lo), dtype=np.uint64)
+    else:
+        from repro.traffic.fast import pack_key_columns
+
+        hi, lo = pack_key_columns(list(keys))
+    if sizes is None:
+        w = np.ones(len(lo), dtype=np.int64)
+    else:
+        w = np.asarray(sizes, dtype=np.int64)
+        if len(w) != len(lo):
+            raise ValueError(
+                f"keys ({len(lo)}) and sizes ({len(w)}) disagree"
+            )
+    return hi, lo, w
+
+
+class _ColumnarKeyValueSketch(Sketch):
+    """Shared state/plumbing for the two columnar CocoSketch variants.
+
+    State: ``(d, l)`` arrays flattened to views — uint64 key columns, an
+    occupancy mask (a bucket may hold a value but no key, exactly like
+    the scalar classes' ``None`` entries) and int64 values.
+    """
+
+    vectorized = True
+
+    def __init__(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        rng_salt: int = 0,
+    ) -> None:
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if l < 1:
+            raise ValueError(f"l must be >= 1, got {l}")
+        self.d = d
+        self.l = l
+        self.key_bytes = key_bytes
+        self._family = HashFamily(d, seed, backend="mix64", key_bytes=key_bytes)
+        self._rng = np.random.Generator(np.random.PCG64(seed ^ rng_salt))
+        self._key_hi = np.zeros((d, l), dtype=np.uint64)
+        self._key_lo = np.zeros((d, l), dtype=np.uint64)
+        self._occupied = np.zeros((d, l), dtype=bool)
+        self._vals = np.zeros((d, l), dtype=np.int64)
+        # Flat views over the same memory, for fancy-indexed batch writes.
+        self._key_hi_flat = self._key_hi.reshape(-1)
+        self._key_lo_flat = self._key_lo.reshape(-1)
+        self._occupied_flat = self._occupied.reshape(-1)
+        self._vals_flat = self._vals.reshape(-1)
+        # Array-row offsets turning (i, j) into a flat bucket id.
+        self._row_offsets = (np.arange(d, dtype=np.int64) * l)[:, None]
+
+    def update(self, key: int, size: int = 1) -> None:
+        """Scalar fallback: a one-packet batch (prefer update_batch)."""
+        self.update_batch([key], [size])
+
+    def _indices_for(self, key: int) -> "np.ndarray":
+        folded = np.array([(key & _MASK64) ^ (key >> 64)], dtype=np.uint64)
+        return self._family.index_arrays(folded, self.l)[:, 0]
+
+    def memory_bytes(self) -> int:
+        return self.d * self.l * (self.key_bytes + COUNTER_BYTES)
+
+    def reset(self) -> None:
+        self._key_hi[:] = 0
+        self._key_lo[:] = 0
+        self._occupied[:] = False
+        self._vals[:] = 0
+
+    def occupancy(self) -> float:
+        """Fraction of buckets holding a key (diagnostics)."""
+        return float(self._occupied.mean())
+
+
+class NumpyCocoSketch(_ColumnarKeyValueSketch):
+    """Basic CocoSketch (§4.1 rule) with columnar state and batch updates.
+
+    Statistically equivalent to
+    :class:`~repro.core.cocosketch.BasicCocoSketch` — same hash family,
+    same replacement probabilities, same uniform tie-breaking — with
+    batch updates scheduled in the epochs described in the module
+    docstring.
+    """
+
+    name = "CocoSketch"
+
+    def __init__(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> None:
+        super().__init__(d, l, seed, key_bytes, rng_salt=0x5EED)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        d: int = 2,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> "NumpyCocoSketch":
+        from repro.engine.base import buckets_for_memory
+
+        return cls(d, buckets_for_memory(memory_bytes, d, key_bytes), seed, key_bytes)
+
+    def update_batch(
+        self, keys: KeyBatch, sizes: Optional[Sequence[int]] = None
+    ) -> None:
+        hi, lo, w = as_columns(keys, sizes)
+        n = len(w)
+        if n == 0:
+            return
+        d = self.d
+        J = self._family.index_arrays(fold_columns(hi, lo), self.l)
+        flat = J + self._row_offsets  # (d, n) flat bucket ids
+        key_hi = self._key_hi_flat
+        key_lo = self._key_lo_flat
+        occupied = self._occupied_flat
+        vals = self._vals_flat
+        rng = self._rng
+
+        remaining = np.arange(n)
+        while remaining.size:
+            idx = remaining
+            b = flat[:, idx]  # (d, m) candidate buckets per packet
+            # -- matched adds: key already held by a candidate bucket ----
+            match = (
+                occupied[b]
+                & (key_hi[b] == hi[idx])
+                & (key_lo[b] == lo[idx])
+            )
+            any_match = match.any(axis=0)
+            if any_match.any():
+                cols = np.nonzero(any_match)[0]
+                # First matching array, as in the scalar early return.
+                first_i = np.argmax(match[:, cols], axis=0)
+                np.add.at(vals, b[first_i, cols], w[idx[cols]])
+                keep = ~any_match
+                idx = idx[keep]
+                b = b[:, keep]
+                if idx.size == 0:
+                    break
+            # -- eviction rule on a bucket-disjoint earliest-first set ---
+            m = idx.size
+            entries = b.T.reshape(-1)  # packet-major flatten, len m*d
+            _, first_idx, inverse = np.unique(
+                entries, return_index=True, return_inverse=True
+            )
+            owner = first_idx[inverse] // d  # earliest packet using each bucket
+            selected = (
+                (owner == np.repeat(np.arange(m), d)).reshape(m, d).all(axis=1)
+            )
+            sel = idx[selected]
+            s = sel.size
+            bs = b[:, selected]  # (d, s), disjoint across packets
+            V = vals[bs]
+            minval = V.min(axis=0)
+            # Uniform tie-break among minima (same law as the scalar
+            # reservoir walk): pick the k-th tied bucket, k ~ U{0..ties-1}.
+            ties = V == minval[None, :]
+            cnt = ties.sum(axis=0)
+            kth = np.minimum((rng.random(s) * cnt).astype(np.int64), cnt - 1)
+            chosen_i = np.argmax(np.cumsum(ties, axis=0) > kth[None, :], axis=0)
+            targets = bs[chosen_i, np.arange(s)]
+            ws = w[sel]
+            new_v = minval + ws
+            vals[targets] = new_v
+            # Replacement with probability w / V_new (Theorem 1).
+            adopt = rng.random(s) * new_v < ws
+            ta = targets[adopt]
+            key_hi[ta] = hi[sel][adopt]
+            key_lo[ta] = lo[sel][adopt]
+            occupied[ta] = True
+            remaining = idx[~selected]
+
+    def query(self, key: int) -> float:
+        """Sum of values of mapped buckets holding *key* (as scalar)."""
+        hi = (key >> 64) & _MASK64
+        lo = key & _MASK64
+        J = self._indices_for(key)
+        total = 0
+        for i in range(self.d):
+            j = J[i]
+            if (
+                self._occupied[i, j]
+                and int(self._key_hi[i, j]) == hi
+                and int(self._key_lo[i, j]) == lo
+            ):
+                total += int(self._vals[i, j])
+        return float(total)
+
+    def flow_table(self) -> Dict[int, float]:
+        """(FullKey, Size) table over all recorded keys (§4.3 Step 3)."""
+        occ = self._occupied
+        his = self._key_hi[occ].tolist()
+        los = self._key_lo[occ].tolist()
+        vs = self._vals[occ].tolist()
+        table: Dict[int, float] = {}
+        for h, lw, v in zip(his, los, vs):
+            k = (h << 64) | lw
+            table[k] = table.get(k, 0.0) + v
+        return table
+
+    def update_cost(self) -> UpdateCost:
+        """Same logical cost as the scalar rule (it is the same rule)."""
+        return UpdateCost(hashes=self.d, reads=self.d, writes=2, random_draws=2)
+
+
+class NumpyHardwareCocoSketch(_ColumnarKeyValueSketch):
+    """Hardware CocoSketch (§4.2 rule), fully vectorised batch updates.
+
+    Arrays update independently, so each batch resolves per array with a
+    stable sort on bucket index: per-packet ``V_new`` comes from group
+    cumulative sums, the replacement draw ``r * V_new < w`` is one
+    vectorised comparison, and each touched bucket keeps the key of its
+    last successful draw.  Statistically equivalent to
+    :class:`~repro.core.hardware.HardwareCocoSketch`.
+    """
+
+    name = "CocoSketch-HW"
+
+    def __init__(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> None:
+        super().__init__(d, l, seed, key_bytes, rng_salt=0xFACADE)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        d: int = 2,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> "NumpyHardwareCocoSketch":
+        from repro.engine.base import buckets_for_memory
+
+        return cls(d, buckets_for_memory(memory_bytes, d, key_bytes), seed, key_bytes)
+
+    def update_batch(
+        self, keys: KeyBatch, sizes: Optional[Sequence[int]] = None
+    ) -> None:
+        hi, lo, w = as_columns(keys, sizes)
+        n = len(w)
+        if n == 0:
+            return
+        J = self._family.index_arrays(fold_columns(hi, lo), self.l)
+        rng = self._rng
+        positions = np.arange(n)
+        for i in range(self.d):
+            j = J[i]
+            order = np.argsort(j, kind="stable")
+            js = j[order]
+            ws = w[order]
+            # Per-packet V_new = bucket value before the batch plus the
+            # running within-group total — exactly the sequential value.
+            csum = np.cumsum(ws)
+            starts = np.empty(n, dtype=bool)
+            starts[0] = True
+            starts[1:] = js[1:] != js[:-1]
+            start_idx = np.nonzero(starts)[0]
+            base = np.where(start_idx > 0, csum[start_idx - 1], 0)
+            group = np.cumsum(starts) - 1
+            v_new = self._vals[i][js] + (csum - base[group])
+            # Unconditional form of the §4.2 rule: with probability
+            # w / V_new the bucket key becomes this packet's key (a
+            # same-key "replacement" is a no-op, so skipping the draw on
+            # a key match — as the scalar code does — is the same law).
+            flag = rng.random(n) * v_new < ws
+            last = np.maximum.reduceat(np.where(flag, positions, -1), start_idx)
+            won = last >= 0
+            buckets = js[start_idx[won]]
+            src = order[last[won]]
+            np.add.at(self._vals[i], j, w)
+            self._key_hi[i][buckets] = hi[src]
+            self._key_lo[i][buckets] = lo[src]
+            self._occupied[i][buckets] = True
+
+    def array_estimate(self, i: int, key: int) -> float:
+        """Per-array unbiased estimator: value if the key is held, else 0."""
+        j = self._indices_for(key)[i]
+        if (
+            self._occupied[i, j]
+            and int(self._key_hi[i, j]) == (key >> 64) & _MASK64
+            and int(self._key_lo[i, j]) == key & _MASK64
+        ):
+            return float(self._vals[i, j])
+        return 0.0
+
+    def query(self, key: int) -> float:
+        """Median of the d per-array estimates (§4.3)."""
+        hi = (key >> 64) & _MASK64
+        lo = key & _MASK64
+        J = self._indices_for(key)
+        estimates = []
+        for i in range(self.d):
+            j = J[i]
+            if (
+                self._occupied[i, j]
+                and int(self._key_hi[i, j]) == hi
+                and int(self._key_lo[i, j]) == lo
+            ):
+                estimates.append(float(self._vals[i, j]))
+            else:
+                estimates.append(0.0)
+        return float(np.median(estimates))
+
+    def flow_table(self) -> Dict[int, float]:
+        """(FullKey, Size) table: median estimate per recorded key."""
+        occ = self._occupied
+        if not occ.any():
+            return {}
+        packed = np.stack([self._key_hi[occ], self._key_lo[occ]], axis=1)
+        uniq = np.unique(packed, axis=0)
+        u_hi, u_lo = uniq[:, 0], uniq[:, 1]
+        J = self._family.index_arrays(fold_columns(u_hi, u_lo), self.l)
+        estimates = np.zeros((self.d, len(u_hi)))
+        for i in range(self.d):
+            j = J[i]
+            hit = (
+                self._occupied[i][j]
+                & (self._key_hi[i][j] == u_hi)
+                & (self._key_lo[i][j] == u_lo)
+            )
+            estimates[i] = np.where(hit, self._vals[i][j], 0.0)
+        med = np.median(estimates, axis=0)
+        return {
+            (h << 64) | lw: float(v)
+            for h, lw, v in zip(u_hi.tolist(), u_lo.tolist(), med.tolist())
+        }
+
+    def update_cost(self) -> UpdateCost:
+        """Sequential-equivalent cost; arrays run in parallel on HW."""
+        return UpdateCost(
+            hashes=self.d, reads=self.d, writes=2 * self.d, random_draws=self.d
+        )
+
+
+class NumpyCountMin(CountMinSketch):
+    """Count-Min with int64 numpy counters and np.add.at batch updates.
+
+    Bit-identical to :class:`~repro.sketches.countmin.CountMinSketch`
+    under the same seed — the scalar ``update``/``query`` paths are
+    inherited and operate on the numpy rows directly.
+    """
+
+    name = "CM"
+    vectorized = True
+
+    def __init__(
+        self,
+        rows: int = 3,
+        width: int = 1024,
+        seed: int = 0,
+        hash_backend: str = "mix64",
+    ) -> None:
+        super().__init__(rows, width, seed, hash_backend)
+        self._counters = np.zeros((rows, width), dtype=np.int64)
+
+    def update_batch(
+        self, keys: KeyBatch, sizes: Optional[Sequence[int]] = None
+    ) -> None:
+        hi, lo, w = as_columns(keys, sizes)
+        if len(w) == 0:
+            return
+        J = self._family.index_arrays(fold_columns(hi, lo), self.width)
+        for i in range(self.rows):
+            np.add.at(self._counters[i], J[i], w)
+
+    def reset(self) -> None:
+        self._counters[:] = 0
+
+
+class NumpyCountSketch(CountSketch):
+    """Count sketch with int64 numpy counters and batched signed adds.
+
+    Bit-identical to :class:`~repro.sketches.countsketch.CountSketch`
+    under the same seed.
+    """
+
+    name = "Count"
+    vectorized = True
+
+    def __init__(
+        self,
+        rows: int = 3,
+        width: int = 1024,
+        seed: int = 0,
+        hash_backend: str = "mix64",
+    ) -> None:
+        super().__init__(rows, width, seed, hash_backend)
+        self._counters = np.zeros((rows, width), dtype=np.int64)
+
+    def update_batch(
+        self, keys: KeyBatch, sizes: Optional[Sequence[int]] = None
+    ) -> None:
+        hi, lo, w = as_columns(keys, sizes)
+        if len(w) == 0:
+            return
+        folded = fold_columns(hi, lo)
+        J = self._family.index_arrays(folded, self.width)
+        S = self._sign_family.index_arrays(folded, 2)
+        for i in range(self.rows):
+            np.add.at(self._counters[i], J[i], np.where(S[i] == 1, w, -w))
+
+    def reset(self) -> None:
+        self._counters[:] = 0
+
+
+class NumpyEngine(ExecutionEngine):
+    """Columnar numpy execution across the core sketch families."""
+
+    name = "numpy"
+
+    def cocosketch(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> Sketch:
+        return NumpyCocoSketch(d, l, seed, key_bytes)
+
+    def hardware_cocosketch(
+        self,
+        d: int = 2,
+        l: int = 1024,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> Sketch:
+        return NumpyHardwareCocoSketch(d, l, seed, key_bytes)
+
+    def countmin(
+        self, rows: int = 3, width: int = 1024, seed: int = 0
+    ) -> Sketch:
+        return NumpyCountMin(rows, width, seed)
+
+    def countsketch(
+        self, rows: int = 3, width: int = 1024, seed: int = 0
+    ) -> Sketch:
+        return NumpyCountSketch(rows, width, seed)
+
+
+register_engine(NumpyEngine.name, NumpyEngine)

@@ -14,6 +14,6 @@ The paper's implementations hash keys with the 32-bit Bob Jenkins hash
 """
 
 from repro.hashing.bobhash import bobhash32
-from repro.hashing.family import HashFamily, mix64, mix64_array
+from repro.hashing.family import HashFamily, fold_columns, mix64, mix64_array
 
-__all__ = ["bobhash32", "HashFamily", "mix64", "mix64_array"]
+__all__ = ["bobhash32", "HashFamily", "fold_columns", "mix64", "mix64_array"]

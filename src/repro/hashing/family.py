@@ -47,6 +47,16 @@ def mix64_array(values: "np.ndarray") -> "np.ndarray":
         return z ^ (z >> np.uint64(31))
 
 
+def fold_columns(hi: "np.ndarray", lo: "np.ndarray") -> "np.ndarray":
+    """Fold (hi, lo) uint64 key columns into the 64-bit hash input.
+
+    Matches the scalar backends' fold for keys up to 128 bits:
+    ``key ^ (key >> 64)`` restricted to the low 64 bits is exactly
+    ``lo ^ hi``, so vectorised and scalar hashing agree bit for bit.
+    """
+    return np.asarray(hi, dtype=np.uint64) ^ np.asarray(lo, dtype=np.uint64)
+
+
 class HashFamily:
     """``d`` independent seeded hash functions ``key -> [0, size)``.
 
@@ -129,6 +139,25 @@ class HashFamily:
         return (mix64_array(keys.astype(np.uint64) ^ seed) % np.uint64(size)).astype(
             np.int64
         )
+
+    def index_arrays(self, keys: "np.ndarray", size: int) -> "np.ndarray":
+        """All ``d`` vectorised hashes over a uint64 key array at once.
+
+        Returns a ``(d, len(keys))`` int64 array of bucket indices — one
+        row per hash function, matching :meth:`index_fn` bit for bit on
+        the ``mix64`` backend.  Callers with >64-bit keys must pre-fold
+        (hi, lo) columns with :func:`fold_columns` first.
+        """
+        if self.backend != "mix64":
+            raise NotImplementedError("vectorised hashing requires mix64")
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.empty((self.d, len(keys)), dtype=np.int64)
+        for i in range(self.d):
+            seed = np.uint64(self.seeds[i])
+            out[i] = (mix64_array(keys ^ seed) % np.uint64(size)).astype(np.int64)
+        return out
 
 
 def uniform_random_stream(seed: int, count: int) -> Sequence[int]:

@@ -5,6 +5,9 @@ implement :class:`Sketch`.  The interface captures exactly what the
 evaluation needs:
 
 * ``update(key, size)`` — consume one packet.
+* ``update_batch(keys, sizes)`` — consume a batch of packets; the base
+  implementation is a scalar loop, vectorised sketches
+  (:mod:`repro.engine`) override it with columnar numpy paths.
 * ``query(key)`` — point estimate for one full-key flow.
 * ``flow_table()`` — the recorded ``{full_key: estimate}`` table the
   control plane aggregates for partial-key queries (§4.3, Step 3).
@@ -19,12 +22,44 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 #: Per-bucket key storage in bytes; the 5-tuple full key is 104 bits.
 DEFAULT_KEY_BYTES = 13
 #: Per-bucket counter storage in bytes (32-bit, as in the paper's code).
 COUNTER_BYTES = 4
+
+#: Chunk size used when a vectorised sketch processes a plain iterable.
+DEFAULT_BATCH_SIZE = 4096
+
+#: Batch keys: python ints, a uint64 array (keys < 2**64), or columnar
+#: (hi, lo) uint64 arrays as yielded by ``Trace.batches``.
+KeyBatch = Union[Sequence[int], "np.ndarray", Tuple["np.ndarray", "np.ndarray"]]
+
+
+def iter_batch(
+    keys: KeyBatch, sizes: Optional[Sequence[int]] = None
+) -> Iterator[Tuple[int, int]]:
+    """Yield scalar ``(key, size)`` pairs from any batch representation."""
+    if isinstance(keys, tuple):
+        hi, lo = keys
+        ints = [
+            (h << 64) | l
+            for h, l in zip(np.asarray(hi).tolist(), np.asarray(lo).tolist())
+        ]
+    elif isinstance(keys, np.ndarray):
+        ints = keys.tolist()
+    else:
+        ints = keys
+    if sizes is None:
+        for key in ints:
+            yield key, 1
+    else:
+        if isinstance(sizes, np.ndarray):
+            sizes = sizes.tolist()
+        yield from zip(ints, sizes)
 
 
 @dataclass(frozen=True)
@@ -63,9 +98,30 @@ class Sketch(abc.ABC):
     #: Short algorithm label used in reports (override per subclass).
     name: str = "sketch"
 
+    #: True when ``update_batch`` is a genuinely vectorised implementation
+    #: (the :mod:`repro.engine` numpy sketches); the base scalar loop
+    #: leaves it False so callers can pick sensible batch defaults.
+    vectorized: bool = False
+
     @abc.abstractmethod
     def update(self, key: int, size: int = 1) -> None:
         """Fold one packet ``(key, size)`` into the sketch."""
+
+    def update_batch(
+        self, keys: KeyBatch, sizes: Optional[Sequence[int]] = None
+    ) -> None:
+        """Fold a batch of packets into the sketch.
+
+        ``keys`` accepts a sequence of python ints, a uint64 numpy array
+        (for keys below 2**64), or a columnar ``(hi, lo)`` pair of
+        uint64 arrays (what :meth:`Trace.batches` yields).  ``sizes``
+        defaults to all-ones.  This base implementation is the scalar
+        fallback — a plain loop over :meth:`update` — so every sketch
+        supports the batch interface; vectorised engines override it.
+        """
+        update = self.update
+        for key, size in iter_batch(keys, sizes):
+            update(key, size)
 
     @abc.abstractmethod
     def query(self, key: int) -> float:
@@ -83,12 +139,49 @@ class Sketch(abc.ABC):
     def update_cost(self) -> UpdateCost:
         """Static worst-case per-packet operation counts."""
 
-    def process(self, packets: Iterable[Tuple[int, int]]) -> None:
-        """Feed an iterable of ``(key, size)`` pairs (e.g. a Trace)."""
+    def process(
+        self,
+        packets: Iterable[Tuple[int, int]],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Feed a packet source (a Trace or any ``(key, size)`` iterable).
+
+        Routing: with an explicit *batch_size* — or by default when the
+        sketch is vectorised — packets flow through :meth:`update_batch`
+        in chunks; a source exposing ``batches`` (a Trace) supplies
+        columnar chunks directly with no per-packet python work.
+        Otherwise this is the classic scalar loop.
+        """
+        if batch_size is None and self.vectorized:
+            batch_size = DEFAULT_BATCH_SIZE
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            batches = getattr(packets, "batches", None)
+            if batches is not None:
+                for hi, lo, sizes in batches(batch_size):
+                    self.update_batch((hi, lo), sizes)
+                return
+            keys: list = []
+            sizes: list = []
+            for key, size in packets:
+                keys.append(key)
+                sizes.append(size)
+                if len(keys) >= batch_size:
+                    self.update_batch(keys, sizes)
+                    keys, sizes = [], []
+            if keys:
+                self.update_batch(keys, sizes)
+            return
         update = self.update
         for key, size in packets:
             update(key, size)
 
     def reset(self) -> None:
         """Clear all state.  Subclasses with cheap re-init may override."""
-        raise NotImplementedError(f"{type(self).__name__} does not support reset")
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement reset(); override "
+            "Sketch.reset() with a cheap state re-initialisation (see "
+            "BasicCocoSketch.reset for the pattern) to enable reuse "
+            "across windows"
+        )

@@ -17,7 +17,7 @@ Three concrete shapes cover the evaluation:
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.query import FlowTable
 from repro.flowkeys.key import FullKeySpec, PartialKeySpec
@@ -41,16 +41,37 @@ class Estimator(abc.ABC):
 
 
 class FullKeyEstimator(Estimator):
-    """One full-key sketch; partial keys recovered by aggregation."""
+    """One full-key sketch; partial keys recovered by aggregation.
 
-    def __init__(self, sketch: Sketch, spec: FullKeySpec) -> None:
+    Args:
+        sketch: Any full-key :class:`Sketch`, from either execution
+            engine (:mod:`repro.engine`).
+        spec: The full key the sketch records.
+        batch_size: Per-``process`` batch size.  ``None`` lets the
+            sketch route itself: vectorised sketches batch at their
+            default size, scalar sketches run the plain packet loop.
+    """
+
+    def __init__(
+        self,
+        sketch: Sketch,
+        spec: FullKeySpec,
+        batch_size: Optional[int] = None,
+    ) -> None:
         self.sketch = sketch
         self.spec = spec
         self.name = sketch.name
+        self.batch_size = batch_size
         self._full_table: "FlowTable | None" = None
 
-    def process(self, packets: Iterable[Tuple[int, int]]) -> None:
-        self.sketch.process(packets)
+    def process(
+        self,
+        packets: Iterable[Tuple[int, int]],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        self.sketch.process(
+            packets, batch_size=batch_size or self.batch_size
+        )
         self._full_table = None  # invalidate cache
 
     def table(self, partial: PartialKeySpec) -> Dict[int, float]:

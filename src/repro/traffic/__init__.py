@@ -32,7 +32,7 @@ from repro.traffic.synthetic import (
     uniform_workload,
     zipf_trace,
 )
-from repro.traffic.fast import FastGroundTruth
+from repro.traffic.fast import FastGroundTruth, pack_key_columns
 from repro.traffic.trace import Trace
 from repro.traffic.storage import load_csv, save_csv
 
@@ -46,4 +46,5 @@ __all__ = [
     "load_csv",
     "save_csv",
     "FastGroundTruth",
+    "pack_key_columns",
 ]

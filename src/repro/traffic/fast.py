@@ -17,7 +17,7 @@ many partial keys.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,19 @@ from repro.traffic.trace import Trace
 
 _U64 = np.uint64
 _MASK64 = (1 << 64) - 1
+
+
+def pack_key_columns(keys: Sequence[int]) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Split packed integer keys (up to 128 bits) into uint64 columns.
+
+    Returns ``(hi, lo)`` arrays with ``key = (hi << 64) | lo``.  This is
+    the columnar key representation shared by :class:`FastGroundTruth`,
+    :meth:`Trace.batches` and the vectorised execution engines.
+    """
+    n = len(keys)
+    hi = np.fromiter(((k >> 64) & _MASK64 for k in keys), dtype=_U64, count=n)
+    lo = np.fromiter((k & _MASK64 for k in keys), dtype=_U64, count=n)
+    return hi, lo
 
 
 class FastGroundTruth:
@@ -40,16 +53,7 @@ class FastGroundTruth:
         self.supported = trace.spec.width <= 128
         if not self.supported:
             return
-        hi = np.fromiter(
-            ((k >> 64) & _MASK64 for k in trace.keys),
-            dtype=_U64,
-            count=len(trace.keys),
-        )
-        lo = np.fromiter(
-            (k & _MASK64 for k in trace.keys),
-            dtype=_U64,
-            count=len(trace.keys),
-        )
+        hi, lo = pack_key_columns(trace.keys)
         if trace.sizes is None:
             weights = np.ones(len(trace.keys), dtype=np.int64)
         else:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.flowkeys.key import FullKeySpec, PartialKeySpec
 
 
@@ -40,6 +42,7 @@ class Trace:
         self.sizes: Optional[List[int]] = list(sizes) if sizes is not None else None
         self.name = name
         self._full_counts: Optional[Dict[int, int]] = None
+        self._columns: Optional[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]] = None
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -84,6 +87,41 @@ class Trace:
             pkey = g(key)
             out[pkey] = out.get(pkey, 0) + size
         return out
+
+    def batches(
+        self, batch_size: int
+    ) -> Iterator[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]]:
+        """Yield columnar ``(keys_hi, keys_lo, sizes)`` chunks in order.
+
+        Each chunk covers up to *batch_size* consecutive packets with
+        keys split into uint64 (hi, lo) columns — the representation the
+        vectorised execution engines consume directly
+        (``sketch.update_batch((hi, lo), sizes)``).  Requires a key spec
+        of at most 128 bits (everything built on the IPv4 5-tuple).
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if self.spec.width > 128:
+            raise ValueError(
+                f"columnar batches support keys up to 128 bits, "
+                f"spec {self.spec} is {self.spec.width}"
+            )
+        if self._columns is None:
+            # Imported here: fast.py imports Trace for its constructor type.
+            from repro.traffic.fast import pack_key_columns
+
+            hi, lo = pack_key_columns(self.keys)
+            if self.sizes is None:
+                sizes = np.ones(len(self.keys), dtype=np.int64)
+            else:
+                sizes = np.asarray(self.sizes, dtype=np.int64)
+            # Cache: packing walks python ints; repeated consumers
+            # (benchmark sweeps, multi-sketch runs) slice views instead.
+            self._columns = (hi, lo, sizes)
+        hi, lo, sizes = self._columns
+        for start in range(0, len(self.keys), batch_size):
+            stop = start + batch_size
+            yield hi[start:stop], lo[start:stop], sizes[start:stop]
 
     def distinct_flows(self) -> int:
         """Number of distinct full-key flows."""

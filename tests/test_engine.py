@@ -1,0 +1,224 @@
+"""Execution-engine contracts: scalar vs numpy equivalence.
+
+Two levels of guarantee, matching ``repro/engine/vectorized.py``:
+
+* CM / CountSketch are **bit-identical** across engines under the same
+  seed (property-tested over random key/size/batch-split choices).
+* The CocoSketch variants are **statistically equivalent**: the numpy
+  batch scheduling applies the paper's exact replacement rule and
+  probabilities, so unbiasedness (Theorem 1 / Lemma 3) must hold on
+  partial-key aggregates just as it does for the scalar classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.empirical import (
+    estimate_moments,
+    mean_confidence_halfwidth,
+)
+from repro.core.query import FlowTable
+from repro.engine import (
+    NumpyCocoSketch,
+    NumpyCountMin,
+    NumpyCountSketch,
+    NumpyHardwareCocoSketch,
+    as_columns,
+    available_engines,
+    get_engine,
+)
+from repro.flowkeys.key import FIVE_TUPLE
+from repro.hashing.family import HashFamily, fold_columns
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.traffic.synthetic import zipf_trace
+
+TRIALS = 60
+
+# Keys up to 104 bits — the 5-tuple width, crossing the hi/lo split.
+keys_st = st.lists(
+    st.integers(min_value=0, max_value=(1 << 104) - 1), min_size=1, max_size=60
+)
+sizes_st = st.integers(min_value=1, max_value=1 << 20)
+
+
+class TestRegistry:
+    def test_both_engines_registered(self):
+        assert set(available_engines()) >= {"scalar", "numpy"}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="scalar"):
+            get_engine("cuda")
+
+    def test_factories_build_matching_geometry(self):
+        for name in ("scalar", "numpy"):
+            sk = get_engine(name).cocosketch_from_memory(64 * 1024, d=2, seed=3)
+            assert sk.memory_bytes() <= 64 * 1024
+
+
+class TestIndexArrays:
+    @given(keys=keys_st)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_index_fns(self, keys):
+        family = HashFamily(3, master_seed=11, backend="mix64")
+        fns = family.index_fns(509)
+        hi, lo, _ = as_columns(keys)
+        J = family.index_arrays(fold_columns(hi, lo), 509)
+        for col, key in enumerate(keys):
+            for i in range(3):
+                assert J[i, col] == fns[i](key)
+
+    def test_non_mix64_backend_rejected(self):
+        family = HashFamily(2, master_seed=1, backend="bob")
+        with pytest.raises(NotImplementedError):
+            family.index_arrays(np.zeros(1, dtype=np.uint64), 16)
+
+
+class TestTraceBatches:
+    def test_round_trip(self):
+        trace = zipf_trace(5_000, 700, seed=3, with_bytes=True)
+        rebuilt, sizes = [], []
+        for hi, lo, w in trace.batches(777):
+            for h, l_ in zip(hi.tolist(), lo.tolist()):
+                rebuilt.append((h << 64) | l_)
+            sizes.extend(w.tolist())
+        assert rebuilt == trace.keys
+        assert sizes == trace.sizes
+
+    def test_unit_sizes_default(self):
+        trace = zipf_trace(1_000, 200, seed=4)
+        total = sum(int(w.sum()) for _, _, w in trace.batches(256))
+        assert total == len(trace)
+
+    def test_bad_batch_size_rejected(self):
+        trace = zipf_trace(100, 20, seed=5)
+        with pytest.raises(ValueError):
+            next(trace.batches(0))
+
+
+class TestBitIdentical:
+    """CM / CountSketch: same seed, any batching -> same counters."""
+
+    @given(keys=keys_st, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_countmin(self, keys, data):
+        sizes = [data.draw(sizes_st) for _ in keys]
+        split = data.draw(st.integers(min_value=1, max_value=len(keys)))
+        scalar = CountMinSketch(rows=3, width=128, seed=17)
+        vector = NumpyCountMin(rows=3, width=128, seed=17)
+        for k, s in zip(keys, sizes):
+            scalar.update(k, s)
+        vector.update_batch(keys[:split], sizes[:split])
+        vector.update_batch(keys[split:], sizes[split:])
+        assert [list(r) for r in scalar._counters] == vector._counters.tolist()
+        for k in keys:
+            assert scalar.query(k) == vector.query(k)
+
+    @given(keys=keys_st, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_countsketch(self, keys, data):
+        sizes = [data.draw(sizes_st) for _ in keys]
+        split = data.draw(st.integers(min_value=1, max_value=len(keys)))
+        scalar = CountSketch(rows=3, width=128, seed=23)
+        vector = NumpyCountSketch(rows=3, width=128, seed=23)
+        for k, s in zip(keys, sizes):
+            scalar.update(k, s)
+        vector.update_batch(keys[:split], sizes[:split])
+        vector.update_batch(keys[split:], sizes[split:])
+        assert [list(r) for r in scalar._counters] == vector._counters.tolist()
+        for k in keys:
+            assert scalar.query(k) == vector.query(k)
+
+    def test_process_routes_through_batches(self, tiny_trace):
+        """Trace-columnar, chunked-iterable and scalar paths all agree."""
+        a = NumpyCountMin(rows=3, width=256, seed=5)
+        b = NumpyCountMin(rows=3, width=256, seed=5)
+        c = CountMinSketch(rows=3, width=256, seed=5)
+        a.process(tiny_trace)  # vectorised default: Trace.batches
+        b.process(iter(tiny_trace), batch_size=100)  # chunked iterable
+        c.process(tiny_trace)  # scalar loop
+        assert a._counters.tolist() == b._counters.tolist()
+        assert a._counters.tolist() == [list(r) for r in c._counters]
+
+
+class TestCocoBatchInvariants:
+    def test_value_mass_conserved(self, tiny_trace):
+        sk = NumpyCocoSketch(d=2, l=128, seed=8)
+        sk.process(tiny_trace)
+        assert int(sk._vals.sum()) == tiny_trace.total_size
+
+    def test_hardware_value_mass_per_array(self, tiny_trace):
+        sk = NumpyHardwareCocoSketch(d=2, l=128, seed=8)
+        sk.process(tiny_trace)
+        # §4.2 adds w to every array: each holds the full traffic mass.
+        for i in range(2):
+            assert int(sk._vals[i].sum()) == tiny_trace.total_size
+
+    @pytest.mark.parametrize("cls", [NumpyCocoSketch, NumpyHardwareCocoSketch])
+    def test_deterministic_given_seed_and_batching(self, tiny_trace, cls):
+        a = cls(d=2, l=128, seed=13)
+        b = cls(d=2, l=128, seed=13)
+        a.process(tiny_trace, batch_size=256)
+        b.process(tiny_trace, batch_size=256)
+        assert np.array_equal(a._vals, b._vals)
+        assert np.array_equal(a._key_hi, b._key_hi)
+        assert np.array_equal(a._key_lo, b._key_lo)
+        assert np.array_equal(a._occupied, b._occupied)
+
+    def test_batch_size_independence_of_totals(self, tiny_trace):
+        # Different schedules pick different victims, but the total
+        # recorded mass is schedule-invariant.
+        for bs in (1, 37, 4096):
+            sk = NumpyCocoSketch(d=2, l=128, seed=2)
+            sk.process(tiny_trace, batch_size=bs)
+            assert int(sk._vals.sum()) == tiny_trace.total_size
+
+    def test_reset_clears_state(self, tiny_trace):
+        sk = NumpyCocoSketch(d=2, l=128, seed=4)
+        sk.process(tiny_trace)
+        sk.reset()
+        assert int(sk._vals.sum()) == 0
+        assert not sk._occupied.any()
+        assert sk.occupancy() == 0.0
+
+
+class TestStatisticalEquivalence:
+    """Unbiasedness of the numpy CocoSketches on partial-key aggregates."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        trace = zipf_trace(4_000, 600, alpha=1.1, seed=21)
+        return trace
+
+    @pytest.mark.parametrize(
+        "cls", [NumpyCocoSketch, NumpyHardwareCocoSketch]
+    )
+    def test_partial_key_unbiased(self, stream, cls):
+        srcip = FIVE_TUPLE.partial("SrcIP")
+        truth = stream.ground_truth(srcip)
+        target, target_size = sorted(truth.items(), key=lambda kv: -kv[1])[10]
+        estimates = []
+        for seed in range(TRIALS):
+            sk = cls(d=2, l=256, seed=seed + 500)
+            sk.process(stream, batch_size=512)
+            table = FlowTable.from_sketch(sk, FIVE_TUPLE).aggregate(srcip)
+            estimates.append(table.query(target))
+        mean, _ = estimate_moments(estimates)
+        halfwidth = mean_confidence_halfwidth(estimates, z=3.5)
+        assert abs(mean - target_size) <= max(halfwidth, 0.03 * target_size)
+
+    def test_full_key_unbiased_mid_flow(self, stream):
+        counts = sorted(stream.full_counts().items(), key=lambda kv: -kv[1])
+        key, size = counts[25]
+        estimates = []
+        for seed in range(TRIALS):
+            sk = NumpyCocoSketch(d=2, l=256, seed=seed)
+            sk.process(stream, batch_size=512)
+            estimates.append(sk.query(key))
+        mean, _ = estimate_moments(estimates)
+        halfwidth = mean_confidence_halfwidth(estimates, z=3.5)
+        assert abs(mean - size) <= max(halfwidth, 0.02 * size)

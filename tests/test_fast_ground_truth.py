@@ -61,18 +61,33 @@ class TestFallbacks:
 
 class TestSpeed:
     def test_faster_than_dict_loop_on_many_keys(self):
-        trace = zipf_trace(60_000, 15_000, seed=45)
+        # Best-of-3 on each side: a single pair of wall-clock samples is
+        # flaky under CI scheduling noise; the minimum is the stable
+        # estimate of each implementation's actual cost.  64 keys over
+        # 15k distinct flows keeps the structural margin >2x — the dict
+        # loop pays per key what the packed engine pays once, while the
+        # packing cost scales only with packets (kept modest).
+        trace = zipf_trace(30_000, 15_000, seed=45)
         keys = [
-            FIVE_TUPLE.partial(("SrcIP", plen)) for plen in range(1, 33)
+            FIVE_TUPLE.partial((field, plen))
+            for field in ("SrcIP", "DstIP")
+            for plen in range(1, 33)
         ]
-        start = time.perf_counter()
-        fast = FastGroundTruth(trace)
-        for pk in keys:
-            fast.ground_truth(pk)
-        fast_elapsed = time.perf_counter() - start
 
-        start = time.perf_counter()
-        for pk in keys:
-            trace.ground_truth(pk)
-        slow_elapsed = time.perf_counter() - start
+        def time_fast():
+            start = time.perf_counter()
+            fast = FastGroundTruth(trace)
+            for pk in keys:
+                fast.ground_truth(pk)
+            return time.perf_counter() - start
+
+        def time_slow():
+            trace._full_counts = None  # drop the cache: same work each run
+            start = time.perf_counter()
+            for pk in keys:
+                trace.ground_truth(pk)
+            return time.perf_counter() - start
+
+        fast_elapsed = min(time_fast() for _ in range(3))
+        slow_elapsed = min(time_slow() for _ in range(3))
         assert fast_elapsed < slow_elapsed
