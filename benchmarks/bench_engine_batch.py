@@ -1,4 +1,5 @@
-"""Engine microbenchmark: scalar vs numpy packets/sec by batch size.
+"""Engine microbenchmark: scalar vs numpy packets/sec by batch size,
+plus the sharded-pipeline scaling sweep.
 
 Times the full update path of both execution engines — basic and
 hardware CocoSketch — on a Zipf trace, sweeping the numpy engine across
@@ -6,13 +7,22 @@ batch sizes.  This is the acceptance gauge for the batched columnar
 engine: at the default 4096-packet batch the numpy basic CocoSketch
 must clear 5x the scalar engine on a 500k-packet trace.
 
+The shard sweep runs the same trace through the sharded multi-worker
+pipeline (:mod:`repro.engine.sharded`) at 1/2/4/8 workers, recording
+aggregate and wall-clock packet rates, load imbalance, and the SrcIP
+heavy-hitter ARE of the merged sketch; its acceptance gate is that the
+4-worker ARE stays within the statistical-harness margin of the
+single-sketch reference while aggregate throughput scales above 1x.
+
 Runs two ways:
 
 * ``pytest benchmarks/bench_engine_batch.py`` — records
-  ``results/bench_engine_batch.json`` like every other bench (the
-  smoke marker trims the trace for CI).
+  ``results/bench_engine_batch.json`` and
+  ``results/bench_shard_sweep.json`` like every other bench (the
+  smoke sizes trim the traces for CI).
 * ``python benchmarks/bench_engine_batch.py --packets 500000`` —
-  standalone sweep printing the table and writing the same JSON.
+  standalone sweeps printing the tables and writing the same JSON
+  (``--sweep engine|shards|all`` selects which).
 """
 
 from __future__ import annotations
@@ -25,14 +35,25 @@ from pathlib import Path
 from typing import Dict, List
 
 sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from _config import mem_bytes  # noqa: E402
 
 from repro.engine import get_engine  # noqa: E402
+from repro.engine.sharded import ShardedSketch, SketchSpec  # noqa: E402
+from repro.flowkeys.key import FIVE_TUPLE  # noqa: E402
+from repro.tasks.harness import FullKeyEstimator  # noqa: E402
 from repro.traffic.synthetic import zipf_trace  # noqa: E402
+from tests.stat_harness import check_error_profile  # noqa: E402
 
 BATCH_SIZES = (256, 4096, 65536)
 MEMORY_KB = 500  # paper default; scaled to 200 KB of sketch state.
+
+SHARD_COUNTS = (1, 2, 4, 8)
+#: Shard-sweep accuracy point: generous per-worker geometry so the
+#: Theorem 1 fold cost (not bucket pressure) is what the gate measures.
+SHARD_SWEEP_L = 65536
+SHARD_HH_THRESHOLD = 1e-3
 
 
 def _time_engine(engine_name: str, trace, batch_size, variant: str) -> float:
@@ -78,6 +99,100 @@ def run_sweep(packets: int, flows: int, seed: int = 7) -> Dict:
 
 HEADERS = ["variant", "engine", "batch", "packets_per_sec", "speedup"]
 
+SHARD_HEADERS = [
+    "shards",
+    "capacity_pps",
+    "wall_pps",
+    "capacity_scaling",
+    "imbalance",
+    "srcip_are",
+]
+
+
+def _sharded_are(table: Dict[int, float], truth: Dict[int, float], threshold: float) -> float:
+    heavy = {k: v for k, v in truth.items() if v >= threshold}
+    return sum(abs(table.get(k, 0.0) - v) / v for k, v in heavy.items()) / len(heavy)
+
+
+def run_shard_sweep(
+    packets: int,
+    flows: int,
+    seed: int = 7,
+    engine: str = "scalar",
+    shard_counts=SHARD_COUNTS,
+    gate_trials: int = 4,
+) -> Dict:
+    """Throughput scaling + merged-sketch accuracy across shard counts.
+
+    Scaling is measured on *capacity* — the sum of per-worker update
+    rates, i.e. what the shard fleet sustains with one core/device per
+    worker — because wall time on the simulation host is bounded by
+    however many cores it happens to have.  The default engine is
+    ``scalar``: the sharded pipeline exists to scale the compute-bound
+    path horizontally (the numpy engine is the SIMD-style answer).
+
+    Also runs the statistical acceptance gate: over *gate_trials*
+    seeded (4-shard, single-sketch) pairs, the sharded SrcIP ARE must
+    sit within the harness's two-sample margin of the reference.
+    """
+    trace = zipf_trace(packets, flows, alpha=1.05, seed=seed)
+    partial = FIVE_TUPLE.partial("SrcIP")
+    truth = trace.ground_truth(partial)
+    threshold = SHARD_HH_THRESHOLD * trace.total_size
+
+    def spec_for(run_seed: int) -> SketchSpec:
+        return SketchSpec(engine=engine, d=2, l=SHARD_SWEEP_L, seed=run_seed)
+
+    rows: List[List] = []
+    base_capacity = None
+    for shards in shard_counts:
+        sketch = ShardedSketch(spec_for(seed), shards)
+        sketch.process(trace)
+        result = sketch.throughput()
+        capacity = result.capacity_pps
+        wall = result.packets / result.wall_elapsed_s
+        if base_capacity is None:
+            base_capacity = capacity
+        table = FullKeyEstimator(sketch, FIVE_TUPLE).table(partial)
+        rows.append(
+            [
+                shards,
+                capacity,
+                wall,
+                capacity / base_capacity,
+                result.load_imbalance,
+                _sharded_are(table, truth, threshold),
+            ]
+        )
+
+    # Accuracy gate: 4-shard ARE vs single sketch, a few seeded pairs.
+    sharded_ares, single_ares = [], []
+    for trial in range(gate_trials):
+        run_seed = seed + 100 + trial
+        single = spec_for(run_seed).build()
+        single.process(trace)
+        single_table = FullKeyEstimator(single, FIVE_TUPLE).table(partial)
+        sharded = ShardedSketch(spec_for(run_seed), 4)
+        sharded.process(trace)
+        sharded_table = FullKeyEstimator(sharded, FIVE_TUPLE).table(partial)
+        sharded_ares.append(_sharded_are(sharded_table, truth, threshold))
+        single_ares.append(_sharded_are(single_table, truth, threshold))
+    gate = check_error_profile(sharded_ares, single_ares, abs_floor=0.02)
+    return {
+        "packets": packets,
+        "flows": flows,
+        "engine": engine,
+        "rows": rows,
+        "are_gate": {
+            "passed": gate.passed,
+            "sharded_mean_are": gate.candidate_mean,
+            "single_mean_are": gate.reference_mean,
+            "margin": gate.margin,
+            "trials": gate.trials,
+            "detail": gate.describe(),
+        },
+    }
+
 
 def test_engine_batch_throughput(record):
     """Pytest entry: small sweep sized for CI, same JSON artifact."""
@@ -95,32 +210,102 @@ def test_engine_batch_throughput(record):
     assert sweep["speedups"]["hardware@4096"] > 3.0
 
 
+def test_shard_sweep_scaling(record):
+    """Pytest entry: CI-sized shard sweep, same JSON artifact."""
+    sweep = run_shard_sweep(packets=120_000, flows=20_000, gate_trials=3)
+    record(
+        "bench_shard_sweep",
+        "Sharded pipeline: throughput scaling and accuracy by shard count",
+        SHARD_HEADERS,
+        sweep["rows"],
+        extra={
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "engine": sweep["engine"],
+            "are_gate": sweep["are_gate"],
+        },
+    )
+    by_shards = {row[0]: row for row in sweep["rows"]}
+    # Fleet capacity must scale above 1x from 1 -> 4 workers.
+    assert by_shards[4][3] > 1.0
+    assert sweep["are_gate"]["passed"], sweep["are_gate"]["detail"]
+
+
+def _print_shard_sweep(sweep: Dict) -> None:
+    print(
+        f"{'shards':>6} {'cap pps':>12} {'wall pps':>12} "
+        f"{'scaling':>8} {'imbal':>6} {'ARE':>8}"
+    )
+    for shards, agg, wall, scaling, imbal, are in sweep["rows"]:
+        print(
+            f"{shards:>6} {agg:>12.0f} {wall:>12.0f} "
+            f"{scaling:>7.2f}x {imbal:>5.2f}x {are:>8.4f}"
+        )
+    print(f"ARE gate: {sweep['are_gate']['detail']}")
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--packets", type=int, default=500_000)
     parser.add_argument("--flows", type=int, default=100_000)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--sweep",
+        choices=("engine", "shards", "all"),
+        default="engine",
+        help="which sweep(s) to run standalone",
+    )
+    parser.add_argument("--shard-flows", type=int, default=50_000)
+    parser.add_argument(
         "--out",
         default=str(Path(__file__).resolve().parent.parent / "results" / "bench_engine_batch.json"),
     )
+    parser.add_argument(
+        "--shard-out",
+        default=str(Path(__file__).resolve().parent.parent / "results" / "bench_shard_sweep.json"),
+    )
     args = parser.parse_args(argv)
 
-    sweep = run_sweep(args.packets, args.flows, seed=args.seed)
-    print(f"{'variant':<10} {'engine':<8} {'batch':>7} {'pps':>12} {'speedup':>8}")
-    for variant, engine, batch, pps, speedup in sweep["rows"]:
-        print(f"{variant:<10} {engine:<8} {batch!s:>7} {pps:>12.0f} {speedup:>7.2f}x")
+    if args.sweep in ("engine", "all"):
+        sweep = run_sweep(args.packets, args.flows, seed=args.seed)
+        print(f"{'variant':<10} {'engine':<8} {'batch':>7} {'pps':>12} {'speedup':>8}")
+        for variant, engine, batch, pps, speedup in sweep["rows"]:
+            print(f"{variant:<10} {engine:<8} {batch!s:>7} {pps:>12.0f} {speedup:>7.2f}x")
 
-    payload = {
-        "title": "Engine throughput: scalar vs numpy by batch size",
-        "headers": HEADERS,
-        "rows": sweep["rows"],
-        "extra": {"packets": sweep["packets"], "flows": sweep["flows"]},
-    }
-    out = Path(args.out)
-    out.parent.mkdir(exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2))
-    print(f"\nwrote {out}")
+        payload = {
+            "title": "Engine throughput: scalar vs numpy by batch size",
+            "headers": HEADERS,
+            "rows": sweep["rows"],
+            "extra": {"packets": sweep["packets"], "flows": sweep["flows"]},
+        }
+        out = Path(args.out)
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2))
+        print(f"\nwrote {out}")
+
+    if args.sweep in ("shards", "all"):
+        sweep = run_shard_sweep(
+            args.packets, args.shard_flows, seed=args.seed
+        )
+        _print_shard_sweep(sweep)
+        payload = {
+            "title": "Sharded pipeline: throughput scaling and accuracy by shard count",
+            "headers": SHARD_HEADERS,
+            "rows": sweep["rows"],
+            "extra": {
+                "packets": sweep["packets"],
+                "flows": sweep["flows"],
+                "engine": sweep["engine"],
+                "are_gate": sweep["are_gate"],
+            },
+        }
+        out = Path(args.shard_out)
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2))
+        print(f"\nwrote {out}")
+        if not sweep["are_gate"]["passed"]:
+            print("shard-sweep ARE gate FAILED", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -15,6 +15,13 @@ key — e.g. ``SrcIP``, ``SrcIP/24``, ``SrcIP+DstIP``, ``DstIP+DstPort``.
 ``scalar`` (reference pure Python, default) or ``numpy`` (columnar
 batched updates; same estimator, much faster on large traces).
 ``--batch-size`` overrides the numpy engine's 4096-packet default.
+
+``--shards N`` (with optional ``--shard-strategy hash|round-robin``)
+scatters the trace across N worker processes — one engine-backed
+sketch each, combined by the unbiased Theorem 1 merge — and prints the
+aggregate and per-worker packet rates.  ``--memory-kb`` stays the
+*per-worker* budget, so accuracy at a given ``--memory-kb`` is
+comparable across shard counts.
 """
 
 from __future__ import annotations
@@ -63,6 +70,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _load_sketch(args: argparse.Namespace):
     trace = load_csv(args.path, FIVE_TUPLE)
+    if args.shards > 1:
+        from repro.engine.sharded import ShardedSketch, SketchSpec
+
+        spec = SketchSpec.from_memory(
+            int(args.memory_kb * 1024),
+            engine=args.engine,
+            d=args.d,
+            seed=args.seed,
+        )
+        sketch = ShardedSketch(
+            spec, args.shards, strategy=args.shard_strategy
+        )
+        sketch.process(trace, batch_size=args.batch_size)
+        print(f"sharded {sketch.throughput().summary()}")
+        return trace, sketch
     engine = get_engine(args.engine)
     sketch = engine.cocosketch_from_memory(
         int(args.memory_kb * 1024), d=args.d, seed=args.seed
@@ -137,6 +159,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="packets per update_batch call (default: engine's choice)",
+    )
+    common.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes to shard the trace across "
+        "(1 = single-sketch, no pool)",
+    )
+    common.add_argument(
+        "--shard-strategy",
+        choices=("hash", "round-robin"),
+        default="hash",
+        help="trace partitioner: hash of the full key (flow-pure) "
+        "or round-robin",
     )
     common.add_argument(
         "--key",

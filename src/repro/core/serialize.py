@@ -2,7 +2,8 @@
 
 Deployments ship sketch state off the data plane every window (the
 OVS integration reads it through shared memory; switches export via
-the control plane).  This codec gives that wire format: a versioned,
+the control plane; sharded worker processes return state to the
+collector).  This codec gives that wire format: a versioned,
 endian-fixed binary blob holding geometry, hash-family seeds and the
 bucket arrays, so a collector can reconstruct an *identical* sketch —
 including its hash functions, which merging requires.
@@ -14,6 +15,10 @@ Layout (little-endian):
     per array: l x (key u128 | value u64)   (key flag: all-ones = empty)
 
 Values are capped at u64; keys at 128 bits (the 5-tuple needs 104).
+The scalar and columnar (numpy engine) variants share the bucket
+layout — only the ``kind`` byte differs — so a blob dumped by a numpy
+worker and one dumped by a scalar worker are byte-comparable when
+their states agree.
 """
 
 from __future__ import annotations
@@ -21,30 +26,77 @@ from __future__ import annotations
 import struct
 from typing import Union
 
+import numpy as np
+
 from repro.core.cocosketch import BasicCocoSketch
 from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
+from repro.engine.vectorized import NumpyCocoSketch, NumpyHardwareCocoSketch
 
 _MAGIC = b"CCSK"
 _VERSION = 1
 _EMPTY_KEY = (1 << 128) - 1
+_MASK64 = (1 << 64) - 1
 _HEADER = struct.Struct("<4sHBHIBH")
 
 _KINDS = {
     BasicCocoSketch: 0,
     HardwareCocoSketch: 1,
     P4CocoSketch: 2,
+    NumpyCocoSketch: 3,
+    NumpyHardwareCocoSketch: 4,
 }
 _CLASSES = {number: cls for cls, number in _KINDS.items()}
 
-AnyCocoSketch = Union[BasicCocoSketch, HardwareCocoSketch, P4CocoSketch]
+AnyCocoSketch = Union[
+    BasicCocoSketch,
+    HardwareCocoSketch,
+    P4CocoSketch,
+    NumpyCocoSketch,
+    NumpyHardwareCocoSketch,
+]
 
 
 class SerializationError(ValueError):
     """Malformed or incompatible sketch blob."""
 
 
+def _dump_scalar_arrays(sketch, parts) -> None:
+    for i in range(sketch.d):
+        keys = sketch._keys[i]
+        vals = sketch._vals[i]
+        for j in range(sketch.l):
+            key = keys[j]
+            encoded = _EMPTY_KEY if key is None else key
+            if not 0 <= encoded <= _EMPTY_KEY:
+                raise SerializationError(f"key {key} exceeds 128 bits")
+            value = vals[j]
+            if not 0 <= value < 1 << 64:
+                raise SerializationError(f"value {value} exceeds 64 bits")
+            parts.append(encoded.to_bytes(16, "little"))
+            parts.append(struct.pack("<Q", value))
+
+
+def _dump_columnar_arrays(sketch, parts) -> None:
+    """Columnar state to the same wire layout, without a python loop.
+
+    A 128-bit little-endian key is its lo u64 then its hi u64, so an
+    ``(l, 3)`` uint64 array of ``[lo, hi, value]`` rows serialises to
+    exactly the per-bucket ``key u128 | value u64`` records.
+    """
+    mask = np.uint64(_MASK64)
+    for i in range(sketch.d):
+        occ = sketch._occupied[i]
+        enc = np.empty((sketch.l, 3), dtype=np.uint64)
+        enc[:, 0] = np.where(occ, sketch._key_lo[i], mask)
+        enc[:, 1] = np.where(occ, sketch._key_hi[i], mask)
+        if (sketch._vals[i] < 0).any():
+            raise SerializationError("negative counter value")
+        enc[:, 2] = sketch._vals[i].astype(np.uint64)
+        parts.append(enc.tobytes())
+
+
 def dump_sketch(sketch: AnyCocoSketch) -> bytes:
-    """Serialise a CocoSketch (any variant) to bytes."""
+    """Serialise a CocoSketch (any variant, either engine) to bytes."""
     kind = _KINDS.get(type(sketch))
     if kind is None:
         raise SerializationError(
@@ -63,20 +115,39 @@ def dump_sketch(sketch: AnyCocoSketch) -> bytes:
         )
     ]
     parts.extend(struct.pack("<Q", seed) for seed in seeds)
+    if hasattr(sketch, "_key_hi"):
+        _dump_columnar_arrays(sketch, parts)
+    else:
+        _dump_scalar_arrays(sketch, parts)
+    return b"".join(parts)
+
+
+def _load_scalar_arrays(sketch, blob: bytes, offset: int) -> None:
     for i in range(sketch.d):
         keys = sketch._keys[i]
         vals = sketch._vals[i]
         for j in range(sketch.l):
-            key = keys[j]
-            encoded = _EMPTY_KEY if key is None else key
-            if not 0 <= encoded <= _EMPTY_KEY:
-                raise SerializationError(f"key {key} exceeds 128 bits")
-            value = vals[j]
-            if not 0 <= value < 1 << 64:
-                raise SerializationError(f"value {value} exceeds 64 bits")
-            parts.append(encoded.to_bytes(16, "little"))
-            parts.append(struct.pack("<Q", value))
-    return b"".join(parts)
+            key = int.from_bytes(blob[offset : offset + 16], "little")
+            offset += 16
+            (value,) = struct.unpack_from("<Q", blob, offset)
+            offset += 8
+            keys[j] = None if key == _EMPTY_KEY else key
+            vals[j] = value
+
+
+def _load_columnar_arrays(sketch, blob: bytes, offset: int) -> None:
+    arr = np.frombuffer(
+        blob, dtype=np.uint64, count=sketch.d * sketch.l * 3, offset=offset
+    ).reshape(sketch.d, sketch.l, 3)
+    lo = arr[:, :, 0]
+    hi = arr[:, :, 1]
+    mask = np.uint64(_MASK64)
+    occ = ~((lo == mask) & (hi == mask))
+    # In-place writes keep the flat views over the state arrays valid.
+    sketch._key_lo[:] = np.where(occ, lo, np.uint64(0))
+    sketch._key_hi[:] = np.where(occ, hi, np.uint64(0))
+    sketch._occupied[:] = occ
+    sketch._vals[:] = arr[:, :, 2].astype(np.int64)
 
 
 def load_sketch(blob: bytes) -> AnyCocoSketch:
@@ -115,19 +186,15 @@ def load_sketch(blob: bytes) -> AnyCocoSketch:
         offset += 8
 
     sketch = cls(d=d, l=l, seed=0, key_bytes=key_bytes)
-    # Restore the exact hash family: overwrite derived seeds.
+    # Restore the exact hash family: overwrite derived seeds.  The
+    # family's master_seed no longer describes them, so clear it.
     sketch._family.seeds = seeds
-    sketch._hash = sketch._family.index_fns(l)
-    for i in range(d):
-        keys = sketch._keys[i]
-        vals = sketch._vals[i]
-        for j in range(l):
-            key = int.from_bytes(blob[offset : offset + 16], "little")
-            offset += 16
-            (value,) = struct.unpack_from("<Q", blob, offset)
-            offset += 8
-            keys[j] = None if key == _EMPTY_KEY else key
-            vals[j] = value
+    sketch._family.master_seed = None
+    if hasattr(sketch, "_key_hi"):
+        _load_columnar_arrays(sketch, blob, offset)
+    else:
+        sketch._hash = sketch._family.index_fns(l)
+        _load_scalar_arrays(sketch, blob, offset)
     return sketch
 
 

@@ -20,6 +20,18 @@ When to stay scalar: traces of a few thousand packets (batch setup
 overhead dominates), exotic hash backends (``bob`` has no vectorised
 path), or geometries with many arrays (d > 4) where the basic rule's
 epoch scheduling loses its advantage.
+
+Either engine scales horizontally through the sharded pipeline
+(:mod:`repro.engine.sharded`): partition a trace across worker
+processes, one engine-backed sketch each, and fold the results with
+the unbiased Theorem 1 merge::
+
+    from repro.engine import ShardedSketch, SketchSpec
+
+    spec = SketchSpec.from_memory(200 * 1024, engine="numpy", seed=1)
+    sketch = ShardedSketch(spec, shards=4)
+    sketch.process(trace)          # scatter -> pool -> merge
+    sketch.flow_table()            # queryable like any single sketch
 """
 
 from repro.engine.base import (
@@ -30,6 +42,13 @@ from repro.engine.base import (
     register_engine,
 )
 from repro.engine.scalar import ScalarEngine
+from repro.engine.sharded import (
+    PARTITION_STRATEGIES,
+    ShardedSketch,
+    SketchSpec,
+    partition_columns,
+    shard_assignments,
+)
 from repro.engine.vectorized import (
     NumpyCocoSketch,
     NumpyCountMin,
@@ -48,8 +67,13 @@ __all__ = [
     "NumpyHardwareCocoSketch",
     "NumpyCountMin",
     "NumpyCountSketch",
+    "PARTITION_STRATEGIES",
+    "ShardedSketch",
+    "SketchSpec",
     "as_columns",
     "available_engines",
     "get_engine",
+    "partition_columns",
     "register_engine",
+    "shard_assignments",
 ]

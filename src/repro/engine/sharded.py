@@ -1,0 +1,360 @@
+"""Sharded multi-worker measurement pipeline with unbiased merge.
+
+CocoSketch's Theorem 1 replacement rule makes sketch state mergeable
+without bias, which the paper pitches for multi-core and multi-switch
+deployment.  This module turns that into a horizontal scaling lever:
+
+1. **Partition** — a trace's columnar ``(hi, lo, sizes)`` stream is
+   split across ``N`` shards, either by a hash of the full key (every
+   flow lands wholly on one worker, the multi-core NIC/RSS shape) or
+   round-robin (flows split across workers; the merge is unbiased
+   either way, and tests exercise both).
+2. **Measure** — one engine-backed sketch per shard runs in a
+   ``multiprocessing`` pool (:mod:`repro.parallel`).  Workers share one
+   hash-family seed (mergeable state) but draw replacement decisions
+   from decorrelated streams; state returns through the
+   :mod:`repro.core.serialize` wire format.
+3. **Combine** — the collector folds all worker sketches through the
+   unbiased merge (:func:`repro.extensions.merging.merge_many`), all
+   coin flips from one seeded stream, yielding a single queryable
+   sketch whose per-flow expectations equal the sum of the shards'.
+
+With one shard the pipeline replays the unsharded execution exactly —
+same update order, same RNG stream — so ``shards=1`` is bit-identical
+to a plain engine sketch under the same seed (a property test gates
+this for both engines).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch
+from repro.engine.base import buckets_for_memory, get_engine
+from repro.engine.vectorized import NumpyCocoSketch, NumpyHardwareCocoSketch
+from repro.hashing.family import fold_columns, mix64, mix64_array
+from repro.metrics.throughput import ShardedThroughputResult, WorkerThroughput
+from repro.sketches.base import (
+    COUNTER_BYTES,
+    DEFAULT_KEY_BYTES,
+    KeyBatch,
+    Sketch,
+    UpdateCost,
+)
+
+_PARTITION_SALT = 0xA11CE
+_MERGE_STREAM_SALT = 0x3A6ED
+
+PARTITION_STRATEGIES = ("hash", "round-robin")
+
+#: Sketch classes a spec can be recovered from (exact type -> config).
+_SPECCABLE = {
+    BasicCocoSketch: ("scalar", "basic"),
+    HardwareCocoSketch: ("scalar", "hardware"),
+    NumpyCocoSketch: ("numpy", "basic"),
+    NumpyHardwareCocoSketch: ("numpy", "hardware"),
+}
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """Everything a worker needs to rebuild its sketch.
+
+    Picklable and tiny — this is what crosses the process boundary,
+    not sketch objects.  All workers built from one spec share a hash
+    family (mergeable) while the driver decorrelates their RNGs.
+    """
+
+    engine: str = "scalar"
+    variant: str = "basic"
+    d: int = 2
+    l: int = 1024
+    seed: int = 0
+    key_bytes: int = DEFAULT_KEY_BYTES
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("basic", "hardware"):
+            raise ValueError(
+                f"variant must be 'basic' or 'hardware', got {self.variant!r}"
+            )
+        if self.d < 1 or self.l < 1:
+            raise ValueError(f"bad geometry d={self.d}, l={self.l}")
+
+    def build(self) -> Sketch:
+        """Instantiate the sketch on the configured engine."""
+        engine = get_engine(self.engine)
+        factory = (
+            engine.cocosketch
+            if self.variant == "basic"
+            else engine.hardware_cocosketch
+        )
+        return factory(self.d, self.l, self.seed, self.key_bytes)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bytes: int,
+        engine: str = "scalar",
+        variant: str = "basic",
+        d: int = 2,
+        seed: int = 0,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> "SketchSpec":
+        """Size each worker's sketch to a per-worker memory budget."""
+        l = buckets_for_memory(memory_bytes, d, key_bytes)
+        return cls(engine, variant, d, l, seed, key_bytes)
+
+    @classmethod
+    def from_sketch(cls, sketch: Sketch) -> "SketchSpec":
+        """Recover the spec of an existing engine sketch.
+
+        Works for the four engine-built CocoSketch classes whose hash
+        family still knows its constructor seed; a sketch restored by
+        ``load_sketch`` (master_seed is None) cannot be re-specced.
+        """
+        config = _SPECCABLE.get(type(sketch))
+        if config is None:
+            raise ValueError(
+                f"cannot derive a SketchSpec from {type(sketch).__name__}"
+            )
+        master_seed = getattr(sketch._family, "master_seed", None)
+        if master_seed is None:
+            raise ValueError(
+                "sketch's hash family has no master seed (was it "
+                "deserialised?); construct a SketchSpec explicitly"
+            )
+        engine, variant = config
+        return cls(
+            engine, variant, sketch.d, sketch.l, master_seed, sketch.key_bytes
+        )
+
+
+def shard_assignments(
+    hi: "np.ndarray",
+    lo: "np.ndarray",
+    shards: int,
+    strategy: str = "hash",
+    seed: int = 0,
+) -> "np.ndarray":
+    """Per-packet shard index (int64 array).
+
+    ``hash`` sends each full key to a fixed shard via a salted
+    splitmix64 over the folded key columns — deterministic under
+    *seed*, independent of the sketch hash family, and flow-pure
+    (every packet of a flow reaches the same worker).  ``round-robin``
+    deals packets in arrival order, splitting flows across workers.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {PARTITION_STRATEGIES}"
+        )
+    n = len(lo)
+    if strategy == "round-robin":
+        return (np.arange(n, dtype=np.int64) % shards).astype(np.int64)
+    salt = np.uint64(mix64(seed ^ _PARTITION_SALT))
+    hashed = mix64_array(fold_columns(hi, lo) ^ salt)
+    return (hashed % np.uint64(shards)).astype(np.int64)
+
+
+def partition_columns(
+    hi: "np.ndarray",
+    lo: "np.ndarray",
+    sizes: "np.ndarray",
+    shards: int,
+    strategy: str = "hash",
+    seed: int = 0,
+) -> List[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]]:
+    """Split one columnar stream into per-shard streams, order-preserving."""
+    assign = shard_assignments(hi, lo, shards, strategy, seed)
+    out = []
+    for shard in range(shards):
+        mask = assign == shard
+        out.append((hi[mask], lo[mask], sizes[mask]))
+    return out
+
+
+def _as_full_columns(
+    packets: Iterable[Tuple[int, int]]
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Whole input as one (hi, lo, sizes) column triple.
+
+    A :class:`~repro.traffic.trace.Trace` supplies (and caches) its own
+    columns; any other ``(key, size)`` iterable is packed here.
+    """
+    batches = getattr(packets, "batches", None)
+    if batches is not None:
+        n = len(packets)  # type: ignore[arg-type]
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.uint64),
+                np.empty(0, dtype=np.uint64),
+                np.empty(0, dtype=np.int64),
+            )
+        return next(batches(n))
+    from repro.traffic.fast import pack_key_columns
+
+    pairs = list(packets)
+    hi, lo = pack_key_columns([k for k, _ in pairs])
+    sizes = np.fromiter((s for _, s in pairs), dtype=np.int64, count=len(pairs))
+    return hi, lo, sizes
+
+
+class ShardedSketch(Sketch):
+    """N worker sketches behind a single queryable merged sketch.
+
+    Args:
+        spec: Per-worker sketch configuration (one hash family for all).
+        shards: Worker count (1 replays unsharded execution exactly).
+        strategy: ``"hash"`` (flow-pure) or ``"round-robin"``.
+        processes: ``True`` — a multiprocessing pool; int — bounded
+            pool; ``False`` — sequential in-process workers (identical
+            results; handy for tests and tiny traces).
+        batch_size: Per-worker update batch; ``None`` = engine default.
+
+    ``process()`` runs the full scatter/measure/merge pipeline; the
+    merged sketch then serves ``query``/``flow_table`` so the class
+    drops into :class:`~repro.tasks.harness.FullKeyEstimator` (or is
+    built for you by its ``shards=`` argument).  Repeated ``process``
+    calls fold new results into the existing state through the same
+    seeded merge stream.
+    """
+
+    name = "CocoSketch-sharded"
+
+    def __init__(
+        self,
+        spec: SketchSpec,
+        shards: int,
+        strategy: str = "hash",
+        processes: Union[bool, int, None] = True,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if strategy not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from {PARTITION_STRATEGIES}"
+            )
+        self.spec = spec
+        self.shards = shards
+        self.strategy = strategy
+        self.processes = processes
+        self.batch_size = batch_size
+        self.d = spec.d
+        self.l = spec.l
+        self.key_bytes = spec.key_bytes
+        self._merged: Optional[Sketch] = None
+        self._cost: Optional[UpdateCost] = None
+        # One injected stream drives every merge coin flip this pipeline
+        # ever makes, so results are reproducible under spec.seed.
+        self._merge_rng = random.Random(mix64(spec.seed ^ _MERGE_STREAM_SALT))
+        self.worker_reports: List[WorkerThroughput] = []
+        self.wall_elapsed_s = 0.0
+
+    @property
+    def merged(self) -> Optional[Sketch]:
+        """The combined post-merge sketch (None before ``process``)."""
+        return self._merged
+
+    def process(
+        self,
+        packets: Iterable[Tuple[int, int]],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Partition, run the worker pool, and fold the results in."""
+        from repro.core.serialize import load_sketch
+        from repro.extensions.merging import merge_cocosketch, merge_many
+        from repro.parallel import run_sharded
+
+        hi, lo, sizes = _as_full_columns(packets)
+        shard_columns = partition_columns(
+            hi, lo, sizes, self.shards, self.strategy, self.spec.seed
+        )
+        blobs, reports, wall = run_sharded(
+            self.spec,
+            shard_columns,
+            processes=self.processes,
+            batch_size=batch_size or self.batch_size,
+        )
+        self.worker_reports.extend(reports)
+        self.wall_elapsed_s += wall
+        merged = merge_many(
+            [load_sketch(blob) for blob in blobs], rng=self._merge_rng
+        )
+        if self._merged is None:
+            self._merged = merged
+        else:
+            self._merged = merge_cocosketch(
+                self._merged, merged, rng=self._merge_rng
+            )
+
+    def throughput(self) -> ShardedThroughputResult:
+        """Aggregate + per-worker packet rates of all runs so far."""
+        return ShardedThroughputResult(
+            workers=tuple(self.worker_reports),
+            wall_elapsed_s=self.wall_elapsed_s,
+        )
+
+    # -- Sketch interface: queries answered by the merged state --------
+
+    def update(self, key: int, size: int = 1) -> None:
+        raise NotImplementedError(
+            "ShardedSketch is batch-oriented; feed traffic through "
+            "process() (which scatters to the worker pool)"
+        )
+
+    def update_batch(
+        self, keys: KeyBatch, sizes: Optional[Sequence[int]] = None
+    ) -> None:
+        raise NotImplementedError(
+            "ShardedSketch is batch-oriented; feed traffic through "
+            "process() (which scatters to the worker pool)"
+        )
+
+    def query(self, key: int) -> float:
+        if self._merged is None:
+            return 0.0
+        return self._merged.query(key)
+
+    def flow_table(self):
+        if self._merged is None:
+            return {}
+        return self._merged.flow_table()
+
+    def memory_bytes(self) -> int:
+        """Total data-plane footprint across all worker sketches."""
+        per_worker = self.d * self.l * (self.key_bytes + COUNTER_BYTES)
+        return self.shards * per_worker
+
+    def update_cost(self) -> UpdateCost:
+        """Per-packet cost inside one worker (same rule as unsharded)."""
+        if self._cost is None:
+            self._cost = self.spec.build().update_cost()
+        return self._cost
+
+    def reset(self) -> None:
+        self._merged = None
+        self.worker_reports = []
+        self.wall_elapsed_s = 0.0
+        self._merge_rng = random.Random(
+            mix64(self.spec.seed ^ _MERGE_STREAM_SALT)
+        )
+
+    def occupancy(self) -> float:
+        """Bucket occupancy of the merged sketch (0.0 before process)."""
+        if self._merged is None or not hasattr(self._merged, "occupancy"):
+            return 0.0
+        return self._merged.occupancy()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSketch({self.spec!r}, shards={self.shards}, "
+            f"strategy={self.strategy!r})"
+        )

@@ -10,17 +10,35 @@ expectations are preserved:
     E[merged estimate of e] = E[estimate_1 of e] + E[estimate_2 of e].
 
 *Merging* combines two same-geometry sketches (e.g. from two switches
-measuring disjoint traffic, or two cores sharding one link).
+measuring disjoint traffic, or two cores sharding one link).  It works
+on every CocoSketch variant — :class:`BasicCocoSketch`, the hardware
+classes, and the columnar numpy engine sketches; the fold is per-array,
+so the hardware variant's per-array estimators stay individually
+unbiased and its median query keeps its law (for the default d = 2 the
+median is the mean of two unbiased per-array estimates).
 *Compression* folds each array onto itself by an integer factor before
 export, the Elastic sketch's bandwidth-adaptivity trick.
+
+All randomness is injected: every entry point takes either a ``seed``
+(from which it derives a private :class:`random.Random`) or an explicit
+``rng``.  Nothing here touches the ``random`` module's global state, so
+a sharded run that threads one seeded RNG through its whole
+scatter/merge chain is reproducible under ``--seed``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Sequence, TypeVar
 
-from repro.core.cocosketch import BasicCocoSketch
+import numpy as np
+
+from repro.sketches.base import Sketch
+
+_MERGE_SALT = 0x6E56E
+_COMPRESS_SALT = 0xC0135
+
+SketchT = TypeVar("SketchT", bound=Sketch)
 
 
 def _fold_bucket(
@@ -30,7 +48,11 @@ def _fold_bucket(
     key_b: Optional[int],
     val_b: int,
 ):
-    """Combine two buckets with the Theorem 1 coin flip."""
+    """Combine two buckets with the Theorem 1 coin flip.
+
+    *rng* is the caller's injected stream — this helper never draws
+    from module-level randomness.
+    """
     total = val_a + val_b
     if total == 0:
         return None, 0
@@ -45,7 +67,16 @@ def _fold_bucket(
     return key_b, total
 
 
-def _check_same_family(a: BasicCocoSketch, b: BasicCocoSketch) -> None:
+def _is_columnar(sketch: Sketch) -> bool:
+    """True for the numpy-engine sketches (uint64 column state)."""
+    return hasattr(sketch, "_key_hi")
+
+
+def _check_mergeable(a: Sketch, b: Sketch) -> None:
+    if type(a) is not type(b):
+        raise ValueError(
+            f"variant mismatch: {type(a).__name__} vs {type(b).__name__}"
+        )
     if a.d != b.d or a.l != b.l:
         raise ValueError(
             f"geometry mismatch: ({a.d}x{a.l}) vs ({b.d}x{b.l})"
@@ -54,20 +85,30 @@ def _check_same_family(a: BasicCocoSketch, b: BasicCocoSketch) -> None:
         raise ValueError("hash families differ; sketches are not mergeable")
 
 
-def merge_cocosketch(
-    a: BasicCocoSketch, b: BasicCocoSketch, seed: int = 0
-) -> BasicCocoSketch:
-    """Merge two same-geometry, same-hash-family sketches.
+# Backwards-compatible alias (geometry/family check only).
+_check_same_family = _check_mergeable
 
-    Returns a new sketch whose per-flow estimates are unbiased for the
-    union of both input streams.  Inputs are not modified.
-    """
-    _check_same_family(a, b)
-    rng = random.Random(seed ^ 0x6E56E)
-    merged = BasicCocoSketch(a.d, a.l, seed=0, key_bytes=a.key_bytes)
+
+def _resolve_rng(rng: Optional[random.Random], seed: int, salt: int) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed ^ salt)
+
+
+def _blank_like(sketch: SketchT) -> SketchT:
+    """Empty sketch of the same class/geometry sharing the hash family."""
+    merged = type(sketch)(sketch.d, sketch.l, seed=0, key_bytes=sketch.key_bytes)
     # Share the hash family so queries hash identically.
-    merged._family = a._family
-    merged._hash = a._hash
+    merged._family = sketch._family
+    if hasattr(sketch, "_hash"):
+        merged._hash = sketch._hash
+    if hasattr(sketch, "mantissa_bits"):
+        merged.mantissa_bits = sketch.mantissa_bits
+    return merged
+
+
+def _merge_scalar(a: SketchT, b: SketchT, rng: random.Random) -> SketchT:
+    merged = _blank_like(a)
     for i in range(a.d):
         for j in range(a.l):
             key, val = _fold_bucket(
@@ -78,14 +119,84 @@ def merge_cocosketch(
     return merged
 
 
+def _merge_columnar(a: SketchT, b: SketchT, rng: random.Random) -> SketchT:
+    """Vectorised bucket fold over the numpy engine's column state.
+
+    One uniform draw per bucket decides the Theorem 1 coin flip; draws
+    come from a PCG64 stream derived from the injected *rng* so the
+    result is a deterministic function of the caller's seed.
+    """
+    merged = _blank_like(a)
+    np_rng = np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+    total = a._vals + b._vals
+    r = np_rng.random(total.shape)
+    prefer_a = r * total < a._vals  # total == 0 rows resolve to False
+    use_a = a._occupied & (~b._occupied | prefer_a)
+    use_b = b._occupied & ~use_a
+    # In-place writes keep the flat views over the state arrays valid.
+    merged._vals[:] = total
+    merged._occupied[:] = use_a | use_b
+    merged._key_hi[:] = np.where(use_a, a._key_hi, np.where(use_b, b._key_hi, 0))
+    merged._key_lo[:] = np.where(use_a, a._key_lo, np.where(use_b, b._key_lo, 0))
+    return merged
+
+
+def merge_cocosketch(
+    a: SketchT,
+    b: SketchT,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> SketchT:
+    """Merge two same-variant, same-geometry, same-hash-family sketches.
+
+    Returns a new sketch whose per-flow estimates are unbiased for the
+    union of both input streams.  Inputs are not modified.  Pass *rng*
+    to draw the coin flips from an existing seeded stream (a chain of
+    merges sharing one RNG is reproducible end to end); otherwise a
+    private stream is derived from *seed*.
+    """
+    _check_mergeable(a, b)
+    rng = _resolve_rng(rng, seed, _MERGE_SALT)
+    if _is_columnar(a):
+        return _merge_columnar(a, b, rng)
+    return _merge_scalar(a, b, rng)
+
+
+def merge_many(
+    sketches: Sequence[SketchT],
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> SketchT:
+    """Left-fold a sequence of sketches through :func:`merge_cocosketch`.
+
+    All coin flips across the whole fold come from one injected stream,
+    so a sharded collector's result is a deterministic function of its
+    seed regardless of shard count.  A single-element sequence is
+    returned as-is (bit-identical to the lone input).
+    """
+    if not sketches:
+        raise ValueError("need at least one sketch to merge")
+    rng = _resolve_rng(rng, seed, _MERGE_SALT)
+    merged = sketches[0]
+    for other in sketches[1:]:
+        merged = merge_cocosketch(merged, other, rng=rng)
+    return merged
+
+
 def compress_cocosketch(
-    sketch: BasicCocoSketch, factor: int, seed: int = 0
-) -> BasicCocoSketch:
+    sketch: SketchT,
+    factor: int,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> SketchT:
     """Fold each array by an integer *factor* (l must be divisible).
 
     The result answers queries through the original hash functions
     taken modulo the new length, so no rehashing of traffic is needed;
     estimates stay unbiased with proportionally more collisions.
+    Supports the scalar variants (basic/hardware/P4); compress on the
+    collector side after deserialising.  *rng* injects the coin-flip
+    stream as in :func:`merge_cocosketch`.
     """
     if factor < 1:
         raise ValueError(f"factor must be >= 1, got {factor}")
@@ -93,9 +204,14 @@ def compress_cocosketch(
         raise ValueError(
             f"array length {sketch.l} not divisible by factor {factor}"
         )
+    if _is_columnar(sketch):
+        raise ValueError(
+            "compression works on the scalar-layout variants; convert "
+            "via serialize round-trip or merge first"
+        )
     new_l = sketch.l // factor
-    rng = random.Random(seed ^ 0xC0135)
-    out = BasicCocoSketch(sketch.d, new_l, seed=0, key_bytes=sketch.key_bytes)
+    rng = _resolve_rng(rng, seed, _COMPRESS_SALT)
+    out = type(sketch)(sketch.d, new_l, seed=0, key_bytes=sketch.key_bytes)
     out._family = sketch._family
     out._hash = [
         (lambda key, _fn=fn, _m=new_l: _fn(key) % _m) for fn in sketch._hash

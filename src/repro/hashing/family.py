@@ -82,6 +82,11 @@ class HashFamily:
         self.d = d
         self.backend = backend
         self.key_bytes = key_bytes
+        #: The constructor seed, kept so a sketch's configuration can be
+        #: reconstructed (sharded pipelines rebuild per-worker sketches
+        #: from it).  ``None`` when the family's per-function seeds were
+        #: restored directly, e.g. by ``serialize.load_sketch``.
+        self.master_seed: "int | None" = master_seed
         # Derive per-function seeds by running the master seed through
         # the mixer so adjacent master seeds give unrelated families.
         self.seeds: List[int] = [

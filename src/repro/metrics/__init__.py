@@ -21,7 +21,12 @@ from repro.metrics.significance import (
     bootstrap_diff_ci,
     comparison_significant,
 )
-from repro.metrics.throughput import ThroughputResult, measure_throughput
+from repro.metrics.throughput import (
+    ShardedThroughputResult,
+    ThroughputResult,
+    WorkerThroughput,
+    measure_throughput,
+)
 
 __all__ = [
     "AccuracyReport",
@@ -33,6 +38,8 @@ __all__ = [
     "ErrorCdf",
     "error_cdf",
     "ThroughputResult",
+    "WorkerThroughput",
+    "ShardedThroughputResult",
     "measure_throughput",
     "bootstrap_ci",
     "bootstrap_diff_ci",

@@ -1,0 +1,168 @@
+"""Multi-worker measurement driver: scatter, sketch, gather.
+
+This is the process-pool half of the sharded pipeline
+(:mod:`repro.engine.sharded` owns partitioning and the queryable
+facade).  Each worker
+
+1. rebuilds its own sketch from a :class:`~repro.engine.sharded.SketchSpec`
+   (same geometry and hash-family seed everywhere, so the results are
+   mergeable),
+2. decorrelates its replacement RNG from the other workers (shard 0
+   keeps the spec's natural stream, which makes a one-shard run
+   bit-identical to an unsharded sketch under the same seed),
+3. consumes its columnar ``(hi, lo, sizes)`` shard through the normal
+   engine update path, timing only that region, and
+4. returns its state as a :mod:`repro.core.serialize` blob — the same
+   wire format a switch would export — plus a
+   :class:`~repro.metrics.throughput.WorkerThroughput` report.
+
+Workers run in a ``multiprocessing`` pool by default; ``processes=False``
+runs them sequentially in-process through the *same* code path
+(including the serialise round-trip), so serial and parallel execution
+produce identical sketches — tests exploit this for speed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.serialize import dump_sketch
+from repro.hashing.family import mix64
+from repro.metrics.throughput import WorkerThroughput
+from repro.sketches.base import DEFAULT_BATCH_SIZE, Sketch, iter_batch
+
+_WORKER_RNG_SALT = 0x51A8D
+
+#: One shard's columnar packet stream: (keys_hi, keys_lo, sizes).
+ShardColumns = Tuple["np.ndarray", "np.ndarray", "np.ndarray"]
+
+
+def worker_seed(base_seed: int, shard: int) -> int:
+    """Decorrelated replacement-RNG seed for one worker.
+
+    Derived from the run's base seed and the shard index through the
+    splitmix64 mixer, so reruns with the same ``--seed`` reproduce every
+    worker's stream while distinct shards draw independently.
+    """
+    return mix64((base_seed ^ _WORKER_RNG_SALT) + shard * 0x9E3779B97F4A7C15)
+
+
+def _reseed_sketch(sketch: Sketch, base_seed: int, shard: int) -> None:
+    """Swap the sketch's replacement RNG for the worker's own stream.
+
+    The hash family is untouched — it must stay identical across
+    workers for the merge to be legal.
+    """
+    seed = worker_seed(base_seed, shard)
+    rng = getattr(sketch, "_rng", None)
+    if isinstance(rng, random.Random):
+        sketch._rng = random.Random(seed)
+    elif isinstance(rng, np.random.Generator):
+        sketch._rng = np.random.Generator(np.random.PCG64(seed))
+
+
+def _feed_columns(
+    sketch: Sketch,
+    hi: "np.ndarray",
+    lo: "np.ndarray",
+    sizes: "np.ndarray",
+    batch_size: Optional[int],
+) -> None:
+    """Drive the engine's normal update path over one shard's columns.
+
+    Mirrors :meth:`Sketch.process` routing exactly: vectorised sketches
+    consume batch slices (default 4096), scalar sketches run the plain
+    per-packet loop — so a one-shard run replays the unsharded
+    execution bit for bit.
+    """
+    n = len(sizes)
+    if n == 0:
+        return
+    if batch_size is None and sketch.vectorized:
+        batch_size = DEFAULT_BATCH_SIZE
+    if batch_size is None:
+        update = sketch.update
+        for key, size in iter_batch((hi, lo), sizes):
+            update(key, size)
+        return
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    for start in range(0, n, batch_size):
+        stop = start + batch_size
+        sketch.update_batch((hi[start:stop], lo[start:stop]), sizes[start:stop])
+
+
+def _run_worker(payload) -> Tuple[int, bytes, int, float]:
+    """Pool entry point: build, reseed, consume, serialise (picklable)."""
+    spec, shard, hi, lo, sizes, batch_size = payload
+    sketch = spec.build()
+    if shard:
+        _reseed_sketch(sketch, spec.seed, shard)
+    start = time.perf_counter()
+    _feed_columns(sketch, hi, lo, sizes, batch_size)
+    elapsed = time.perf_counter() - start
+    return shard, dump_sketch(sketch), len(sizes), elapsed
+
+
+def _pool_size(processes: Union[bool, int, None], shards: int) -> int:
+    """Worker process count; 0 means run serially in-process."""
+    if processes is True:
+        return min(shards, os.cpu_count() or 1)
+    if processes in (False, None):
+        return 0
+    count = int(processes)
+    if count < 0:
+        raise ValueError(f"processes must be >= 0, got {processes}")
+    return min(count, shards)
+
+
+def run_sharded(
+    spec,
+    shard_columns: Sequence[ShardColumns],
+    processes: Union[bool, int, None] = True,
+    batch_size: Optional[int] = None,
+) -> Tuple[List[bytes], List[WorkerThroughput], float]:
+    """Run one engine-backed sketch per shard and gather their state.
+
+    Args:
+        spec: The per-worker :class:`~repro.engine.sharded.SketchSpec`.
+        shard_columns: One ``(hi, lo, sizes)`` triple per shard, in
+            shard order (see ``partition_columns``).
+        processes: ``True`` — one OS process per shard (capped at the
+            CPU count); an int — at most that many processes; ``False``
+            — run every worker sequentially in this process (identical
+            results, no pool overhead).
+        batch_size: Per-worker ``update_batch`` slice; ``None`` lets
+            each sketch route itself exactly like ``Sketch.process``.
+
+    Returns:
+        ``(blobs, reports, wall_elapsed_s)`` — serialized sketch state
+        and per-worker timing in shard order, plus the wall-clock time
+        of the whole scatter/process/gather section.
+    """
+    payloads = [
+        (spec, shard, hi, lo, sizes, batch_size)
+        for shard, (hi, lo, sizes) in enumerate(shard_columns)
+    ]
+    pool_size = _pool_size(processes, len(payloads))
+    wall_start = time.perf_counter()
+    if pool_size > 1 and len(payloads) > 1:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=pool_size) as pool:
+            outs = pool.map(_run_worker, payloads)
+    else:
+        outs = [_run_worker(p) for p in payloads]
+    wall_elapsed = time.perf_counter() - wall_start
+    outs.sort(key=lambda item: item[0])
+    blobs = [blob for _, blob, _, _ in outs]
+    reports = [
+        WorkerThroughput(shard=shard, packets=packets, elapsed_s=elapsed)
+        for shard, _, packets, elapsed in outs
+    ]
+    return blobs, reports, wall_elapsed

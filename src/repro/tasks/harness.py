@@ -50,6 +50,16 @@ class FullKeyEstimator(Estimator):
         batch_size: Per-``process`` batch size.  ``None`` lets the
             sketch route itself: vectorised sketches batch at their
             default size, scalar sketches run the plain packet loop.
+        shards: When given, replace *sketch* with an equivalent
+            :class:`~repro.engine.sharded.ShardedSketch` — *sketch*'s
+            engine/geometry/seed are recovered and each of the N
+            workers gets its own copy; ``shards=1`` replays the
+            unsharded execution bit for bit.
+        shard_strategy: ``"hash"`` (default, flow-pure) or
+            ``"round-robin"`` trace partitioning.
+        shard_processes: Pool policy forwarded to
+            :class:`~repro.engine.sharded.ShardedSketch` (``True`` =
+            one OS process per shard, ``False`` = in-process workers).
     """
 
     def __init__(
@@ -57,7 +67,25 @@ class FullKeyEstimator(Estimator):
         sketch: Sketch,
         spec: FullKeySpec,
         batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
+        shard_strategy: str = "hash",
+        shard_processes=True,
     ) -> None:
+        if shards is not None:
+            from repro.engine.sharded import ShardedSketch, SketchSpec
+
+            if isinstance(sketch, ShardedSketch):
+                raise ValueError(
+                    "pass either an already-sharded sketch or shards=N, "
+                    "not both"
+                )
+            sketch = ShardedSketch(
+                SketchSpec.from_sketch(sketch),
+                shards,
+                strategy=shard_strategy,
+                processes=shard_processes,
+                batch_size=batch_size,
+            )
         self.sketch = sketch
         self.spec = spec
         self.name = sketch.name

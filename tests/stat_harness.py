@@ -1,0 +1,203 @@
+"""Reusable statistical checks for seeded Monte-Carlo tests.
+
+The sketch's guarantees (Theorem 1 unbiasedness, merge/compression
+correctness) are distributional, so the tests that gate them run many
+independently seeded trials and compare sample moments against the
+ground truth with *explicit* confidence margins.  This module gives
+those tests one shared vocabulary:
+
+* :func:`trial_estimates` — run a seeded estimate function across N
+  decorrelated trials.
+* :func:`check_unbiased` / :func:`assert_unbiased` — is the sample mean
+  within a z-sigma confidence half-width (plus a relative floor for the
+  tiny-variance case) of the truth?
+* :func:`check_error_profile` / :func:`assert_error_profile` — is a
+  candidate's mean error no worse than a reference's, within the
+  two-sample z margin?
+
+Every check returns a small result object whose ``describe()`` string
+names the margin it used, so a failure message shows the actual
+tolerance rather than a bare boolean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence
+
+from repro.analysis.empirical import estimate_moments
+
+#: Default z-score for the confidence half-width.  3.5 sigma keeps the
+#: per-check false-failure rate below ~5e-4 while still catching any
+#: real bias of a few percent at the trial counts the tests use.
+DEFAULT_Z = 3.5
+
+#: Relative floor on the tolerance: with very low-variance estimators
+#: (e.g. a lightly loaded sketch) the z-interval collapses to ~0 and a
+#: one-ULP wobble would fail, so the margin never drops below
+#: ``rel_floor * |truth|``.
+DEFAULT_REL_FLOOR = 0.02
+
+
+def trial_estimates(
+    make_estimate: Callable[[int], float],
+    trials: int,
+    base_seed: int = 0,
+) -> List[float]:
+    """Run ``make_estimate(seed)`` across *trials* decorrelated seeds.
+
+    Seeds are ``base_seed + 1000 + i`` — the same convention as
+    :func:`repro.analysis.empirical.empirical_estimates`, so harness
+    trials and ad-hoc loops draw from the same seed schedule.
+    """
+    if trials < 2:
+        raise ValueError(f"need >= 2 trials for moments, got {trials}")
+    return [make_estimate(base_seed + 1000 + i) for i in range(trials)]
+
+
+@dataclass(frozen=True)
+class UnbiasednessCheck:
+    """Outcome of one sample-mean-vs-truth comparison."""
+
+    truth: float
+    mean: float
+    variance: float
+    trials: int
+    z: float
+    halfwidth: float
+    tolerance: float
+
+    @property
+    def bias(self) -> float:
+        return self.mean - self.truth
+
+    @property
+    def passed(self) -> bool:
+        return abs(self.bias) <= self.tolerance
+
+    def describe(self) -> str:
+        return (
+            f"mean {self.mean:.3f} vs truth {self.truth:.3f} "
+            f"(bias {self.bias:+.3f}) over {self.trials} trials; "
+            f"tolerance {self.tolerance:.3f} "
+            f"= max({self.z}-sigma halfwidth {self.halfwidth:.3f}, "
+            f"rel floor)"
+        )
+
+
+def check_unbiased(
+    samples: Iterable[float],
+    truth: float,
+    z: float = DEFAULT_Z,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+) -> UnbiasednessCheck:
+    """Compare the sample mean of *samples* against *truth*.
+
+    The tolerance is ``max(z * sqrt(var/n), rel_floor * |truth|)`` —
+    the z-sigma confidence half-width of the sample mean, floored so a
+    near-deterministic estimator is still allowed a small relative
+    wobble.
+    """
+    values = list(samples)
+    mean, var = estimate_moments(values)
+    halfwidth = z * math.sqrt(var / len(values))
+    tolerance = max(halfwidth, rel_floor * abs(truth))
+    return UnbiasednessCheck(
+        truth=truth,
+        mean=mean,
+        variance=var,
+        trials=len(values),
+        z=z,
+        halfwidth=halfwidth,
+        tolerance=tolerance,
+    )
+
+
+def assert_unbiased(
+    samples: Iterable[float],
+    truth: float,
+    z: float = DEFAULT_Z,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    label: str = "estimate",
+) -> UnbiasednessCheck:
+    """:func:`check_unbiased` that raises with the full margin report."""
+    check = check_unbiased(samples, truth, z=z, rel_floor=rel_floor)
+    assert check.passed, f"{label} biased: {check.describe()}"
+    return check
+
+
+@dataclass(frozen=True)
+class ErrorProfileCheck:
+    """Outcome of a candidate-vs-reference mean-error comparison."""
+
+    candidate_mean: float
+    reference_mean: float
+    margin: float
+    trials: int
+    z: float
+
+    @property
+    def excess(self) -> float:
+        return self.candidate_mean - self.reference_mean
+
+    @property
+    def passed(self) -> bool:
+        return self.excess <= self.margin
+
+    def describe(self) -> str:
+        return (
+            f"candidate mean error {self.candidate_mean:.4f} vs "
+            f"reference {self.reference_mean:.4f} "
+            f"(excess {self.excess:+.4f}) over {self.trials} trial "
+            f"pairs; allowed margin {self.margin:.4f} "
+            f"({self.z}-sigma two-sample + abs floor)"
+        )
+
+
+def check_error_profile(
+    candidate_errors: Sequence[float],
+    reference_errors: Sequence[float],
+    z: float = DEFAULT_Z,
+    abs_floor: float = 0.01,
+) -> ErrorProfileCheck:
+    """Is the candidate's mean error statistically no worse than the
+    reference's?
+
+    Uses the two-sample z margin
+    ``z * sqrt(var_c/n_c + var_r/n_r) + abs_floor``: the candidate may
+    exceed the reference only by sampling noise plus a small absolute
+    allowance.  This is the acceptance gate for the sharded pipeline —
+    its per-key ARE must match the single-sketch error profile.
+    """
+    c_mean, c_var = estimate_moments(candidate_errors)
+    r_mean, r_var = estimate_moments(reference_errors)
+    margin = (
+        z
+        * math.sqrt(
+            c_var / len(candidate_errors) + r_var / len(reference_errors)
+        )
+        + abs_floor
+    )
+    return ErrorProfileCheck(
+        candidate_mean=c_mean,
+        reference_mean=r_mean,
+        margin=margin,
+        trials=min(len(candidate_errors), len(reference_errors)),
+        z=z,
+    )
+
+
+def assert_error_profile(
+    candidate_errors: Sequence[float],
+    reference_errors: Sequence[float],
+    z: float = DEFAULT_Z,
+    abs_floor: float = 0.01,
+    label: str = "candidate",
+) -> ErrorProfileCheck:
+    """:func:`check_error_profile` that raises with the margin report."""
+    check = check_error_profile(
+        candidate_errors, reference_errors, z=z, abs_floor=abs_floor
+    )
+    assert check.passed, f"{label} error profile degraded: {check.describe()}"
+    return check

@@ -72,6 +72,57 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "top 3 flows on DstIP/32" in out
 
+    def test_evaluate_sharded(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.csv")
+        main(
+            ["generate", path, "--packets", "6000", "--flows", "1200", "--seed", "4"]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "evaluate",
+                path,
+                "--memory-kb",
+                "64",
+                "--threshold",
+                "1e-3",
+                "--engine",
+                "numpy",
+                "--shards",
+                "2",
+                "--key",
+                "SrcIP",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded 2 worker(s)" in out
+        assert "aggregate" in out
+        assert "SrcIP/32" in out
+
+    def test_measure_sharded_round_robin(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.csv")
+        main(["generate", path, "--packets", "4000", "--flows", "700"])
+        capsys.readouterr()
+        assert main(
+            [
+                "measure",
+                path,
+                "--memory-kb",
+                "64",
+                "--shards",
+                "2",
+                "--shard-strategy",
+                "round-robin",
+                "--top",
+                "3",
+                "--key",
+                "DstIP",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded 2 worker(s)" in out
+        assert "top 3 flows on DstIP/32" in out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -1,15 +1,24 @@
 """Tests for the future-work extensions (merge, sampling, windows, distinct)."""
 
+import random
+
 import pytest
 
 from repro.analysis.empirical import estimate_moments, mean_confidence_halfwidth
 from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch
+from repro.core.serialize import dump_sketch
 from repro.extensions.distinct import DistinctCocoSketch
-from repro.extensions.merging import compress_cocosketch, merge_cocosketch
+from repro.extensions.merging import (
+    compress_cocosketch,
+    merge_cocosketch,
+    merge_many,
+)
 from repro.extensions.sampling import SampledCocoSketch
 from repro.extensions.windowed import WindowedMeasurement
 from repro.flowkeys.key import FIVE_TUPLE
 from repro.traffic.synthetic import heavy_change_windows, zipf_trace
+from tests.stat_harness import assert_unbiased, trial_estimates
 
 
 class TestMerge:
@@ -68,6 +77,113 @@ class TestMerge:
         assert agg.total == pytest.approx(ta.total_size + tb.total_size)
 
 
+class TestMergeDisjointHalves:
+    """Merging sketches over disjoint halves of one trace is unbiased.
+
+    This is the distributed-measurement shape: the same stream split
+    across two devices, recombined by the Theorem 1 merge.  Gated with
+    the statistical harness for the software rule *and* the hardware
+    (single-stage eviction) variant.
+    """
+
+    @pytest.mark.parametrize("cls", [BasicCocoSketch, HardwareCocoSketch])
+    def test_merged_estimate_unbiased_per_flow(self, cls):
+        trace = zipf_trace(4_000, 500, alpha=1.2, seed=21)
+        packets = list(trace)
+        half_a, half_b = packets[:2_000], packets[2_000:]
+        key = max(trace.full_counts(), key=trace.full_counts().get)
+        truth = trace.full_counts()[key]
+
+        def estimate(seed: int) -> float:
+            a = cls(d=2, l=128, seed=seed)
+            b = cls(d=2, l=128, seed=seed)  # same hash family
+            a.process(half_a)
+            b.process(half_b)
+            return merge_cocosketch(a, b, seed=seed + 17).query(key)
+
+        samples = trial_estimates(estimate, trials=30, base_seed=200)
+        assert_unbiased(
+            samples, truth, label=f"{cls.__name__} disjoint-half merge"
+        )
+
+    def test_merge_many_folds_all_inputs(self):
+        trace = zipf_trace(4_000, 500, alpha=1.2, seed=22)
+        packets = list(trace)
+        quarters = [packets[i::4] for i in range(4)]
+        sketches = []
+        for part in quarters:
+            sk = BasicCocoSketch(d=2, l=128, seed=9)
+            sk.process(part)
+            sketches.append(sk)
+        merged = merge_many(sketches, seed=3)
+        total = sum(sum(row) for row in merged._vals)
+        assert total == trace.total_size
+
+    def test_merge_many_single_input_untouched(self):
+        sk = BasicCocoSketch(d=2, l=64, seed=1)
+        sk.update(7, 3)
+        assert merge_many([sk], seed=5) is sk
+        with pytest.raises(ValueError):
+            merge_many([], seed=5)
+
+
+class TestMergeRNGInjection:
+    """Every merge coin flip comes from the injected stream (no module
+    randomness), so results reproduce exactly under ``--seed``."""
+
+    def _pair(self):
+        a = BasicCocoSketch(d=2, l=128, seed=5)
+        b = BasicCocoSketch(d=2, l=128, seed=5)
+        ta = zipf_trace(3_000, 400, alpha=1.1, seed=31, name="a")
+        tb = zipf_trace(3_000, 400, alpha=1.1, seed=81, name="b")
+        a.process(iter(ta))
+        b.process(iter(tb))
+        return a, b
+
+    def test_same_seed_bit_identical(self):
+        a, b = self._pair()
+        m1 = merge_cocosketch(a, b, seed=7)
+        m2 = merge_cocosketch(a, b, seed=7)
+        assert dump_sketch(m1) == dump_sketch(m2)
+
+    def test_module_random_state_has_no_effect(self):
+        a, b = self._pair()
+        random.seed(123)
+        m1 = merge_cocosketch(a, b, seed=7)
+        random.seed(999)
+        m2 = merge_cocosketch(a, b, seed=7)
+        assert dump_sketch(m1) == dump_sketch(m2)
+        state = random.getstate()
+        compress_cocosketch(a, 2, seed=4)
+        assert random.getstate() == state  # stream untouched
+
+    def test_injected_rng_equivalent_to_seed_stream(self):
+        a, b = self._pair()
+        from_seed = merge_cocosketch(a, b, seed=7)
+        # seed=N is sugar for a private stream; an explicitly injected
+        # stream is consumed instead, deterministically.
+        rng1 = random.Random(42)
+        rng2 = random.Random(42)
+        m1 = merge_cocosketch(a, b, rng=rng1)
+        m2 = merge_cocosketch(a, b, rng=rng2)
+        assert dump_sketch(m1) == dump_sketch(m2)
+        assert from_seed is not m1  # distinct objects either way
+
+    def test_numpy_merge_seeded_deterministic(self):
+        from repro.engine.vectorized import NumpyCocoSketch
+
+        ta = zipf_trace(3_000, 400, alpha=1.1, seed=31, name="a")
+        tb = zipf_trace(3_000, 400, alpha=1.1, seed=81, name="b")
+        a = NumpyCocoSketch(d=2, l=128, seed=5)
+        b = NumpyCocoSketch(d=2, l=128, seed=5)
+        a.process(ta)
+        b.process(tb)
+        m1 = merge_cocosketch(a, b, seed=9)
+        m2 = merge_cocosketch(a, b, seed=9)
+        assert dump_sketch(m1) == dump_sketch(m2)
+        assert float(m1._vals.sum()) == ta.total_size + tb.total_size
+
+
 class TestCompress:
     def test_compress_conserves_total(self):
         sk = BasicCocoSketch(d=2, l=128, seed=5)
@@ -97,6 +213,51 @@ class TestCompress:
         sk.update(1, 7)
         copy = compress_cocosketch(sk, 1)
         assert copy.query(1) == 7.0
+
+    @pytest.mark.parametrize("cls", [BasicCocoSketch, HardwareCocoSketch])
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_fold_geometry_and_mass(self, cls, factor):
+        sk = cls(d=3, l=64, seed=8)
+        trace = zipf_trace(3_000, 400, seed=14)
+        sk.process(iter(trace))
+        small = compress_cocosketch(sk, factor, seed=2)
+        assert type(small) is cls
+        assert small.d == 3 and small.l == 64 // factor
+        # Mass is conserved row by row.  The basic rule splits the trace
+        # across rows (min-of-d placement); the hardware variant feeds
+        # every row the full stream.
+        for row_before, row_after in zip(sk._vals, small._vals):
+            assert sum(row_after) == sum(row_before)
+        total = sum(sum(row) for row in small._vals)
+        copies = sk.d if cls is HardwareCocoSketch else 1
+        assert total == copies * trace.total_size
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_fold_seeded_deterministic(self, factor):
+        sk = BasicCocoSketch(d=2, l=64, seed=8)
+        trace = zipf_trace(3_000, 400, seed=14)
+        sk.process(iter(trace))
+        one = compress_cocosketch(sk, factor, seed=6)
+        two = compress_cocosketch(sk, factor, seed=6)
+        assert dump_sketch(one) == dump_sketch(two)
+        rng = random.Random(11)
+        via_rng = compress_cocosketch(sk, factor, rng=rng)
+        again = compress_cocosketch(sk, factor, rng=random.Random(11))
+        assert dump_sketch(via_rng) == dump_sketch(again)
+
+    def test_compress_input_unmodified(self):
+        sk = BasicCocoSketch(d=2, l=64, seed=8)
+        trace = zipf_trace(2_000, 300, seed=15)
+        sk.process(iter(trace))
+        before = dump_sketch(sk)
+        compress_cocosketch(sk, 4, seed=1)
+        assert dump_sketch(sk) == before
+
+    def test_columnar_sketch_rejected(self):
+        from repro.engine.vectorized import NumpyCocoSketch
+
+        with pytest.raises(ValueError):
+            compress_cocosketch(NumpyCocoSketch(d=2, l=64, seed=1), 2)
 
 
 class TestSampling:
