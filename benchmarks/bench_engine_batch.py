@@ -39,6 +39,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from _config import mem_bytes  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.engine import get_engine  # noqa: E402
 from repro.engine.sharded import ShardedSketch, SketchSpec  # noqa: E402
 from repro.flowkeys.key import FIVE_TUPLE  # noqa: E402
@@ -194,6 +195,67 @@ def run_shard_sweep(
     }
 
 
+OBS_HEADERS = ["variant", "plain_pps", "instrumented_pps", "ratio"]
+
+#: Overhead acceptance: metrics-enabled numpy throughput must stay
+#: within 5% of the metrics-disabled run (ratio >= 0.95).
+OBS_OVERHEAD_FLOOR = 0.95
+
+
+def _time_obs(trace, variant: str, batch_size: int, instrumented: bool) -> float:
+    """Packets/sec of the numpy engine, registry on or off."""
+    engine = get_engine("numpy")
+    if variant == "basic":
+        sketch = engine.cocosketch_from_memory(mem_bytes(MEMORY_KB), d=2, seed=7)
+    else:
+        sketch = engine.hardware_cocosketch_from_memory(
+            mem_bytes(MEMORY_KB), d=2, seed=7
+        )
+    for _ in trace.batches(batch_size):
+        break
+    if instrumented:
+        with obs.collecting():
+            start = time.perf_counter()
+            sketch.process(trace, batch_size=batch_size)
+            elapsed = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        sketch.process(trace, batch_size=batch_size)
+        elapsed = time.perf_counter() - start
+    return len(trace) / elapsed
+
+
+def run_obs_overhead(
+    packets: int, flows: int, seed: int = 7, repeats: int = 3
+) -> Dict:
+    """Observability overhead gate: instrumented vs plain numpy engine.
+
+    Best-of-*repeats* packet rate for each (variant, registry on/off)
+    combination, interleaved so background noise hits both sides alike.
+    The gate is ``instrumented / plain >= OBS_OVERHEAD_FLOOR``.
+    """
+    trace = zipf_trace(packets, flows, alpha=1.05, seed=seed)
+    rows: List[List] = []
+    ratios: Dict[str, float] = {}
+    for variant in ("basic", "hardware"):
+        plain, instrumented = 0.0, 0.0
+        for _ in range(repeats):
+            plain = max(plain, _time_obs(trace, variant, 4096, False))
+            instrumented = max(
+                instrumented, _time_obs(trace, variant, 4096, True)
+            )
+        ratio = instrumented / plain
+        rows.append([variant, plain, instrumented, ratio])
+        ratios[variant] = ratio
+    return {
+        "packets": packets,
+        "flows": flows,
+        "rows": rows,
+        "ratios": ratios,
+        "floor": OBS_OVERHEAD_FLOOR,
+    }
+
+
 def test_engine_batch_throughput(record):
     """Pytest entry: small sweep sized for CI, same JSON artifact."""
     sweep = run_sweep(packets=120_000, flows=40_000)
@@ -208,6 +270,27 @@ def test_engine_batch_throughput(record):
     # at CI scale assert the direction with headroom to spare.
     assert sweep["speedups"]["basic@4096"] > 3.0
     assert sweep["speedups"]["hardware@4096"] > 3.0
+
+
+def test_obs_overhead(record):
+    """Pytest entry: instrumented numpy must stay within 5% of plain."""
+    sweep = run_obs_overhead(packets=150_000, flows=40_000)
+    record(
+        "bench_obs_overhead",
+        "Observability overhead: numpy engine with metrics on vs off",
+        OBS_HEADERS,
+        sweep["rows"],
+        extra={
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "floor": sweep["floor"],
+        },
+    )
+    for variant, ratio in sweep["ratios"].items():
+        assert ratio >= OBS_OVERHEAD_FLOOR, (
+            f"{variant}: instrumented throughput is {ratio:.3f}x of "
+            f"plain (floor {OBS_OVERHEAD_FLOOR})"
+        )
 
 
 def test_shard_sweep_scaling(record):
@@ -251,7 +334,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--sweep",
-        choices=("engine", "shards", "all"),
+        choices=("engine", "shards", "obs", "all"),
         default="engine",
         help="which sweep(s) to run standalone",
     )
@@ -263,6 +346,10 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--shard-out",
         default=str(Path(__file__).resolve().parent.parent / "results" / "bench_shard_sweep.json"),
+    )
+    parser.add_argument(
+        "--obs-out",
+        default=str(Path(__file__).resolve().parent.parent / "results" / "bench_obs_overhead.json"),
     )
     args = parser.parse_args(argv)
 
@@ -305,6 +392,32 @@ def main(argv: List[str] = None) -> int:
         print(f"\nwrote {out}")
         if not sweep["are_gate"]["passed"]:
             print("shard-sweep ARE gate FAILED", file=sys.stderr)
+            return 1
+
+    if args.sweep in ("obs", "all"):
+        sweep = run_obs_overhead(args.packets, args.flows, seed=args.seed)
+        print(f"{'variant':<10} {'plain pps':>12} {'instr pps':>12} {'ratio':>7}")
+        for variant, plain, instrumented, ratio in sweep["rows"]:
+            print(
+                f"{variant:<10} {plain:>12.0f} {instrumented:>12.0f} "
+                f"{ratio:>6.3f}x"
+            )
+        payload = {
+            "title": "Observability overhead: numpy engine with metrics on vs off",
+            "headers": OBS_HEADERS,
+            "rows": sweep["rows"],
+            "extra": {
+                "packets": sweep["packets"],
+                "flows": sweep["flows"],
+                "floor": sweep["floor"],
+            },
+        }
+        out = Path(args.obs_out)
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2))
+        print(f"\nwrote {out}")
+        if any(r < OBS_OVERHEAD_FLOOR for r in sweep["ratios"].values()):
+            print("obs overhead gate FAILED", file=sys.stderr)
             return 1
     return 0
 

@@ -28,12 +28,18 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
+from typing import Callable, List
 
 from repro.core.query import FlowTable
 from repro.engine import available_engines, get_engine
 from repro.flowkeys.key import FIVE_TUPLE, PartialKeySpec, paper_partial_keys
 from repro.metrics.accuracy import evaluate_heavy_hitters
+from repro.obs.registry import (
+    MetricsRegistry,
+    format_snapshot,
+    get_registry,
+    set_registry,
+)
 from repro.traffic.storage import load_csv, save_csv
 from repro.traffic.synthetic import caida_like, mawi_like, zipf_trace
 
@@ -69,62 +75,118 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _load_sketch(args: argparse.Namespace):
-    trace = load_csv(args.path, FIVE_TUPLE)
-    if args.shards > 1:
-        from repro.engine.sharded import ShardedSketch, SketchSpec
+    reg = get_registry()
+    with reg.span("cli.load_trace"):
+        trace = load_csv(args.path, FIVE_TUPLE)
+    with reg.span("cli.measure"):
+        if args.shards > 1:
+            from repro.engine.sharded import ShardedSketch, SketchSpec
 
-        spec = SketchSpec.from_memory(
-            int(args.memory_kb * 1024),
-            engine=args.engine,
-            d=args.d,
-            seed=args.seed,
+            spec = SketchSpec.from_memory(
+                int(args.memory_kb * 1024),
+                engine=args.engine,
+                d=args.d,
+                seed=args.seed,
+            )
+            sketch = ShardedSketch(
+                spec, args.shards, strategy=args.shard_strategy
+            )
+            sketch.process(trace, batch_size=args.batch_size)
+            print(f"sharded {sketch.throughput().summary()}")
+            return trace, sketch
+        engine = get_engine(args.engine)
+        sketch = engine.cocosketch_from_memory(
+            int(args.memory_kb * 1024), d=args.d, seed=args.seed
         )
-        sketch = ShardedSketch(
-            spec, args.shards, strategy=args.shard_strategy
-        )
+        # batch_size None lets vectorised sketches pick their default
+        # and keeps the scalar engine on the plain per-packet loop.
         sketch.process(trace, batch_size=args.batch_size)
-        print(f"sharded {sketch.throughput().summary()}")
+        if reg.enabled:
+            stats = getattr(sketch, "stats", None)
+            if stats is not None:
+                # Sharded runs publish per-worker stats through the
+                # worker snapshots instead (see repro.parallel).
+                stats.publish(reg, prefix="sketch.")
         return trace, sketch
-    engine = get_engine(args.engine)
-    sketch = engine.cocosketch_from_memory(
-        int(args.memory_kb * 1024), d=args.d, seed=args.seed
+
+
+def _with_metrics(args: argparse.Namespace, body: Callable[[], int]) -> int:
+    """Run a subcommand body under a registry when metrics are wanted.
+
+    ``--metrics-out`` writes the snapshot JSON (schema
+    ``repro.obs.metrics/v1``); ``--profile`` prints a human-readable
+    summary.  Without either flag the no-op registry stays installed
+    and instrumentation costs nothing.
+    """
+    if not (args.metrics_out or args.profile):
+        return body()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        status = body()
+    finally:
+        set_registry(previous)
+    snapshot = registry.snapshot(
+        meta={
+            "command": args.command,
+            "path": args.path,
+            "engine": args.engine,
+            "shards": args.shards,
+            "seed": args.seed,
+        }
     )
-    # batch_size None lets vectorised sketches pick their default and
-    # keeps the scalar engine on the plain per-packet loop.
-    sketch.process(trace, batch_size=args.batch_size)
-    return trace, sketch
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_out}")
+    if args.profile:
+        print(format_snapshot(snapshot))
+    return status
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
-    trace, sketch = _load_sketch(args)
-    table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
-    keys = [parse_key(k) for k in args.key] or paper_partial_keys(6)
-    for partial in keys:
-        agg = table.aggregate(partial)
-        print(f"\n== top {args.top} flows on {partial.name} ==")
-        for value, est in agg.top_k(args.top):
-            print(f"  {value:>32x}  ~{est:.0f}")
-    return 0
+    def body() -> int:
+        trace, sketch = _load_sketch(args)
+        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        keys = [parse_key(k) for k in args.key] or paper_partial_keys(6)
+        with get_registry().span("cli.aggregate"):
+            for partial in keys:
+                agg = table.aggregate(partial)
+                print(f"\n== top {args.top} flows on {partial.name} ==")
+                for value, est in agg.top_k(args.top):
+                    print(f"  {value:>32x}  ~{est:.0f}")
+        return 0
+
+    return _with_metrics(args, body)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    trace, sketch = _load_sketch(args)
-    table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
-    keys = [parse_key(k) for k in args.key] or paper_partial_keys(6)
-    threshold = args.threshold * trace.total_size
-    print(
-        f"{'key':44s} {'recall':>7s} {'precision':>9s} {'f1':>6s} {'are':>8s}"
-    )
-    for partial in keys:
-        truth = trace.ground_truth(partial)
-        report = evaluate_heavy_hitters(
-            table.aggregate(partial).sizes, truth, threshold
-        )
+    def body() -> int:
+        trace, sketch = _load_sketch(args)
+        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        keys = [parse_key(k) for k in args.key] or paper_partial_keys(6)
+        threshold = args.threshold * trace.total_size
         print(
-            f"{partial.name:44s} {report.recall:7.2%} "
-            f"{report.precision:9.2%} {report.f1:6.3f} {report.are:8.4f}"
+            f"{'key':44s} {'recall':>7s} {'precision':>9s} "
+            f"{'f1':>6s} {'are':>8s}"
         )
-    return 0
+        with get_registry().span("cli.aggregate"):
+            for partial in keys:
+                truth = trace.ground_truth(partial)
+                report = evaluate_heavy_hitters(
+                    table.aggregate(partial).sizes, truth, threshold
+                )
+                print(
+                    f"{partial.name:44s} {report.recall:7.2%} "
+                    f"{report.precision:9.2%} {report.f1:6.3f} "
+                    f"{report.are:8.4f}"
+                )
+        return 0
+
+    return _with_metrics(args, body)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,6 +241,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         help="partial key, e.g. SrcIP or SrcIP/24+DstIP (repeatable)",
+    )
+    common.add_argument(
+        "--metrics-out",
+        metavar="JSON",
+        default=None,
+        help="collect pipeline metrics and write the snapshot "
+        "(schema repro.obs.metrics/v1) to this file",
+    )
+    common.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect pipeline metrics and print a summary after the run",
     )
 
     measure = sub.add_parser(

@@ -23,6 +23,13 @@ import random
 from typing import Dict, List, Optional
 
 from repro.hashing.family import HashFamily
+from repro.obs.replay import (
+    PURPOSE_ADOPT,
+    PURPOSE_TIEBREAK,
+    replay_draw,
+    replay_seed,
+)
+from repro.obs.stats import CocoStats
 from repro.sketches.base import (
     COUNTER_BYTES,
     DEFAULT_KEY_BYTES,
@@ -40,6 +47,10 @@ class BasicCocoSketch(Sketch):
         seed: Seeds both the hash family and the replacement RNG.
         key_bytes: Per-bucket key width for memory accounting.
         hash_backend: ``"mix64"`` (fast, default) or ``"bob"`` (faithful).
+        replay: Draw replacement decisions from the counter-based
+            deterministic stream (:mod:`repro.obs.replay`) instead of
+            the sequential RNG — same probability law, but bit-exactly
+            reproducible across engines (differential tests).
     """
 
     name = "CocoSketch"
@@ -51,6 +62,7 @@ class BasicCocoSketch(Sketch):
         seed: int = 0,
         key_bytes: int = DEFAULT_KEY_BYTES,
         hash_backend: str = "mix64",
+        replay: bool = False,
     ) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
@@ -62,6 +74,10 @@ class BasicCocoSketch(Sketch):
         self._family = HashFamily(d, seed, backend=hash_backend, key_bytes=key_bytes)
         self._hash = self._family.index_fns(l)
         self._rng = random.Random(seed ^ 0x5EED)
+        self._replay = bool(replay)
+        self._replay_seed = replay_seed(seed ^ 0x5EED)
+        self._seq = 0
+        self.stats = CocoStats(d)
         self._keys: List[List[Optional[int]]] = [[None] * l for _ in range(d)]
         self._vals: List[List[int]] = [[0] * l for _ in range(d)]
 
@@ -91,8 +107,15 @@ class BasicCocoSketch(Sketch):
 
     def update(self, key: int, size: int = 1) -> None:
         """Insert packet ``(key, size)`` (§4.1 insertion)."""
+        stats = self.stats
+        stats.packets += 1
+        seq = self._seq
+        self._seq = seq + 1
         keys = self._keys
         vals = self._vals
+        if self._replay:
+            self._update_replay(key, size, seq)
+            return
         min_i = 0
         min_j = 0
         min_v = None
@@ -103,6 +126,8 @@ class BasicCocoSketch(Sketch):
             row_keys = keys[i]
             if row_keys[j] == key:
                 vals[i][j] += size
+                stats.matched += 1
+                stats.candidate_scans += i + 1
                 return
             v = vals[i][j]
             if min_v is None or v < min_v:
@@ -116,10 +141,55 @@ class BasicCocoSketch(Sketch):
                 if rng.random() * ties < 1.0:
                     min_i = i
                     min_j = j
+        stats.candidate_scans += self.d
         new_v = min_v + size
         vals[min_i][min_j] = new_v
         if rng.random() * new_v < size:
+            if keys[min_i][min_j] is not None:
+                stats.evictions[min_i] += 1
             keys[min_i][min_j] = key
+            stats.replacements += 1
+        else:
+            stats.rejects += 1
+
+    def _update_replay(self, key: int, size: int, seq: int) -> None:
+        """Replay-mode insertion: same law, deterministic draws.
+
+        The tie-break picks the k-th minimum-value candidate (array
+        order) with one uniform draw — the same distribution as the
+        default reservoir walk, phrased to consume exactly the draws
+        the vectorised engine consumes so both resolve identically
+        under :mod:`repro.obs.replay`.
+        """
+        stats = self.stats
+        keys = self._keys
+        vals = self._vals
+        js = [self._hash[i](key) for i in range(self.d)]
+        for i, j in enumerate(js):
+            if keys[i][j] == key:
+                vals[i][j] += size
+                stats.matched += 1
+                stats.candidate_scans += i + 1
+                return
+        stats.candidate_scans += self.d
+        values = [vals[i][js[i]] for i in range(self.d)]
+        min_v = min(values)
+        tied = [i for i, v in enumerate(values) if v == min_v]
+        rs = self._replay_seed
+        k = int(replay_draw(rs, seq, PURPOSE_TIEBREAK) * len(tied))
+        if k >= len(tied):
+            k = len(tied) - 1
+        min_i = tied[k]
+        min_j = js[min_i]
+        new_v = min_v + size
+        vals[min_i][min_j] = new_v
+        if replay_draw(rs, seq, PURPOSE_ADOPT) * new_v < size:
+            if keys[min_i][min_j] is not None:
+                stats.evictions[min_i] += 1
+            keys[min_i][min_j] = key
+            stats.replacements += 1
+        else:
+            stats.rejects += 1
 
     def query(self, key: int) -> float:
         """Estimated size: sum of values of mapped buckets holding *key*.
@@ -160,6 +230,8 @@ class BasicCocoSketch(Sketch):
         for i in range(self.d):
             self._keys[i] = [None] * self.l
             self._vals[i] = [0] * self.l
+        self._seq = 0
+        self.stats.reset()
 
     def occupancy(self) -> float:
         """Fraction of buckets holding a key (diagnostics)."""

@@ -27,6 +27,8 @@ from typing import Dict, List, Optional
 
 from repro.hashing.family import HashFamily
 from repro.hwsim.approx_div import approx_reciprocal_probability
+from repro.obs.replay import replay_draw, replay_seed
+from repro.obs.stats import CocoStats
 from repro.sketches.base import (
     COUNTER_BYTES,
     DEFAULT_KEY_BYTES,
@@ -45,6 +47,11 @@ class HardwareCocoSketch(Sketch):
             vs. typical error, Fig 17(b)).
         l: Buckets per array.
         seed: Seeds hashes and the replacement RNG.
+        replay: Counter-based deterministic draws with the rule's
+            *unconditional* form (a draw on every array, same-key wins
+            being no-ops) — the exact decision structure the vectorised
+            engine schedules, so state and counters are bit-identical
+            across engines at any batch size.
     """
 
     name = "CocoSketch-HW"
@@ -56,6 +63,7 @@ class HardwareCocoSketch(Sketch):
         seed: int = 0,
         key_bytes: int = DEFAULT_KEY_BYTES,
         hash_backend: str = "mix64",
+        replay: bool = False,
     ) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
@@ -67,6 +75,10 @@ class HardwareCocoSketch(Sketch):
         self._family = HashFamily(d, seed, backend=hash_backend, key_bytes=key_bytes)
         self._hash = self._family.index_fns(l)
         self._rng = random.Random(seed ^ 0xFACADE)
+        self._replay = bool(replay)
+        self._replay_seed = replay_seed(seed ^ 0xFACADE)
+        self._seq = 0
+        self.stats = CocoStats(d)
         self._keys: List[List[Optional[int]]] = [[None] * l for _ in range(d)]
         self._vals: List[List[int]] = [[0] * l for _ in range(d)]
 
@@ -93,8 +105,39 @@ class HardwareCocoSketch(Sketch):
         """Target probability w / V_new (overridden by the P4 variant)."""
         return size / new_value
 
+    def _replace_decision(self, u: float, size: int, new_value: int) -> bool:
+        """Replay-mode win predicate; multiplicative form matches the
+        vectorised engine's ``u * V_new < w`` bit for bit (the P4
+        variant overrides this through its approximate division)."""
+        return u * new_value < size
+
     def update(self, key: int, size: int = 1) -> None:
         """Independent d = 1 update in every array (§4.2 insertion)."""
+        stats = self.stats
+        stats.packets += 1
+        stats.candidate_scans += self.d
+        seq = self._seq
+        self._seq = seq + 1
+        if self._replay:
+            # Unconditional form: one draw per array keyed on (packet,
+            # array); a same-key win rewrites the key in place (no-op).
+            rs = self._replay_seed
+            for i in range(self.d):
+                j = self._hash[i](key)
+                vals_i = self._vals[i]
+                new_v = vals_i[j] + size
+                vals_i[j] = new_v
+                keys_i = self._keys[i]
+                u = replay_draw(rs, seq, i)
+                if self._replace_decision(u, size, new_v):
+                    prev = keys_i[j]
+                    if prev is not None and prev != key:
+                        stats.evictions[i] += 1
+                    keys_i[j] = key
+                    stats.replacements += 1
+                else:
+                    stats.rejects += 1
+            return
         rng = self._rng
         for i in range(self.d):
             j = self._hash[i](key)
@@ -107,7 +150,14 @@ class HardwareCocoSketch(Sketch):
                 # draw is skipped; the decision distribution matches the
                 # unconditional hardware rule exactly.
                 if rng.random() < self._replace_probability(size, new_v):
+                    if keys_i[j] is not None:
+                        stats.evictions[i] += 1
                     keys_i[j] = key
+                    stats.replacements += 1
+                else:
+                    stats.rejects += 1
+            else:
+                stats.matched += 1
 
     def array_estimate(self, i: int, key: int) -> float:
         """Per-array unbiased estimator: value if the key is held, else 0."""
@@ -140,6 +190,8 @@ class HardwareCocoSketch(Sketch):
         for i in range(self.d):
             self._keys[i] = [None] * self.l
             self._vals[i] = [0] * self.l
+        self._seq = 0
+        self.stats.reset()
 
 
 class P4CocoSketch(HardwareCocoSketch):
@@ -163,3 +215,7 @@ class P4CocoSketch(HardwareCocoSketch):
         return approx_reciprocal_probability(
             size, new_value, self.mantissa_bits
         )
+
+    def _replace_decision(self, u: float, size: int, new_value: int) -> bool:
+        """Replay mode keeps the math-unit's approximate probability."""
+        return u < self._replace_probability(size, new_value)

@@ -269,31 +269,51 @@ class ShardedSketch(Sketch):
         batch_size: Optional[int] = None,
     ) -> None:
         """Partition, run the worker pool, and fold the results in."""
-        from repro.core.serialize import load_sketch
+        from repro.core.serialize import load_metrics, load_sketch
         from repro.extensions.merging import merge_cocosketch, merge_many
+        from repro.obs.registry import get_registry
         from repro.parallel import run_sharded
 
-        hi, lo, sizes = _as_full_columns(packets)
-        shard_columns = partition_columns(
-            hi, lo, sizes, self.shards, self.strategy, self.spec.seed
-        )
-        blobs, reports, wall = run_sharded(
-            self.spec,
-            shard_columns,
-            processes=self.processes,
-            batch_size=batch_size or self.batch_size,
-        )
+        reg = get_registry()
+        with reg.span("shard.partition"):
+            hi, lo, sizes = _as_full_columns(packets)
+            shard_columns = partition_columns(
+                hi, lo, sizes, self.shards, self.strategy, self.spec.seed
+            )
+        if reg.enabled:
+            counts = [len(cols[2]) for cols in shard_columns]
+            for shard, count in enumerate(counts):
+                reg.inc(f"shard.{shard}.packets", count)
+            mean = sum(counts) / len(counts)
+            # Partition skew: max shard load over the mean (1.0 = even).
+            reg.set_gauge(
+                "shard.partition.imbalance",
+                max(counts) / mean if mean else 1.0,
+            )
+        with reg.span("shard.workers"):
+            blobs, reports, wall, metrics_blobs = run_sharded(
+                self.spec,
+                shard_columns,
+                processes=self.processes,
+                batch_size=batch_size or self.batch_size,
+                collect_metrics=reg.enabled,
+            )
         self.worker_reports.extend(reports)
         self.wall_elapsed_s += wall
-        merged = merge_many(
-            [load_sketch(blob) for blob in blobs], rng=self._merge_rng
-        )
-        if self._merged is None:
-            self._merged = merged
-        else:
-            self._merged = merge_cocosketch(
-                self._merged, merged, rng=self._merge_rng
+        if reg.enabled:
+            for mblob in metrics_blobs:
+                if mblob is not None:
+                    reg.merge_snapshot(load_metrics(mblob))
+        with reg.span("shard.merge"):
+            merged = merge_many(
+                [load_sketch(blob) for blob in blobs], rng=self._merge_rng
             )
+            if self._merged is None:
+                self._merged = merged
+            else:
+                self._merged = merge_cocosketch(
+                    self._merged, merged, rng=self._merge_rng
+                )
 
     def throughput(self) -> ShardedThroughputResult:
         """Aggregate + per-worker packet rates of all runs so far."""

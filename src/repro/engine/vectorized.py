@@ -47,6 +47,14 @@ import numpy as np
 
 from repro.engine.base import ExecutionEngine, register_engine
 from repro.hashing.family import HashFamily, fold_columns
+from repro.obs.registry import get_registry
+from repro.obs.replay import (
+    PURPOSE_ADOPT,
+    PURPOSE_TIEBREAK,
+    replay_draws,
+    replay_seed,
+)
+from repro.obs.stats import CocoStats
 from repro.sketches.base import (
     COUNTER_BYTES,
     DEFAULT_KEY_BYTES,
@@ -106,6 +114,7 @@ class _ColumnarKeyValueSketch(Sketch):
         seed: int = 0,
         key_bytes: int = DEFAULT_KEY_BYTES,
         rng_salt: int = 0,
+        replay: bool = False,
     ) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
@@ -116,6 +125,10 @@ class _ColumnarKeyValueSketch(Sketch):
         self.key_bytes = key_bytes
         self._family = HashFamily(d, seed, backend="mix64", key_bytes=key_bytes)
         self._rng = np.random.Generator(np.random.PCG64(seed ^ rng_salt))
+        self._replay = bool(replay)
+        self._replay_seed = replay_seed(seed ^ rng_salt)
+        self._seq = 0
+        self.stats = CocoStats(d)
         self._key_hi = np.zeros((d, l), dtype=np.uint64)
         self._key_lo = np.zeros((d, l), dtype=np.uint64)
         self._occupied = np.zeros((d, l), dtype=bool)
@@ -144,6 +157,8 @@ class _ColumnarKeyValueSketch(Sketch):
         self._key_lo[:] = 0
         self._occupied[:] = False
         self._vals[:] = 0
+        self._seq = 0
+        self.stats.reset()
 
     def occupancy(self) -> float:
         """Fraction of buckets holding a key (diagnostics)."""
@@ -168,8 +183,9 @@ class NumpyCocoSketch(_ColumnarKeyValueSketch):
         l: int = 1024,
         seed: int = 0,
         key_bytes: int = DEFAULT_KEY_BYTES,
+        replay: bool = False,
     ) -> None:
-        super().__init__(d, l, seed, key_bytes, rng_salt=0x5EED)
+        super().__init__(d, l, seed, key_bytes, rng_salt=0x5EED, replay=replay)
 
     @classmethod
     def from_memory(
@@ -191,6 +207,11 @@ class NumpyCocoSketch(_ColumnarKeyValueSketch):
         if n == 0:
             return
         d = self.d
+        stats = self.stats
+        stats.packets += n
+        base = self._seq
+        self._seq = base + n
+        obs = get_registry()
         J = self._family.index_arrays(fold_columns(hi, lo), self.l)
         flat = J + self._row_offsets  # (d, n) flat bucket ids
         key_hi = self._key_hi_flat
@@ -198,60 +219,97 @@ class NumpyCocoSketch(_ColumnarKeyValueSketch):
         occupied = self._occupied_flat
         vals = self._vals_flat
         rng = self._rng
+        replay = self._replay
+        epochs = 0
 
-        remaining = np.arange(n)
-        while remaining.size:
-            idx = remaining
-            b = flat[:, idx]  # (d, m) candidate buckets per packet
-            # -- matched adds: key already held by a candidate bucket ----
-            match = (
-                occupied[b]
-                & (key_hi[b] == hi[idx])
-                & (key_lo[b] == lo[idx])
-            )
-            any_match = match.any(axis=0)
-            if any_match.any():
-                cols = np.nonzero(any_match)[0]
-                # First matching array, as in the scalar early return.
-                first_i = np.argmax(match[:, cols], axis=0)
-                np.add.at(vals, b[first_i, cols], w[idx[cols]])
-                keep = ~any_match
-                idx = idx[keep]
-                b = b[:, keep]
-                if idx.size == 0:
-                    break
-            # -- eviction rule on a bucket-disjoint earliest-first set ---
-            m = idx.size
-            entries = b.T.reshape(-1)  # packet-major flatten, len m*d
-            _, first_idx, inverse = np.unique(
-                entries, return_index=True, return_inverse=True
-            )
-            owner = first_idx[inverse] // d  # earliest packet using each bucket
-            selected = (
-                (owner == np.repeat(np.arange(m), d)).reshape(m, d).all(axis=1)
-            )
-            sel = idx[selected]
-            s = sel.size
-            bs = b[:, selected]  # (d, s), disjoint across packets
-            V = vals[bs]
-            minval = V.min(axis=0)
-            # Uniform tie-break among minima (same law as the scalar
-            # reservoir walk): pick the k-th tied bucket, k ~ U{0..ties-1}.
-            ties = V == minval[None, :]
-            cnt = ties.sum(axis=0)
-            kth = np.minimum((rng.random(s) * cnt).astype(np.int64), cnt - 1)
-            chosen_i = np.argmax(np.cumsum(ties, axis=0) > kth[None, :], axis=0)
-            targets = bs[chosen_i, np.arange(s)]
-            ws = w[sel]
-            new_v = minval + ws
-            vals[targets] = new_v
-            # Replacement with probability w / V_new (Theorem 1).
-            adopt = rng.random(s) * new_v < ws
-            ta = targets[adopt]
-            key_hi[ta] = hi[sel][adopt]
-            key_lo[ta] = lo[sel][adopt]
-            occupied[ta] = True
-            remaining = idx[~selected]
+        with obs.span("engine.numpy.basic.update_batch"):
+            remaining = np.arange(n)
+            while remaining.size:
+                epochs += 1
+                idx = remaining
+                b = flat[:, idx]  # (d, m) candidate buckets per packet
+                # -- matched adds: key already held by a candidate bucket
+                match = (
+                    occupied[b]
+                    & (key_hi[b] == hi[idx])
+                    & (key_lo[b] == lo[idx])
+                )
+                any_match = match.any(axis=0)
+                if any_match.any():
+                    cols = np.nonzero(any_match)[0]
+                    # First matching array, as in the scalar early return.
+                    first_i = np.argmax(match[:, cols], axis=0)
+                    np.add.at(vals, b[first_i, cols], w[idx[cols]])
+                    stats.matched += cols.size
+                    stats.candidate_scans += int(first_i.sum()) + cols.size
+                    keep = ~any_match
+                    idx = idx[keep]
+                    b = b[:, keep]
+                    if idx.size == 0:
+                        break
+                # -- eviction rule on a bucket-disjoint earliest-first set
+                m = idx.size
+                entries = b.T.reshape(-1)  # packet-major flatten, len m*d
+                _, first_idx, inverse = np.unique(
+                    entries, return_index=True, return_inverse=True
+                )
+                owner = first_idx[inverse] // d  # earliest packet per bucket
+                selected = (
+                    (owner == np.repeat(np.arange(m), d))
+                    .reshape(m, d)
+                    .all(axis=1)
+                )
+                sel = idx[selected]
+                s = sel.size
+                bs = b[:, selected]  # (d, s), disjoint across packets
+                V = vals[bs]
+                minval = V.min(axis=0)
+                # Uniform tie-break among minima (same law as the scalar
+                # reservoir walk): the k-th tied bucket, k ~ U{0..ties-1}.
+                ties = V == minval[None, :]
+                cnt = ties.sum(axis=0)
+                if replay:
+                    u_tie = replay_draws(
+                        self._replay_seed, base + sel, PURPOSE_TIEBREAK
+                    )
+                    u_adopt = replay_draws(
+                        self._replay_seed, base + sel, PURPOSE_ADOPT
+                    )
+                else:
+                    u_tie = rng.random(s)
+                    u_adopt = rng.random(s)
+                kth = np.minimum((u_tie * cnt).astype(np.int64), cnt - 1)
+                chosen_i = np.argmax(
+                    np.cumsum(ties, axis=0) > kth[None, :], axis=0
+                )
+                targets = bs[chosen_i, np.arange(s)]
+                was_occupied = occupied[targets]
+                ws = w[sel]
+                new_v = minval + ws
+                vals[targets] = new_v
+                # Replacement with probability w / V_new (Theorem 1).
+                adopt = u_adopt * new_v < ws
+                ta = targets[adopt]
+                key_hi[ta] = hi[sel][adopt]
+                key_lo[ta] = lo[sel][adopt]
+                occupied[ta] = True
+                stats.candidate_scans += d * s
+                adopted = int(adopt.sum())
+                stats.replacements += adopted
+                stats.rejects += s - adopted
+                evicting = adopt & was_occupied
+                if evicting.any():
+                    per_array = np.bincount(chosen_i[evicting], minlength=d)
+                    for i in range(d):
+                        stats.evictions[i] += int(per_array[i])
+                remaining = idx[~selected]
+                if obs.enabled:
+                    obs.observe(
+                        "engine.numpy.basic.conflict_set", remaining.size
+                    )
+        if obs.enabled:
+            obs.observe("engine.numpy.basic.epochs_per_batch", epochs)
+            obs.inc("engine.numpy.basic.batches")
 
     def query(self, key: int) -> float:
         """Sum of values of mapped buckets holding *key* (as scalar)."""
@@ -305,8 +363,9 @@ class NumpyHardwareCocoSketch(_ColumnarKeyValueSketch):
         l: int = 1024,
         seed: int = 0,
         key_bytes: int = DEFAULT_KEY_BYTES,
+        replay: bool = False,
     ) -> None:
-        super().__init__(d, l, seed, key_bytes, rng_salt=0xFACADE)
+        super().__init__(d, l, seed, key_bytes, rng_salt=0xFACADE, replay=replay)
 
     @classmethod
     def from_memory(
@@ -327,37 +386,93 @@ class NumpyHardwareCocoSketch(_ColumnarKeyValueSketch):
         n = len(w)
         if n == 0:
             return
+        stats = self.stats
+        stats.packets += n
+        stats.candidate_scans += self.d * n
+        seq_base = self._seq
+        self._seq = seq_base + n
+        obs = get_registry()
         J = self._family.index_arrays(fold_columns(hi, lo), self.l)
         rng = self._rng
+        replay = self._replay
         positions = np.arange(n)
-        for i in range(self.d):
-            j = J[i]
-            order = np.argsort(j, kind="stable")
-            js = j[order]
-            ws = w[order]
-            # Per-packet V_new = bucket value before the batch plus the
-            # running within-group total — exactly the sequential value.
-            csum = np.cumsum(ws)
-            starts = np.empty(n, dtype=bool)
-            starts[0] = True
-            starts[1:] = js[1:] != js[:-1]
-            start_idx = np.nonzero(starts)[0]
-            base = np.where(start_idx > 0, csum[start_idx - 1], 0)
-            group = np.cumsum(starts) - 1
-            v_new = self._vals[i][js] + (csum - base[group])
-            # Unconditional form of the §4.2 rule: with probability
-            # w / V_new the bucket key becomes this packet's key (a
-            # same-key "replacement" is a no-op, so skipping the draw on
-            # a key match — as the scalar code does — is the same law).
-            flag = rng.random(n) * v_new < ws
-            last = np.maximum.reduceat(np.where(flag, positions, -1), start_idx)
-            won = last >= 0
-            buckets = js[start_idx[won]]
-            src = order[last[won]]
-            np.add.at(self._vals[i], j, w)
-            self._key_hi[i][buckets] = hi[src]
-            self._key_lo[i][buckets] = lo[src]
-            self._occupied[i][buckets] = True
+        with obs.span("engine.numpy.hw.update_batch"):
+            for i in range(self.d):
+                j = J[i]
+                order = np.argsort(j, kind="stable")
+                js = j[order]
+                ws = w[order]
+                # Per-packet V_new = bucket value before the batch plus
+                # the running within-group total — exactly the
+                # sequential value.
+                csum = np.cumsum(ws)
+                starts = np.empty(n, dtype=bool)
+                starts[0] = True
+                starts[1:] = js[1:] != js[:-1]
+                start_idx = np.nonzero(starts)[0]
+                base = np.where(start_idx > 0, csum[start_idx - 1], 0)
+                group = np.cumsum(starts) - 1
+                v_new = self._vals[i][js] + (csum - base[group])
+                # Unconditional form of the §4.2 rule: with probability
+                # w / V_new the bucket key becomes this packet's key (a
+                # same-key "replacement" is a no-op, so skipping the
+                # draw on a key match — as the scalar code does — is
+                # the same law).
+                if replay:
+                    # Draw keyed on (packet seq, array) in sorted
+                    # layout, matching the scalar replay path exactly.
+                    u = replay_draws(self._replay_seed, seq_base + order, i)
+                else:
+                    u = rng.random(n)
+                flag = u * v_new < ws
+                # -- decision counters, sequential-equivalent ---------
+                # Wins within a bucket group occur in arrival order
+                # (the sort is stable), so an eviction is a win whose
+                # predecessor key — previous win in the group, or the
+                # pre-batch bucket content for the group's first win —
+                # is an occupied, *different* key.  All reads precede
+                # the key writes below.
+                widx = np.nonzero(flag)[0]
+                stats.replacements += widx.size
+                stats.rejects += n - widx.size
+                if widx.size:
+                    wg = group[widx]
+                    first_win = np.empty(widx.size, dtype=bool)
+                    first_win[0] = True
+                    first_win[1:] = wg[1:] != wg[:-1]
+                    wb = js[widx]
+                    src_w = order[widx]
+                    whi = hi[src_w]
+                    wlo = lo[src_w]
+                    prev_occ = np.empty(widx.size, dtype=bool)
+                    prev_hi = np.empty(widx.size, dtype=np.uint64)
+                    prev_lo = np.empty(widx.size, dtype=np.uint64)
+                    fsel = wb[first_win]
+                    prev_occ[first_win] = self._occupied[i][fsel]
+                    prev_hi[first_win] = self._key_hi[i][fsel]
+                    prev_lo[first_win] = self._key_lo[i][fsel]
+                    nf = np.nonzero(~first_win)[0]
+                    prev_occ[nf] = True
+                    prev_hi[nf] = whi[nf - 1]
+                    prev_lo[nf] = wlo[nf - 1]
+                    evict = prev_occ & ((prev_hi != whi) | (prev_lo != wlo))
+                    stats.evictions[i] += int(evict.sum())
+                last = np.maximum.reduceat(
+                    np.where(flag, positions, -1), start_idx
+                )
+                won = last >= 0
+                buckets = js[start_idx[won]]
+                src = order[last[won]]
+                np.add.at(self._vals[i], j, w)
+                self._key_hi[i][buckets] = hi[src]
+                self._key_lo[i][buckets] = lo[src]
+                self._occupied[i][buckets] = True
+                if obs.enabled:
+                    obs.observe(
+                        "engine.numpy.hw.conflict_groups", start_idx.size
+                    )
+        if obs.enabled:
+            obs.inc("engine.numpy.hw.batches")
 
     def array_estimate(self, i: int, key: int) -> float:
         """Per-array unbiased estimator: value if the key is held, else 0."""

@@ -33,6 +33,7 @@ from typing import Optional, Sequence, TypeVar
 
 import numpy as np
 
+from repro.obs.registry import get_registry
 from repro.sketches.base import Sketch
 
 _MERGE_SALT = 0x6E56E
@@ -109,13 +110,25 @@ def _blank_like(sketch: SketchT) -> SketchT:
 
 def _merge_scalar(a: SketchT, b: SketchT, rng: random.Random) -> SketchT:
     merged = _blank_like(a)
+    coinflips = 0
     for i in range(a.d):
+        a_keys = a._keys[i]
+        b_keys = b._keys[i]
         for j in range(a.l):
+            ka = a_keys[j]
+            kb = b_keys[j]
+            if ka is not None and kb is not None and ka != kb:
+                coinflips += 1
             key, val = _fold_bucket(
-                rng, a._keys[i][j], a._vals[i][j], b._keys[i][j], b._vals[i][j]
+                rng, ka, a._vals[i][j], kb, b._vals[i][j]
             )
             merged._keys[i][j] = key
             merged._vals[i][j] = val
+    reg = get_registry()
+    if reg.enabled:
+        reg.inc("merge.operations")
+        reg.inc("merge.buckets", a.d * a.l)
+        reg.inc("merge.coinflips", coinflips)
     return merged
 
 
@@ -138,6 +151,16 @@ def _merge_columnar(a: SketchT, b: SketchT, rng: random.Random) -> SketchT:
     merged._occupied[:] = use_a | use_b
     merged._key_hi[:] = np.where(use_a, a._key_hi, np.where(use_b, b._key_hi, 0))
     merged._key_lo[:] = np.where(use_a, a._key_lo, np.where(use_b, b._key_lo, 0))
+    reg = get_registry()
+    if reg.enabled:
+        decisive = (
+            a._occupied
+            & b._occupied
+            & ((a._key_hi != b._key_hi) | (a._key_lo != b._key_lo))
+        )
+        reg.inc("merge.operations")
+        reg.inc("merge.buckets", a.d * a.l)
+        reg.inc("merge.coinflips", int(decisive.sum()))
     return merged
 
 

@@ -1,0 +1,78 @@
+"""Observability layer: metrics, timed spans, deterministic replay.
+
+Everything the pipeline records about itself flows through one
+process-local :class:`MetricsRegistry` — counters, gauges, fixed-edge
+(mergeable) histograms and timed spans.  The default registry is a
+no-op singleton, so instrumentation costs nothing until a caller opts
+in::
+
+    from repro import obs
+
+    with obs.collecting() as reg:
+        sketch.process(trace)
+    print(obs.format_snapshot(reg.snapshot()))
+
+The CLI exposes the same switch as ``--metrics-out``/``--profile``;
+sharded workers build their own registry and ship snapshots back over
+the :mod:`repro.core.serialize` wire format, folded into the
+collector's registry per shard.
+
+Submodules:
+
+* :mod:`repro.obs.registry` — instruments, snapshots, merge rules.
+* :mod:`repro.obs.stats` — always-on per-sketch decision counters.
+* :mod:`repro.obs.replay` — counter-based deterministic draws for the
+  cross-engine differential tests.
+* :mod:`repro.obs.schema` — snapshot validation (also a CLI tool).
+"""
+
+from repro.obs.registry import (
+    DEFAULT_EDGES,
+    NULL_REGISTRY,
+    SCHEMA,
+    TIME_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SpanStats,
+    collecting,
+    format_snapshot,
+    get_registry,
+    set_registry,
+)
+from repro.obs.replay import (
+    PURPOSE_ADOPT,
+    PURPOSE_TIEBREAK,
+    replay_draw,
+    replay_draws,
+    replay_seed,
+)
+from repro.obs.schema import SchemaError, validate_snapshot
+from repro.obs.stats import CocoStats
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "NULL_REGISTRY",
+    "SCHEMA",
+    "TIME_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanStats",
+    "CocoStats",
+    "SchemaError",
+    "collecting",
+    "format_snapshot",
+    "get_registry",
+    "set_registry",
+    "replay_draw",
+    "replay_draws",
+    "replay_seed",
+    "PURPOSE_ADOPT",
+    "PURPOSE_TIEBREAK",
+    "validate_snapshot",
+]

@@ -1,0 +1,153 @@
+"""Schema validation for metrics snapshots (``repro.obs.metrics/v1``).
+
+The snapshot produced by :meth:`MetricsRegistry.snapshot` — and written
+by the CLI's ``--metrics-out`` — is a flat JSON document:
+
+.. code-block:: text
+
+    {
+      "schema":   "repro.obs.metrics/v1",
+      "counters": {name: int, ...},
+      "gauges":   {name: float, ...},
+      "histograms": {
+        name: {"edges": [float...],        # ascending, fixed
+               "counts": [int...],         # len(edges) + 1 buckets
+               "count": int, "sum": float,
+               "min": float|null, "max": float|null}, ...},
+      "spans": {
+        name: {"count": int, "total_s": float,
+               "min_s": float|null, "max_s": float|null}, ...},
+      "meta": {...}                         # optional, free-form
+    }
+
+:func:`validate_snapshot` enforces exactly this shape (CI validates the
+smoke run's export with it), and the module doubles as a tool::
+
+    python -m repro.obs.schema metrics.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+from repro.obs.registry import SCHEMA
+
+
+class SchemaError(ValueError):
+    """A snapshot document violating ``repro.obs.metrics/v1``."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _check_mapping(snap: Dict, section: str) -> Dict:
+    value = snap.get(section)
+    _require(isinstance(value, dict), f"{section!r} must be an object")
+    for name in value:
+        _require(
+            isinstance(name, str) and name,
+            f"{section!r} keys must be non-empty strings",
+        )
+    return value
+
+
+def _check_number(value, path: str, allow_none: bool = False) -> None:
+    if allow_none and value is None:
+        return
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{path} must be a number" + (" or null" if allow_none else ""),
+    )
+
+
+def _check_count(value, path: str) -> None:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+        f"{path} must be a non-negative integer",
+    )
+
+
+def validate_snapshot(snap: Dict) -> None:
+    """Raise :class:`SchemaError` unless *snap* is a valid v1 snapshot."""
+    _require(isinstance(snap, dict), "snapshot must be a JSON object")
+    _require(
+        snap.get("schema") == SCHEMA,
+        f"schema must be {SCHEMA!r}, got {snap.get('schema')!r}",
+    )
+    for name, value in _check_mapping(snap, "counters").items():
+        _check_count(value, f"counters[{name!r}]")
+    for name, value in _check_mapping(snap, "gauges").items():
+        _check_number(value, f"gauges[{name!r}]")
+
+    for name, h in _check_mapping(snap, "histograms").items():
+        path = f"histograms[{name!r}]"
+        _require(isinstance(h, dict), f"{path} must be an object")
+        edges = h.get("edges")
+        _require(
+            isinstance(edges, list) and len(edges) >= 1,
+            f"{path}.edges must be a non-empty array",
+        )
+        for e in edges:
+            _check_number(e, f"{path}.edges[]")
+        _require(
+            edges == sorted(edges), f"{path}.edges must be ascending"
+        )
+        counts = h.get("counts")
+        _require(
+            isinstance(counts, list) and len(counts) == len(edges) + 1,
+            f"{path}.counts must be an array of len(edges)+1 buckets",
+        )
+        for c in counts:
+            _check_count(c, f"{path}.counts[]")
+        _check_count(h.get("count"), f"{path}.count")
+        _require(
+            sum(counts) == h["count"],
+            f"{path}: bucket counts sum to {sum(counts)}, "
+            f"count says {h['count']}",
+        )
+        _check_number(h.get("sum"), f"{path}.sum")
+        _check_number(h.get("min"), f"{path}.min", allow_none=True)
+        _check_number(h.get("max"), f"{path}.max", allow_none=True)
+
+    for name, s in _check_mapping(snap, "spans").items():
+        path = f"spans[{name!r}]"
+        _require(isinstance(s, dict), f"{path} must be an object")
+        _check_count(s.get("count"), f"{path}.count")
+        _check_number(s.get("total_s"), f"{path}.total_s")
+        _check_number(s.get("min_s"), f"{path}.min_s", allow_none=True)
+        _check_number(s.get("max_s"), f"{path}.max_s", allow_none=True)
+
+    if "meta" in snap:
+        _require(isinstance(snap["meta"], dict), "'meta' must be an object")
+
+
+def main(argv: List[str] = None) -> int:
+    """Validate snapshot files given as arguments; exit 0 iff all pass."""
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m repro.obs.schema <snapshot.json> ...")
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            with open(path) as fh:
+                snap = json.load(fh)
+            validate_snapshot(snap)
+        except (OSError, json.JSONDecodeError, SchemaError) as exc:
+            print(f"{path}: INVALID — {exc}")
+            status = 1
+        else:
+            sections = ", ".join(
+                f"{len(snap.get(k, {}))} {k}"
+                for k in ("counters", "gauges", "histograms", "spans")
+            )
+            print(f"{path}: ok ({sections})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

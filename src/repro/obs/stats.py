@@ -1,0 +1,108 @@
+"""Always-on per-sketch update-path counters.
+
+Every CocoSketch (scalar and columnar) carries a :class:`CocoStats`
+and bumps it on the update path.  These are plain python ints — a few
+adds per packet on the scalar path, a few array reductions per batch
+on the numpy path — so they stay on even when the metrics registry is
+disabled; the registry is only the aggregation/export layer
+(:meth:`CocoStats.publish`).
+
+Counter semantics (shared by every engine, so the differential tests
+can compare them bit for bit under replay mode):
+
+* ``packets`` — updates consumed.
+* ``matched`` — updates absorbed by a bucket already holding the key
+  (basic rule's early return; 0 for the hardware rule's unconditional
+  accounting, which never checks).
+* ``candidate_scans`` — candidate buckets examined at commit time: the
+  basic rule scans arrays until the first match (or all ``d`` when
+  evicting), the hardware rule always touches all ``d``.
+* ``replacements`` — coin flips won: the bucket's key became the
+  packet's key (includes adoption of empty buckets; for the hardware
+  rule's unconditional form, also same-key wins).
+* ``rejects`` — coin flips lost (value incremented, key kept).
+* ``evictions`` — per-array counts of replacements that displaced a
+  *different, occupied* key — the destructive subset of
+  ``replacements``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class CocoStats:
+    """Update-path decision counters for one CocoSketch instance."""
+
+    __slots__ = (
+        "packets",
+        "matched",
+        "candidate_scans",
+        "replacements",
+        "rejects",
+        "evictions",
+    )
+
+    def __init__(self, d: int) -> None:
+        self.packets = 0
+        self.matched = 0
+        self.candidate_scans = 0
+        self.replacements = 0
+        self.rejects = 0
+        #: Per-array eviction counts, index = array number.
+        self.evictions: List[int] = [0] * d
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(self.evictions)
+
+    def as_dict(self) -> Dict:
+        return {
+            "packets": self.packets,
+            "matched": self.matched,
+            "candidate_scans": self.candidate_scans,
+            "replacements": self.replacements,
+            "rejects": self.rejects,
+            "evictions": list(self.evictions),
+        }
+
+    def merge(self, other: "CocoStats") -> None:
+        """Fold another sketch's counters in (sharded collection)."""
+        self.packets += other.packets
+        self.matched += other.matched
+        self.candidate_scans += other.candidate_scans
+        self.replacements += other.replacements
+        self.rejects += other.rejects
+        if len(other.evictions) != len(self.evictions):
+            raise ValueError(
+                f"array-count mismatch: {len(self.evictions)} vs "
+                f"{len(other.evictions)}"
+            )
+        for i, count in enumerate(other.evictions):
+            self.evictions[i] += count
+
+    def publish(self, registry, prefix: str = "coco.") -> None:
+        """Export into a :class:`~repro.obs.registry.MetricsRegistry`."""
+        registry.inc(f"{prefix}packets", self.packets)
+        registry.inc(f"{prefix}matched", self.matched)
+        registry.inc(f"{prefix}candidate_scans", self.candidate_scans)
+        registry.inc(f"{prefix}replacements", self.replacements)
+        registry.inc(f"{prefix}rejects", self.rejects)
+        for i, count in enumerate(self.evictions):
+            registry.inc(f"{prefix}evictions.array{i}", count)
+
+    def reset(self) -> None:
+        self.packets = 0
+        self.matched = 0
+        self.candidate_scans = 0
+        self.replacements = 0
+        self.rejects = 0
+        self.evictions = [0] * len(self.evictions)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CocoStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return f"CocoStats({self.as_dict()!r})"

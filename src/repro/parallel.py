@@ -32,9 +32,10 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.serialize import dump_sketch
+from repro.core.serialize import dump_metrics, dump_sketch
 from repro.hashing.family import mix64
 from repro.metrics.throughput import WorkerThroughput
+from repro.obs.registry import MetricsRegistry, set_registry
 from repro.sketches.base import DEFAULT_BATCH_SIZE, Sketch, iter_batch
 
 _WORKER_RNG_SALT = 0x51A8D
@@ -98,16 +99,36 @@ def _feed_columns(
         sketch.update_batch((hi[start:stop], lo[start:stop]), sizes[start:stop])
 
 
-def _run_worker(payload) -> Tuple[int, bytes, int, float]:
+def _run_worker(payload) -> Tuple[int, bytes, int, float, Optional[bytes]]:
     """Pool entry point: build, reseed, consume, serialise (picklable)."""
-    spec, shard, hi, lo, sizes, batch_size = payload
+    spec, shard, hi, lo, sizes, batch_size, collect = payload
     sketch = spec.build()
     if shard:
         _reseed_sketch(sketch, spec.seed, shard)
-    start = time.perf_counter()
-    _feed_columns(sketch, hi, lo, sizes, batch_size)
-    elapsed = time.perf_counter() - start
-    return shard, dump_sketch(sketch), len(sizes), elapsed
+    metrics_blob = None
+    if collect:
+        # Worker-local registry: collected here, shipped back as a wire
+        # blob, folded into the collector's registry per shard.
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            start = time.perf_counter()
+            _feed_columns(sketch, hi, lo, sizes, batch_size)
+            elapsed = time.perf_counter() - start
+            registry.inc("worker.packets", len(sizes))
+            stats = getattr(sketch, "stats", None)
+            if stats is not None:
+                stats.publish(registry, prefix="sketch.")
+            metrics_blob = dump_metrics(
+                registry.snapshot(meta={"shard": shard})
+            )
+        finally:
+            set_registry(previous)
+    else:
+        start = time.perf_counter()
+        _feed_columns(sketch, hi, lo, sizes, batch_size)
+        elapsed = time.perf_counter() - start
+    return shard, dump_sketch(sketch), len(sizes), elapsed, metrics_blob
 
 
 def _pool_size(processes: Union[bool, int, None], shards: int) -> int:
@@ -127,7 +148,8 @@ def run_sharded(
     shard_columns: Sequence[ShardColumns],
     processes: Union[bool, int, None] = True,
     batch_size: Optional[int] = None,
-) -> Tuple[List[bytes], List[WorkerThroughput], float]:
+    collect_metrics: bool = False,
+) -> Tuple[List[bytes], List[WorkerThroughput], float, List[Optional[bytes]]]:
     """Run one engine-backed sketch per shard and gather their state.
 
     Args:
@@ -140,14 +162,20 @@ def run_sharded(
             results, no pool overhead).
         batch_size: Per-worker ``update_batch`` slice; ``None`` lets
             each sketch route itself exactly like ``Sketch.process``.
+        collect_metrics: When true each worker installs its own
+            :class:`~repro.obs.registry.MetricsRegistry`, publishes its
+            sketch's decision counters into it, and ships the snapshot
+            back as a :func:`~repro.core.serialize.dump_metrics` blob.
 
     Returns:
-        ``(blobs, reports, wall_elapsed_s)`` — serialized sketch state
-        and per-worker timing in shard order, plus the wall-clock time
-        of the whole scatter/process/gather section.
+        ``(blobs, reports, wall_elapsed_s, metrics_blobs)`` — serialized
+        sketch state and per-worker timing in shard order, the
+        wall-clock time of the whole scatter/process/gather section, and
+        per-shard metrics blobs (``None`` entries unless
+        ``collect_metrics``).
     """
     payloads = [
-        (spec, shard, hi, lo, sizes, batch_size)
+        (spec, shard, hi, lo, sizes, batch_size, collect_metrics)
         for shard, (hi, lo, sizes) in enumerate(shard_columns)
     ]
     pool_size = _pool_size(processes, len(payloads))
@@ -160,9 +188,10 @@ def run_sharded(
         outs = [_run_worker(p) for p in payloads]
     wall_elapsed = time.perf_counter() - wall_start
     outs.sort(key=lambda item: item[0])
-    blobs = [blob for _, blob, _, _ in outs]
+    blobs = [blob for _, blob, _, _, _ in outs]
     reports = [
         WorkerThroughput(shard=shard, packets=packets, elapsed_s=elapsed)
-        for shard, _, packets, elapsed in outs
+        for shard, _, packets, elapsed, _ in outs
     ]
-    return blobs, reports, wall_elapsed
+    metrics_blobs = [mblob for _, _, _, _, mblob in outs]
+    return blobs, reports, wall_elapsed, metrics_blobs

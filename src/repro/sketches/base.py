@@ -26,6 +26,8 @@ from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.registry import get_registry
+
 #: Per-bucket key storage in bytes; the 5-tuple full key is 104 bits.
 DEFAULT_KEY_BYTES = 13
 #: Per-bucket counter storage in bytes (32-bit, as in the paper's code).
@@ -154,28 +156,31 @@ class Sketch(abc.ABC):
         """
         if batch_size is None and self.vectorized:
             batch_size = DEFAULT_BATCH_SIZE
-        if batch_size is not None:
-            if batch_size < 1:
-                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-            batches = getattr(packets, "batches", None)
-            if batches is not None:
-                for hi, lo, sizes in batches(batch_size):
-                    self.update_batch((hi, lo), sizes)
-                return
-            keys: list = []
-            sizes: list = []
-            for key, size in packets:
-                keys.append(key)
-                sizes.append(size)
-                if len(keys) >= batch_size:
+        with get_registry().span("sketch.process"):
+            if batch_size is not None:
+                if batch_size < 1:
+                    raise ValueError(
+                        f"batch_size must be >= 1, got {batch_size}"
+                    )
+                batches = getattr(packets, "batches", None)
+                if batches is not None:
+                    for hi, lo, sizes in batches(batch_size):
+                        self.update_batch((hi, lo), sizes)
+                    return
+                keys: list = []
+                sizes: list = []
+                for key, size in packets:
+                    keys.append(key)
+                    sizes.append(size)
+                    if len(keys) >= batch_size:
+                        self.update_batch(keys, sizes)
+                        keys, sizes = [], []
+                if keys:
                     self.update_batch(keys, sizes)
-                    keys, sizes = [], []
-            if keys:
-                self.update_batch(keys, sizes)
-            return
-        update = self.update
-        for key, size in packets:
-            update(key, size)
+                return
+            update = self.update
+            for key, size in packets:
+                update(key, size)
 
     def reset(self) -> None:
         """Clear all state.  Subclasses with cheap re-init may override."""

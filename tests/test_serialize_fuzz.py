@@ -1,0 +1,216 @@
+"""Property/fuzz tests for the wire format (:mod:`repro.core.serialize`).
+
+Hypothesis drives random geometry, random traffic and random header
+corruption through every wire kind — the five sketch kinds (0-4) and
+the metrics-snapshot kind (5) — asserting two properties:
+
+* **Round-trip fixpoint** — ``dump(load(dump(x))) == dump(x)`` for
+  sketches (byte equality is the strongest state-identity check the
+  codec offers) and ``load(dump(snap)) == snap`` for metrics snapshots.
+* **Corruption rejection** — any header mutation (magic, version, kind,
+  truncation, geometry/length lies) raises :class:`SerializationError`,
+  never a garbage sketch or a non-codec exception.
+"""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cocosketch import BasicCocoSketch
+from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
+from repro.core.serialize import (
+    METRICS_KIND,
+    SerializationError,
+    _HEADER,
+    dump_metrics,
+    dump_sketch,
+    load_metrics,
+    load_sketch,
+)
+from repro.engine.vectorized import NumpyCocoSketch, NumpyHardwareCocoSketch
+from repro.obs.registry import MetricsRegistry
+
+ALL_SKETCH_CLASSES = [
+    BasicCocoSketch,
+    HardwareCocoSketch,
+    P4CocoSketch,
+    NumpyCocoSketch,
+    NumpyHardwareCocoSketch,
+]
+
+#: Small geometry keeps each example fast while still exercising
+#: multi-array layouts and partially filled buckets.
+geometries = st.tuples(st.integers(1, 3), st.sampled_from([4, 16, 33]))
+packet_lists = st.lists(
+    st.tuples(st.integers(0, 2**104 - 1), st.integers(1, 1 << 20)),
+    min_size=0,
+    max_size=60,
+)
+
+
+def _build(cls, d, l, seed, packets):
+    sketch = cls(d=d, l=l, seed=seed)
+    for key, size in packets:
+        sketch.update(key, size)
+    return sketch
+
+
+class TestSketchRoundTrip:
+    @pytest.mark.parametrize("cls", ALL_SKETCH_CLASSES)
+    @given(geometry=geometries, seed=st.integers(0, 2**32), packets=packet_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_dump_load_dump_is_fixpoint(self, cls, geometry, seed, packets):
+        d, l = geometry
+        sketch = _build(cls, d, l, seed, packets)
+        blob = dump_sketch(sketch)
+        restored = load_sketch(blob)
+        assert type(restored) is type(sketch)
+        assert dump_sketch(restored) == blob
+        assert restored.flow_table() == sketch.flow_table()
+
+
+class TestMetricsRoundTrip:
+    snapshot_ops = st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("inc"),
+                st.text("abc.xyz", min_size=1, max_size=12),
+                st.integers(0, 1 << 40),
+            ),
+            st.tuples(
+                st.just("gauge"),
+                st.text("abc.xyz", min_size=1, max_size=12),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+            ),
+            st.tuples(
+                st.just("observe"),
+                st.text("abc.xyz", min_size=1, max_size=12),
+                st.floats(0, 1e9, allow_nan=False),
+            ),
+        ),
+        max_size=30,
+    )
+
+    @given(ops=snapshot_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_roundtrip(self, ops):
+        registry = MetricsRegistry()
+        for op, name, value in ops:
+            if op == "inc":
+                registry.inc(name, value)
+            elif op == "gauge":
+                registry.set_gauge(name, value)
+            else:
+                registry.observe(name, value)
+        snapshot = registry.snapshot(meta={"source": "fuzz"})
+        assert load_metrics(dump_metrics(snapshot)) == json.loads(
+            json.dumps(snapshot)
+        )
+
+    def test_empty_snapshot_roundtrip(self):
+        snapshot = MetricsRegistry().snapshot()
+        assert load_metrics(dump_metrics(snapshot)) == snapshot
+
+    def test_kind_mismatch_both_directions(self):
+        sketch_blob = dump_sketch(BasicCocoSketch(1, 4, seed=0))
+        metrics_blob = dump_metrics(MetricsRegistry().snapshot())
+        with pytest.raises(SerializationError, match="use load_sketch"):
+            load_metrics(sketch_blob)
+        with pytest.raises(SerializationError, match="use load_metrics"):
+            load_sketch(metrics_blob)
+
+
+def _valid_sketch_blob():
+    sketch = _build(BasicCocoSketch, 2, 16, 7, [(i * 97, i + 1) for i in range(40)])
+    return dump_sketch(sketch)
+
+
+class TestCorruptionRejection:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_header_mutations_rejected(self, data):
+        blob = bytearray(_valid_sketch_blob())
+        mutation = data.draw(
+            st.sampled_from(
+                ["magic", "version", "kind", "seed_count", "truncate", "extend"]
+            )
+        )
+        if mutation == "magic":
+            pos = data.draw(st.integers(0, 3))
+            blob[pos] ^= data.draw(st.integers(1, 255))
+        elif mutation == "version":
+            struct.pack_into("<H", blob, 4, data.draw(st.integers(2, 0xFFFF)))
+        elif mutation == "kind":
+            blob[6] = data.draw(st.integers(6, 255))
+        elif mutation == "seed_count":
+            # Header seed count must equal d; lie about it.
+            struct.pack_into(
+                "<H", blob, _HEADER.size - 2, data.draw(st.integers(3, 100))
+            )
+        elif mutation == "truncate":
+            cut = data.draw(st.integers(1, len(blob) - 1))
+            blob = blob[:cut]
+        else:
+            blob += bytes(data.draw(st.integers(1, 64)))
+        with pytest.raises(SerializationError):
+            load_sketch(bytes(blob))
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_metrics_mutations_rejected(self, data):
+        blob = bytearray(dump_metrics(MetricsRegistry().snapshot()))
+        mutation = data.draw(
+            st.sampled_from(
+                ["magic", "version", "kind", "length", "truncate", "payload"]
+            )
+        )
+        if mutation == "magic":
+            blob[data.draw(st.integers(0, 3))] ^= data.draw(st.integers(1, 255))
+        elif mutation == "version":
+            struct.pack_into("<H", blob, 4, data.draw(st.integers(2, 0xFFFF)))
+        elif mutation == "kind":
+            blob[6] = data.draw(
+                st.integers(0, 255).filter(lambda k: k != METRICS_KIND)
+            )
+        elif mutation == "length":
+            # Declared payload length disagrees with the actual bytes.
+            (declared,) = struct.unpack_from("<I", blob, _HEADER.size)
+            lie = data.draw(
+                st.integers(0, 1 << 20).filter(lambda v: v != declared)
+            )
+            struct.pack_into("<I", blob, _HEADER.size, lie)
+        elif mutation == "truncate":
+            cut = data.draw(st.integers(1, len(blob) - 1))
+            blob = blob[:cut]
+        else:
+            # Valid header + length, payload is not JSON.
+            junk = data.draw(st.binary(min_size=1, max_size=40).filter(
+                lambda b: not _is_json_object(b)
+            ))
+            blob = bytearray(
+                blob[: _HEADER.size]
+                + struct.pack("<I", len(junk))
+                + junk
+            )
+        with pytest.raises(SerializationError):
+            load_metrics(bytes(blob))
+
+    def test_non_dict_json_payload_rejected(self):
+        payload = b"[1, 2, 3]"
+        blob = (
+            _HEADER.pack(b"CCSK", 1, METRICS_KIND, 0, 0, 0, 0)
+            + struct.pack("<I", len(payload))
+            + payload
+        )
+        with pytest.raises(SerializationError, match="JSON object"):
+            load_metrics(blob)
+
+
+def _is_json_object(raw: bytes) -> bool:
+    try:
+        return isinstance(json.loads(raw.decode("utf-8")), dict)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return False

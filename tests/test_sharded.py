@@ -199,10 +199,13 @@ class TestShardedPipeline:
         spec = SketchSpec(engine="scalar", d=2, l=128, seed=6)
         hi, lo, sizes = _columns(tiny_trace)
         parts = partition_columns(hi, lo, sizes, 3, "hash", spec.seed)
-        blobs, reports, wall = run_sharded(spec, parts, processes=False)
+        blobs, reports, wall, metrics_blobs = run_sharded(
+            spec, parts, processes=False
+        )
         assert [r.shard for r in reports] == [0, 1, 2]
         assert sum(r.packets for r in reports) == len(sizes)
         assert wall >= 0.0
+        assert metrics_blobs == [None, None, None]
         assert all(
             load_sketch(blob).flow_table() is not None for blob in blobs
         )

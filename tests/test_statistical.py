@@ -1,9 +1,12 @@
 """Statistical tests of the §5 guarantees (Monte-Carlo over seeds).
 
 These verify the *distributional* claims: unbiasedness of all three
-CocoSketch variants and of USS (Lemma 3/4), the Lemma 5 variance bound
+CocoSketch variants and of USS (Lemma 3/4) — including Lemma 3's
+arbitrary-partial-key form over randomly sampled key subsets on every
+execution path (scalar, numpy, sharded) — the Lemma 5 variance bound
 for the hardware variant, and the Theorem 4 recall lower bound.  Sample
-sizes are chosen so the checks are stable (fixed seeds, generous z).
+sizes are chosen so the checks are stable (fixed seeds, generous z;
+margins overridable via REPRO_STAT_* — see tests/stat_harness.py).
 """
 
 import pytest
@@ -17,7 +20,13 @@ from repro.analysis.empirical import (
 from repro.core.cocosketch import BasicCocoSketch
 from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
 from repro.core.uss import UnbiasedSpaceSaving
+from repro.engine.sharded import ShardedSketch, SketchSpec
+from repro.engine.vectorized import NumpyCocoSketch
 from repro.traffic.synthetic import zipf_trace
+from tests.stat_harness import (
+    assert_partial_key_unbiased,
+    random_partial_specs,
+)
 
 TRIALS = 60
 
@@ -86,6 +95,59 @@ class TestUnbiasedness:
         mean, _ = estimate_moments(estimates)
         halfwidth = mean_confidence_halfwidth(estimates, z=3.5)
         assert abs(mean - target_size) <= max(halfwidth, 0.03 * target_size)
+
+
+class TestPartialKeyUnbiasedness:
+    """Lemma 3 over randomly sampled key subsets, all execution paths.
+
+    The same seeded spec sample (src/dst/prefix/port combinations from
+    :func:`random_partial_specs`) gates the scalar reference, the numpy
+    engine and the sharded pipeline, so a bias introduced by batching
+    or by the Theorem 1 merge would surface here.
+    """
+
+    SPECS = random_partial_specs(3, seed=11)
+    PK_TRIALS = 24
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_scalar_partial_keys_unbiased(self, stream, spec):
+        _, trace = stream
+        assert_partial_key_unbiased(
+            lambda seed: BasicCocoSketch(d=2, l=256, seed=seed),
+            trace,
+            spec,
+            trials=self.PK_TRIALS,
+            base_seed=40,
+            label="scalar",
+        )
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_numpy_partial_keys_unbiased(self, stream, spec):
+        _, trace = stream
+        assert_partial_key_unbiased(
+            lambda seed: NumpyCocoSketch(d=2, l=256, seed=seed),
+            trace,
+            spec,
+            trials=self.PK_TRIALS,
+            base_seed=41,
+            label="numpy",
+        )
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_sharded_partial_keys_unbiased(self, stream, spec):
+        _, trace = stream
+        assert_partial_key_unbiased(
+            lambda seed: ShardedSketch(
+                SketchSpec(engine="numpy", d=2, l=256, seed=seed),
+                shards=2,
+                processes=False,
+            ),
+            trace,
+            spec,
+            trials=self.PK_TRIALS,
+            base_seed=42,
+            label="sharded",
+        )
 
 
 class TestVarianceBound:
