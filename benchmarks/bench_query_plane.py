@@ -1,0 +1,196 @@
+"""Query-plane benchmark: columnar vs dict partial-key aggregation.
+
+The §4.3 control plane answers a 1-d HHH query by aggregating the
+full-key flow table onto every SrcIP bit prefix — 33 partial keys (the
+32 prefixes plus the full 5-tuple).  Pre-refactor that was 33 python
+dict walks under ``PartialKeySpec.mapper``; the columnar query plane
+(:mod:`repro.query`) runs one extraction plus 33 vectorised
+projection + sort/reduceat group-bys.  This bench times both paths on
+the same synthetic full-key table and gates the columnar path at >= 5x
+at 100k+ distinct flows.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_query_plane.py`` — records
+  ``results/bench_query_plane.json`` like every other bench.
+* ``python benchmarks/bench_query_plane.py --flows 200000`` —
+  standalone sweep printing the table and writing the same JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.flowkeys.key import FIVE_TUPLE, prefix_hierarchy  # noqa: E402
+from repro.query import ColumnTable, QueryPlanner  # noqa: E402
+
+#: The 1-d HHH query load: every SrcIP prefix plus the full key.
+HHH_SPECS = prefix_hierarchy(FIVE_TUPLE, "SrcIP") + [
+    FIVE_TUPLE.partial(*(f.name for f in FIVE_TUPLE.fields))
+]
+
+#: Acceptance gate: columnar aggregation >= 5x the dict path.
+SPEEDUP_FLOOR = 5.0
+
+HEADERS = ["path", "flows", "specs", "seconds", "speedup"]
+
+
+def synthetic_flow_table(flows: int, seed: int) -> ColumnTable:
+    """A full-key table of *flows* distinct keys with heavy-tailed sizes.
+
+    Keys are uniform over the 104-bit 5-tuple space (deduplicated, so
+    the row count is exact); sizes follow a Pareto tail like the flow
+    tables the sketches actually extract.
+    """
+    rng = np.random.default_rng(seed)
+    n = flows
+    while True:
+        hi = rng.integers(0, 1 << 40, size=n, dtype=np.uint64)
+        lo = rng.integers(0, 1 << 63, size=n, dtype=np.uint64) * 2 + (
+            rng.integers(0, 2, size=n, dtype=np.uint64)
+        )
+        packed = np.stack([hi, lo], axis=1)
+        uniq = np.unique(packed, axis=0)
+        if len(uniq) >= flows:
+            break
+        n += flows - len(uniq) + 16
+    hi, lo = uniq[:flows, 0], uniq[:flows, 1]
+    values = np.floor(rng.pareto(1.1, size=flows) + 1.0)
+    return ColumnTable.from_key_columns(hi, lo, values, FIVE_TUPLE).group()
+
+
+def time_dict_path(sizes: Dict[int, float], specs) -> float:
+    """The pre-refactor control plane: one mapper dict-walk per spec."""
+    start = time.perf_counter()
+    for partial in specs:
+        g = partial.mapper()
+        out: Dict[int, float] = {}
+        for key, size in sizes.items():
+            mapped = g(key)
+            out[mapped] = out.get(mapped, 0.0) + size
+    return time.perf_counter() - start
+
+
+def time_columnar_path(table: ColumnTable, specs) -> float:
+    """The columnar query plane: one planner session over all specs."""
+    start = time.perf_counter()
+    planner = QueryPlanner(table, FIVE_TUPLE)
+    for partial in specs:
+        planner.table(partial)
+    return time.perf_counter() - start
+
+
+def run_bench(flows: int, seed: int = 11, repeats: int = 3) -> Dict:
+    """Best-of-*repeats* timings for both paths on one table."""
+    table = synthetic_flow_table(flows, seed)
+    sizes = table.to_dict()
+
+    # Equality spot-check before timing: both paths must agree exactly.
+    check_spec = HHH_SPECS[len(HHH_SPECS) // 2]
+    g = check_spec.mapper()
+    reference: Dict[int, float] = {}
+    for key, size in sizes.items():
+        mapped = g(key)
+        reference[mapped] = reference.get(mapped, 0.0) + size
+    columnar = QueryPlanner(table, FIVE_TUPLE).sizes(check_spec)
+    if columnar != reference:
+        raise AssertionError(
+            f"columnar != dict aggregation on {check_spec.name}"
+        )
+
+    dict_s = min(time_dict_path(sizes, HHH_SPECS) for _ in range(repeats))
+    col_s = min(
+        time_columnar_path(table, HHH_SPECS) for _ in range(repeats)
+    )
+    speedup = dict_s / col_s
+    rows = [
+        ["dict", flows, len(HHH_SPECS), dict_s, 1.0],
+        ["columnar", flows, len(HHH_SPECS), col_s, speedup],
+    ]
+    return {
+        "flows": flows,
+        "specs": len(HHH_SPECS),
+        "rows": rows,
+        "speedup": speedup,
+    }
+
+
+def test_query_plane_speedup(record):
+    """Pytest entry: 100k-flow 1-d HHH aggregation, columnar >= 5x."""
+    bench = run_bench(flows=100_000)
+    record(
+        "bench_query_plane",
+        "Query plane: dict vs columnar 1-d HHH aggregation (33 specs)",
+        HEADERS,
+        bench["rows"],
+        extra={
+            "flows": bench["flows"],
+            "specs": bench["specs"],
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
+    assert bench["speedup"] >= SPEEDUP_FLOOR, (
+        f"columnar path is only {bench['speedup']:.1f}x the dict path "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--flows", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent
+            / "results"
+            / "bench_query_plane.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    bench = run_bench(args.flows, seed=args.seed, repeats=args.repeats)
+    print(f"{'path':<10} {'flows':>8} {'specs':>6} {'seconds':>9} {'speedup':>8}")
+    for path, flows, specs, seconds, speedup in bench["rows"]:
+        print(
+            f"{path:<10} {flows:>8} {specs:>6} {seconds:>9.3f} "
+            f"{speedup:>7.2f}x"
+        )
+
+    payload = {
+        "title": "Query plane: dict vs columnar 1-d HHH aggregation (33 specs)",
+        "headers": HEADERS,
+        "rows": bench["rows"],
+        "extra": {
+            "flows": bench["flows"],
+            "specs": bench["specs"],
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    }
+    out = Path(args.out)
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2))
+    print(f"\nwrote {out}")
+    if bench["speedup"] < SPEEDUP_FLOOR:
+        print(
+            f"speedup gate FAILED: {bench['speedup']:.1f}x < "
+            f"{SPEEDUP_FLOOR}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

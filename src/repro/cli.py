@@ -33,7 +33,11 @@ from typing import Callable, List
 from repro.core.query import FlowTable
 from repro.engine import available_engines, get_engine
 from repro.flowkeys.key import FIVE_TUPLE, PartialKeySpec, paper_partial_keys
-from repro.metrics.accuracy import evaluate_heavy_hitters
+from repro.metrics.accuracy import (
+    evaluate_heavy_hitters,
+    evaluate_heavy_hitters_columns,
+)
+from repro.query.planner import QueryPlanner
 from repro.obs.registry import (
     MetricsRegistry,
     format_snapshot,
@@ -150,11 +154,11 @@ def _with_metrics(args: argparse.Namespace, body: Callable[[], int]) -> int:
 def _cmd_measure(args: argparse.Namespace) -> int:
     def body() -> int:
         trace, sketch = _load_sketch(args)
-        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        planner = QueryPlanner(sketch, FIVE_TUPLE)
         keys = [parse_key(k) for k in args.key] or paper_partial_keys(6)
         with get_registry().span("cli.aggregate"):
             for partial in keys:
-                agg = table.aggregate(partial)
+                agg = planner.table(partial)
                 print(f"\n== top {args.top} flows on {partial.name} ==")
                 for value, est in agg.top_k(args.top):
                     print(f"  {value:>32x}  ~{est:.0f}")
@@ -165,8 +169,11 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     def body() -> int:
+        from repro.traffic.fast import FastGroundTruth
+
         trace, sketch = _load_sketch(args)
-        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        planner = QueryPlanner(sketch, FIVE_TUPLE)
+        fast = FastGroundTruth(trace)
         keys = [parse_key(k) for k in args.key] or paper_partial_keys(6)
         threshold = args.threshold * trace.total_size
         print(
@@ -175,15 +182,48 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
         with get_registry().span("cli.aggregate"):
             for partial in keys:
-                truth = trace.ground_truth(partial)
-                report = evaluate_heavy_hitters(
-                    table.aggregate(partial).sizes, truth, threshold
-                )
+                table = planner.table(partial)
+                if fast.supported and partial.width <= 64:
+                    truth_keys, truth_totals = fast.ground_truth_columns(
+                        partial
+                    )
+                    report = evaluate_heavy_hitters_columns(
+                        table.words[0],
+                        table.values,
+                        truth_keys,
+                        truth_totals,
+                        threshold,
+                    )
+                else:
+                    report = evaluate_heavy_hitters(
+                        planner.sizes(partial),
+                        trace.ground_truth(partial),
+                        threshold,
+                    )
                 print(
                     f"{partial.name:44s} {report.recall:7.2%} "
                     f"{report.precision:9.2%} {report.f1:6.3f} "
                     f"{report.are:8.4f}"
                 )
+        return 0
+
+    return _with_metrics(args, body)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    def body() -> int:
+        from repro.core.sql import run_query
+
+        trace, sketch = _load_sketch(args)
+        table = FlowTable.from_sketch(sketch, FIVE_TUPLE)
+        with get_registry().span("cli.query"):
+            for statement in args.sql:
+                rows = run_query(statement, table)
+                print(f"\n== {statement} ==")
+                for value, agg in rows:
+                    print(f"  {value:>32x}  {agg:.1f}")
+                if not rows:
+                    print("  (no rows)")
         return 0
 
     return _with_metrics(args, body)
@@ -268,6 +308,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--threshold", type=float, default=1e-4)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    query = sub.add_parser(
+        "query",
+        parents=[common],
+        help="run §4.3 SQL statements against the measured table",
+    )
+    query.add_argument(
+        "--sql",
+        action="append",
+        required=True,
+        help='statement, e.g. "SELECT SrcIP/8, SUM(size) FROM flows '
+        'GROUP BY SrcIP/8 ORDER BY SUM(size) DESC LIMIT 5" (repeatable)',
+    )
+    query.set_defaults(func=_cmd_query)
     return parser
 
 

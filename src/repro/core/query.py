@@ -7,8 +7,15 @@ partial-key query by GROUP BY aggregation under the mapping ``g(.)``
 
     SELECT g(k_F), SUM(Size) FROM table GROUP BY g(k_F)
 
-:class:`FlowTable` is that table, with the aggregation, thresholding and
-top-k operations the measurement tasks need.
+:class:`FlowTable` is that table.  Since the columnar query plane
+(:mod:`repro.query`) it is backed by a
+:class:`~repro.query.columns.ColumnTable` whenever its spec is a real
+key spec: extraction from a sketch is columnar (engine sketches export
+their state arrays directly), ``aggregate`` runs the vectorised
+projection + sort/reduceat group-by, and the ``{key: size}`` dict view
+is materialised lazily only when a consumer asks for it.  Tables over
+opaque specs (e.g. an ad-hoc ``group_by`` mapper result) degrade to the
+plain dict representation with identical semantics.
 """
 
 from __future__ import annotations
@@ -17,7 +24,13 @@ import heapq
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+from repro.query.columns import ColumnTable
 from repro.sketches.base import Sketch
+
+
+def _columnable(spec: object) -> bool:
+    """Can tables over *spec* be held as key-word columns?"""
+    return isinstance(spec, (FullKeySpec, PartialKeySpec))
 
 
 class FlowTable:
@@ -25,38 +38,97 @@ class FlowTable:
 
     A table is either *full-key* (built from a sketch; ``spec`` is the
     :class:`FullKeySpec`) or the result of aggregating onto a partial
-    key (``spec`` is the :class:`PartialKeySpec`).
+    key (``spec`` is the :class:`PartialKeySpec`).  Construct from a
+    dict (``FlowTable(sizes, spec)``), from a sketch
+    (:meth:`from_sketch`, columnar extraction), or from ready columns
+    (:meth:`from_columns`).
     """
 
     def __init__(
         self,
-        sizes: Dict[int, float],
+        sizes: Optional[Dict[int, float]],
         spec: object,
         name: str = "flows",
     ) -> None:
-        self.sizes = sizes
+        self._sizes: Optional[Dict[int, float]] = (
+            sizes if sizes is not None else None
+        )
+        self._columns: Optional[ColumnTable] = None
         self.spec = spec
         self.name = name
 
     @classmethod
+    def from_columns(cls, columns: ColumnTable, name: str = "flows") -> "FlowTable":
+        """Wrap a columnar table (no dict materialisation)."""
+        table = cls(None, columns.spec, name=name)
+        table._columns = columns.group()
+        return table
+
+    @classmethod
     def from_sketch(cls, sketch: Sketch, spec: FullKeySpec) -> "FlowTable":
-        """Step 3: recover the sizes of all recorded full-key flows."""
+        """Step 3: recover the sizes of all recorded full-key flows.
+
+        Columnar when the spec allows it — engine sketches hand over
+        their state arrays without a python-int round trip.
+        """
+        if _columnable(spec):
+            return cls.from_columns(
+                ColumnTable.from_sketch(sketch, spec), name=sketch.name
+            )
         return cls(sketch.flow_table(), spec, name=sketch.name)
 
+    # -- representation management -------------------------------------
+
+    @property
+    def sizes(self) -> Dict[int, float]:
+        """The ``{key: size}`` dict view (materialised lazily, cached)."""
+        if self._sizes is None:
+            columns = self._columns
+            self._sizes = columns.to_dict() if columns is not None else {}
+        return self._sizes
+
+    def columns(self) -> ColumnTable:
+        """The columnar view (packed lazily from the dict, cached)."""
+        if self._columns is None:
+            if not _columnable(self.spec):
+                raise ValueError(
+                    f"table over {self.spec!r} has no columnar form"
+                )
+            self._columns = ColumnTable.from_dict(self.sizes, self.spec)
+        return self._columns
+
+    def _has_columns(self) -> bool:
+        return self._columns is not None or _columnable(self.spec)
+
+    # -- point queries ---------------------------------------------------
+
     def __len__(self) -> int:
-        return len(self.sizes)
+        if self._sizes is not None:
+            return len(self._sizes)
+        return len(self._columns) if self._columns is not None else 0
 
     def query(self, key: int) -> float:
         """Estimated size of one flow (0 for unrecorded flows)."""
+        if self._sizes is None and self._columns is not None:
+            return self._columns.lookup(key)
         return self.sizes.get(key, 0.0)
 
     @property
     def total(self) -> float:
         """Sum of all estimated sizes."""
+        if self._sizes is None and self._columns is not None:
+            return self._columns.total
         return sum(self.sizes.values())
 
+    # -- relational operations -------------------------------------------
+
     def group_by(self, mapper: Callable[[int], int], spec: object = None) -> "FlowTable":
-        """``SELECT mapper(k), SUM(size) ... GROUP BY mapper(k)``."""
+        """``SELECT mapper(k), SUM(size) ... GROUP BY mapper(k)``.
+
+        *mapper* is an arbitrary python callable, so this is the scalar
+        path; :meth:`aggregate` compiles :class:`PartialKeySpec` mappings
+        to the vectorised projection instead.
+        """
         out: Dict[int, float] = {}
         for key, size in self.sizes.items():
             mapped = mapper(key)
@@ -67,14 +139,29 @@ class FlowTable:
         """Step 4: aggregate recorded full-key flows onto *partial*.
 
         Only valid on a full-key table whose spec matches the partial
-        key's full key.
+        key's full key.  Empty tables and all-colliding projections
+        (every prefix length 0) return well-formed tables over
+        *partial* like any other spec.
         """
         if partial.full != self.spec:
             raise ValueError(
                 f"partial key {partial} is not over this table's spec"
             )
         if partial.is_full():
-            return FlowTable(dict(self.sizes), partial, name=self.name)
+            table = FlowTable(None, partial, name=self.name)
+            table._sizes = dict(self._sizes) if self._sizes is not None else None
+            if self._columns is not None:
+                table._columns = ColumnTable(
+                    partial,
+                    self._columns.words,
+                    self._columns.values,
+                    grouped=self._columns.grouped,
+                )
+            return table
+        if self._has_columns():
+            return FlowTable.from_columns(
+                self.columns().aggregate(partial), name=self.name
+            )
         return self.group_by(partial.mapper(), spec=partial)
 
     def combined(self, other: "FlowTable") -> "FlowTable":
@@ -82,25 +169,37 @@ class FlowTable:
 
         Exact on the estimates (addition commutes with the unbiased
         expectation), so combining window tables answers
-        multi-window-total queries without re-measuring.
+        multi-window-total queries without re-measuring.  Disjoint
+        tables union; empty tables are identity elements.
         """
         if other.spec != self.spec:
             raise ValueError("cannot combine tables over different specs")
+        name = f"{self.name}+{other.name}"
+        if self._has_columns():
+            return FlowTable.from_columns(
+                self.columns().concat(other.columns()), name=name
+            )
         sizes = dict(self.sizes)
         for key, size in other.sizes.items():
             sizes[key] = sizes.get(key, 0.0) + size
-        return FlowTable(sizes, self.spec, name=f"{self.name}+{other.name}")
+        return FlowTable(sizes, self.spec, name=name)
+
+    # -- answers -----------------------------------------------------------
 
     def heavy_hitters(self, threshold: float) -> Dict[int, float]:
         """Flows with estimated size >= *threshold* (absolute units)."""
         if threshold < 0:
             raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if self._sizes is None and self._columns is not None:
+            return self._columns.threshold(threshold).to_dict()
         return {k: v for k, v in self.sizes.items() if v >= threshold}
 
     def top_k(self, k: int) -> List[Tuple[int, float]]:
         """The *k* largest flows, descending by estimated size."""
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        if self._sizes is None and self._columns is not None:
+            return self._columns.top_k(k)
         return heapq.nlargest(k, self.sizes.items(), key=lambda kv: kv[1])
 
     def __repr__(self) -> str:
@@ -115,14 +214,20 @@ def partial_key_report(
 ) -> Dict[str, Dict[int, float]]:
     """One-shot convenience: per-partial-key estimated tables.
 
-    Builds the full-key table once and aggregates it onto every requested
-    partial key; with *threshold* each table is cut to heavy hitters.
+    Extracts the full-key columns once (a
+    :class:`~repro.query.planner.QueryPlanner` session) and aggregates
+    onto every requested partial key; with *threshold* each table is cut
+    to heavy hitters.
     """
-    full = FlowTable.from_sketch(sketch, spec)
+    from repro.query.planner import QueryPlanner
+
+    planner = QueryPlanner(sketch, spec)
     report: Dict[str, Dict[int, float]] = {}
     for partial in partial_keys:
-        table = full.aggregate(partial)
+        table = planner.table(partial)
         report[partial.name] = (
-            table.heavy_hitters(threshold) if threshold is not None else table.sizes
+            table.threshold(threshold).to_dict()
+            if threshold is not None
+            else table.to_dict()
         )
     return report

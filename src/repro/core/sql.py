@@ -30,10 +30,14 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.query import FlowTable
 from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+from repro.query.columns import ColumnTable
+from repro.query.project import extract_bits
 
 
 class SqlError(ValueError):
@@ -80,6 +84,36 @@ def _tokenise(text: str) -> List[str]:
     return tokens
 
 
+def _compare_words(
+    vals: "np.ndarray", target: int, op: str
+) -> "np.ndarray":
+    """Elementwise ``vals OP target`` for multi-word unsigned values.
+
+    *vals* is ``(W, n)`` uint64, word 0 least significant; *target* is a
+    non-negative python int of any size (out-of-range targets compare
+    correctly rather than wrapping).
+    """
+    width, n = vals.shape
+    if target >= 1 << (64 * width):
+        full = op in ("<", "<=", "!=")
+        return np.full(n, full, dtype=bool)
+    eq = np.ones(n, dtype=bool)
+    lt = np.zeros(n, dtype=bool)
+    for w in range(width - 1, -1, -1):
+        word = np.uint64((target >> (64 * w)) & 0xFFFFFFFFFFFFFFFF)
+        lt |= eq & (vals[w] < word)
+        eq &= vals[w] == word
+    gt = ~(lt | eq)
+    return {
+        "=": eq,
+        "!=": ~eq,
+        "<": lt,
+        ">": gt,
+        "<=": lt | eq,
+        ">=": gt | eq,
+    }[op]
+
+
 @dataclass
 class _Predicate:
     """``Field[/prefix] OP number`` in the WHERE clause."""
@@ -90,6 +124,7 @@ class _Predicate:
     value: int
 
     def matches(self, spec: FullKeySpec, key: int) -> bool:
+        """Scalar reference semantics (one key at a time)."""
         fld = spec.field(self.field_name)
         shift = spec.shift_of(self.field_name)
         value = (key >> shift) & fld.mask
@@ -104,6 +139,29 @@ class _Predicate:
             "<=": value <= self.value,
         }
         return ops[self.op]
+
+    def mask(self, spec: FullKeySpec, words: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`matches` over full-key word columns."""
+        fld = spec.field(self.field_name)
+        shift = spec.shift_of(self.field_name)
+        if self.prefix is not None:
+            if not 0 <= self.prefix <= fld.width:
+                raise ValueError(
+                    f"prefix length {self.prefix} out of range for field "
+                    f"{fld.name} ({fld.width} bits)"
+                )
+            if self.prefix == 0:
+                keep = _compare_words(
+                    np.zeros((1, 1), dtype=np.uint64), self.value, self.op
+                )[0]
+                return np.full(words.shape[1], keep, dtype=bool)
+            start = shift + (fld.width - self.prefix)
+            length = self.prefix
+        else:
+            start, length = shift, fld.width
+        return _compare_words(
+            extract_bits(words, start, length), self.value, self.op
+        )
 
 
 @dataclass
@@ -270,10 +328,13 @@ def parse_query(text: str) -> Query:
 def run_query(
     text: str, table: FlowTable
 ) -> List[Tuple[int, float]]:
-    """Execute a SELECT over a *full-key* flow table.
+    """Execute a SELECT over a *full-key* flow table, columnar.
 
     Returns ``(group value, aggregate)`` rows, ordered/limited per the
     query.  ``COUNT(*)`` counts recorded full-key flows per group.
+    Execution is entirely vectorised: WHERE predicates become boolean
+    masks over the table's key-word columns, GROUP BY is the shared
+    projection + sort/reduceat aggregation.
     """
     spec = table.spec
     if not isinstance(spec, FullKeySpec):
@@ -285,26 +346,28 @@ def run_query(
         fld = spec.field(name)  # raises KeyError for unknown fields
         selection.append((name, prefix if prefix is not None else fld.width))
     partial = PartialKeySpec(spec, tuple(selection))
-    mapper = partial.mapper()
 
-    groups: Dict[int, float] = {}
-    for key, size in table.sizes.items():
-        if any(
-            not predicate.matches(spec, key)
-            for predicate in query.predicates
-        ):
-            continue
-        group = mapper(key)
-        if query.aggregate == "sum":
-            groups[group] = groups.get(group, 0.0) + size
-        else:
-            groups[group] = groups.get(group, 0.0) + 1
+    columns = table.columns().group()
+    if query.predicates:
+        keep = np.ones(len(columns), dtype=bool)
+        for predicate in query.predicates:
+            keep &= predicate.mask(spec, columns.words)
+        columns = columns.select(keep)
+    if query.aggregate == "count":
+        columns = ColumnTable(
+            spec, columns.words, np.ones(len(columns), dtype=np.float64)
+        )
+    grouped = columns.aggregate(partial)
 
-    rows = list(groups.items())
     if query.having_min is not None:
-        rows = [row for row in rows if row[1] >= query.having_min]
+        grouped = grouped.threshold(query.having_min)
     if query.order_desc is not None:
-        rows.sort(key=lambda row: row[1], reverse=query.order_desc)
+        if query.order_desc:
+            order = np.argsort(-grouped.values, kind="stable")
+        else:
+            order = np.argsort(grouped.values, kind="stable")
+        grouped = grouped.select(order)
+    rows = list(zip(grouped.keys_list(), grouped.values.tolist()))
     if query.limit is not None:
         rows = rows[: query.limit]
     return rows

@@ -198,7 +198,7 @@ def _as_full_columns(
                 np.empty(0, dtype=np.int64),
             )
         return next(batches(n))
-    from repro.traffic.fast import pack_key_columns
+    from repro.flowkeys.columns import pack_key_columns
 
     pairs = list(packets)
     hi, lo = pack_key_columns([k for k, _ in pairs])
@@ -347,6 +347,20 @@ class ShardedSketch(Sketch):
         if self._merged is None:
             return {}
         return self._merged.flow_table()
+
+    def export_columns(self):
+        """Columnar state export of the post-merge sketch.
+
+        Lets the columnar query plane (:mod:`repro.query`) read a
+        sharded measurement without a python-dict round trip when the
+        merged sketch is engine-backed; returns ``None`` (falling back
+        to :meth:`flow_table`) otherwise.
+        """
+        if self._merged is None:
+            empty = np.empty(0, dtype=np.uint64)
+            return empty, empty, np.empty(0, dtype=np.float64)
+        export = getattr(self._merged, "export_columns", None)
+        return export() if export is not None else None
 
     def memory_bytes(self) -> int:
         """Total data-plane footprint across all worker sketches."""

@@ -83,7 +83,7 @@ def as_columns(
         lo = keys.astype(np.uint64, copy=False)
         hi = np.zeros(len(lo), dtype=np.uint64)
     else:
-        from repro.traffic.fast import pack_key_columns
+        from repro.flowkeys.columns import pack_key_columns
 
         hi, lo = pack_key_columns(list(keys))
     if sizes is None:
@@ -163,6 +163,18 @@ class _ColumnarKeyValueSketch(Sketch):
     def occupancy(self) -> float:
         """Fraction of buckets holding a key (diagnostics)."""
         return float(self._occupied.mean())
+
+    def export_columns(self):
+        """Occupied-bucket state as ``(hi, lo, values)`` columns.
+
+        The zero-copy extraction path for the columnar query plane
+        (:mod:`repro.query`): raw bucket entries, duplicates included —
+        grouping by key and summing values reproduces
+        :meth:`flow_table` exactly.  Subclasses whose table is not a
+        plain per-bucket sum (the hardware median) override this.
+        """
+        occ = self._occupied
+        return self._key_hi[occ], self._key_lo[occ], self._vals[occ]
 
 
 class NumpyCocoSketch(_ColumnarKeyValueSketch):
@@ -503,11 +515,17 @@ class NumpyHardwareCocoSketch(_ColumnarKeyValueSketch):
                 estimates.append(0.0)
         return float(np.median(estimates))
 
-    def flow_table(self) -> Dict[int, float]:
-        """(FullKey, Size) table: median estimate per recorded key."""
+    def export_columns(self):
+        """Recorded keys and their median estimates as columns.
+
+        Unlike the basic rule's raw-bucket export, the hardware table
+        is the per-key *median* across arrays, so the export computes
+        it vectorised over the unique recorded keys (no duplicates).
+        """
         occ = self._occupied
         if not occ.any():
-            return {}
+            empty = np.empty(0, dtype=np.uint64)
+            return empty, empty, np.empty(0, dtype=np.float64)
         packed = np.stack([self._key_hi[occ], self._key_lo[occ]], axis=1)
         uniq = np.unique(packed, axis=0)
         u_hi, u_lo = uniq[:, 0], uniq[:, 1]
@@ -521,7 +539,11 @@ class NumpyHardwareCocoSketch(_ColumnarKeyValueSketch):
                 & (self._key_lo[i][j] == u_lo)
             )
             estimates[i] = np.where(hit, self._vals[i][j], 0.0)
-        med = np.median(estimates, axis=0)
+        return u_hi, u_lo, np.median(estimates, axis=0)
+
+    def flow_table(self) -> Dict[int, float]:
+        """(FullKey, Size) table: median estimate per recorded key."""
+        u_hi, u_lo, med = self.export_columns()
         return {
             (h << 64) | lw: float(v)
             for h, lw, v in zip(u_hi.tolist(), u_lo.tolist(), med.tolist())

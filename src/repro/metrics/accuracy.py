@@ -12,7 +12,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, Iterable, Optional
+from typing import AbstractSet, Dict, Iterable, Optional, Tuple
+
+import numpy as np
 
 
 def recall_rate(reported: AbstractSet[int], truth: AbstractSet[int]) -> float:
@@ -83,6 +85,71 @@ class AccuracyReport:
             precision=sum(r.precision for r in items) / n,
             are=sum(r.are for r in items) / n,
         )
+
+
+def heavy_hitter_stats_columns(
+    est_keys: "np.ndarray",
+    est_values: "np.ndarray",
+    truth_keys: "np.ndarray",
+    truth_totals: "np.ndarray",
+    threshold: float,
+) -> Tuple[int, int, int, float]:
+    """Vectorised HH set statistics over sorted-unique key columns.
+
+    Args:
+        est_keys / est_values: Estimated table as ascending unique
+            uint64 keys plus float sizes (a grouped
+            :class:`~repro.query.columns.ColumnTable`'s single key word
+            and values).
+        truth_keys / truth_totals: Exact table in the same shape (e.g.
+            :meth:`~repro.traffic.fast.FastGroundTruth.ground_truth_columns`).
+        threshold: Absolute heavy-hitter threshold.
+
+    Returns ``(n_reported, n_correct, n_hits, are_sum)`` — the raw
+    counts the set metrics are built from, so multi-level tasks (HHH)
+    can micro-average across levels.  Semantics match the dict-based
+    :func:`evaluate_heavy_hitters` exactly: reported = estimated >=
+    threshold, correct = truly >= threshold, ARE summed over the true
+    heavy hitters with missing estimates counted as 0.
+    """
+    reported = est_keys[est_values >= threshold]
+    correct_mask = truth_totals >= threshold
+    correct = truth_keys[correct_mask]
+    correct_totals = truth_totals[correct_mask].astype(np.float64)
+    hits = np.intersect1d(reported, correct, assume_unique=True)
+    are_sum = 0.0
+    if len(correct):
+        est_at = np.zeros(len(correct), dtype=np.float64)
+        if len(est_keys):
+            idx = np.minimum(
+                np.searchsorted(est_keys, correct), len(est_keys) - 1
+            )
+            found = est_keys[idx] == correct
+            est_at = np.where(found, est_values[idx], 0.0)
+        are_sum = float(
+            (np.abs(est_at - correct_totals) / correct_totals).sum()
+        )
+    return len(reported), len(correct), len(hits), are_sum
+
+
+def evaluate_heavy_hitters_columns(
+    est_keys: "np.ndarray",
+    est_values: "np.ndarray",
+    truth_keys: "np.ndarray",
+    truth_totals: "np.ndarray",
+    threshold: float,
+) -> AccuracyReport:
+    """Columnar :func:`evaluate_heavy_hitters` (same report, no dicts)."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    n_reported, n_correct, n_hits, are_sum = heavy_hitter_stats_columns(
+        est_keys, est_values, truth_keys, truth_totals, threshold
+    )
+    return AccuracyReport(
+        recall=n_hits / n_correct if n_correct else 1.0,
+        precision=n_hits / n_reported if n_reported else 1.0,
+        are=are_sum / n_correct if n_correct else 0.0,
+    )
 
 
 def evaluate_heavy_hitters(

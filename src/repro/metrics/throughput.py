@@ -183,7 +183,7 @@ def columnar_batches(
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    from repro.traffic.fast import pack_key_columns
+    from repro.flowkeys.columns import pack_key_columns
 
     stream = list(packets)
     out: List[Tuple[Tuple[np.ndarray, np.ndarray], np.ndarray]] = []

@@ -1,0 +1,29 @@
+"""Columnar query plane: vectorised partial-key answers (§4.3).
+
+The update path (:mod:`repro.engine`) went columnar first; this package
+is the read side of the same bargain.  Sketch state is extracted once
+per query session into a :class:`~repro.query.columns.ColumnTable` —
+``(key words, value)`` numpy columns — the paper's mapping ``g(.)``
+becomes vectorised shift/mask projection
+(:mod:`repro.query.project`), and aggregation / heavy hitters / top-k
+become sort+reduceat group-bys.  A :class:`~repro.query.planner.QueryPlanner`
+on top shares the extraction and memoizes per-spec projections, which is
+what makes many-query workloads (HHH grids, subset-lattice scans, SQL)
+scale with the vectorised ingest.
+"""
+
+from repro.query.columns import ColumnTable
+from repro.query.planner import QueryPlanner
+from repro.query.project import (
+    ProjectionPlan,
+    extract_bits,
+    project_words,
+)
+
+__all__ = [
+    "ColumnTable",
+    "QueryPlanner",
+    "ProjectionPlan",
+    "extract_bits",
+    "project_words",
+]

@@ -1,0 +1,118 @@
+"""Query planner: one extraction, many memoized partial-key queries.
+
+Partial-key workloads are many-query by nature — an HHH grid poses 33
+(1-d) or 1089 (2-d) specs against one sketch, a subset-lattice scan
+poses 2**fields, and the SQL front-end re-poses whatever the operator
+types.  The planner amortises them:
+
+* the sketch's state is extracted to a :class:`ColumnTable` **once**
+  per query session (``export_columns`` on engine sketches, a single
+  dict pack otherwise);
+* each :class:`PartialKeySpec`'s projection + aggregation runs once and
+  is memoized, so re-posing a spec (HHH levels shared between grids,
+  repeated SQL) is a cache hit;
+* every step is observable under the ``repro.obs.metrics/v1`` schema:
+  ``query.extractions``, ``query.cache.hits`` / ``query.cache.misses``,
+  ``query.groupby.rows`` / ``query.groupby.groups`` histograms, and
+  ``query.extract`` / ``query.aggregate`` spans.
+
+Memoization pays whenever a spec repeats or a dict view is consumed
+more than once; for one-shot single-spec queries the planner is a thin
+wrapper costing one dict lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+from repro.obs.registry import get_registry
+from repro.query.columns import ColumnTable
+
+
+class QueryPlanner:
+    """Caching facade over one measurement's columnar state.
+
+    Args:
+        source: A :class:`~repro.sketches.base.Sketch` (extracted on
+            first use) or a ready :class:`ColumnTable` over *spec*.
+        spec: The full key the source records.
+    """
+
+    def __init__(self, source, spec: FullKeySpec) -> None:
+        self.spec = spec
+        self._sketch = None
+        self._base: Optional[ColumnTable] = None
+        if isinstance(source, ColumnTable):
+            self._base = source.group()
+        else:
+            self._sketch = source
+        self._tables: Dict[PartialKeySpec, ColumnTable] = {}
+        self._dicts: Dict[PartialKeySpec, Dict[int, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_sketch(cls, sketch, spec: FullKeySpec) -> "QueryPlanner":
+        return cls(sketch, spec)
+
+    def invalidate(self) -> None:
+        """Drop all cached state (call after the sketch absorbs traffic)."""
+        if self._sketch is not None:
+            self._base = None
+        self._tables.clear()
+        self._dicts.clear()
+
+    @property
+    def base(self) -> ColumnTable:
+        """The full-key table, extracted from the sketch exactly once."""
+        if self._base is None:
+            obs = get_registry()
+            with obs.span("query.extract"):
+                self._base = ColumnTable.from_sketch(self._sketch, self.spec)
+            obs.inc("query.extractions")
+        return self._base
+
+    def table(self, partial: PartialKeySpec) -> ColumnTable:
+        """Aggregated columnar table for *partial* (memoized)."""
+        cached = self._tables.get(partial)
+        obs = get_registry()
+        if cached is not None:
+            self.hits += 1
+            obs.inc("query.cache.hits")
+            return cached
+        self.misses += 1
+        obs.inc("query.cache.misses")
+        base = self.base
+        with obs.span("query.aggregate"):
+            if partial.is_full():
+                table = base
+            else:
+                table = base.aggregate(partial)
+        if obs.enabled:
+            obs.observe("query.groupby.rows", len(base))
+            obs.observe("query.groupby.groups", len(table))
+        self._tables[partial] = table
+        return table
+
+    def sizes(self, partial: PartialKeySpec) -> Dict[int, float]:
+        """Dict view of :meth:`table` (materialised once per spec)."""
+        cached = self._dicts.get(partial)
+        if cached is not None:
+            return cached
+        sizes = self.table(partial).to_dict()
+        self._dicts[partial] = sizes
+        return sizes
+
+    def cache_info(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "cached_specs": len(self._tables),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryPlanner(spec={self.spec}, cached={len(self._tables)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

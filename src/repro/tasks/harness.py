@@ -19,8 +19,9 @@ from __future__ import annotations
 import abc
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.core.query import FlowTable
 from repro.flowkeys.key import FullKeySpec, PartialKeySpec
+from repro.query.columns import ColumnTable
+from repro.query.planner import QueryPlanner
 from repro.sketches.base import Sketch
 from repro.sketches.multikey import MultiKeySketchBank
 from repro.sketches.rhhh import RandomizedHHH
@@ -38,6 +39,15 @@ class Estimator(abc.ABC):
     @abc.abstractmethod
     def table(self, partial: PartialKeySpec) -> Dict[int, float]:
         """Estimated ``{partial_value: size}`` for one measured key."""
+
+    def column_table(self, partial: PartialKeySpec) -> Optional[ColumnTable]:
+        """Columnar table for one measured key, when supported.
+
+        Estimator families without a shared full-key sketch (per-key
+        banks, R-HHH levels) answer ``None`` and the tasks fall back to
+        the dict path; results are identical either way.
+        """
+        return None
 
 
 class FullKeyEstimator(Estimator):
@@ -90,7 +100,7 @@ class FullKeyEstimator(Estimator):
         self.spec = spec
         self.name = sketch.name
         self.batch_size = batch_size
-        self._full_table: "FlowTable | None" = None
+        self._planner: Optional[QueryPlanner] = None
 
     def process(
         self,
@@ -100,12 +110,21 @@ class FullKeyEstimator(Estimator):
         self.sketch.process(
             packets, batch_size=batch_size or self.batch_size
         )
-        self._full_table = None  # invalidate cache
+        if self._planner is not None:
+            self._planner.invalidate()
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The query session: one extraction, memoized aggregations."""
+        if self._planner is None:
+            self._planner = QueryPlanner(self.sketch, self.spec)
+        return self._planner
 
     def table(self, partial: PartialKeySpec) -> Dict[int, float]:
-        if self._full_table is None:
-            self._full_table = FlowTable.from_sketch(self.sketch, self.spec)
-        return self._full_table.aggregate(partial).sizes
+        return self.planner.sizes(partial)
+
+    def column_table(self, partial: PartialKeySpec) -> Optional[ColumnTable]:
+        return self.planner.table(partial)
 
 
 class PerKeyEstimator(Estimator):

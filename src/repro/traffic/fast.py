@@ -17,28 +17,18 @@ many partial keys.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.flowkeys.columns import pack_key_columns
 from repro.flowkeys.key import PartialKeySpec
 from repro.traffic.trace import Trace
 
+__all__ = ["FastGroundTruth", "pack_key_columns"]
+
 _U64 = np.uint64
 _MASK64 = (1 << 64) - 1
-
-
-def pack_key_columns(keys: Sequence[int]) -> Tuple["np.ndarray", "np.ndarray"]:
-    """Split packed integer keys (up to 128 bits) into uint64 columns.
-
-    Returns ``(hi, lo)`` arrays with ``key = (hi << 64) | lo``.  This is
-    the columnar key representation shared by :class:`FastGroundTruth`,
-    :meth:`Trace.batches` and the vectorised execution engines.
-    """
-    n = len(keys)
-    hi = np.fromiter(((k >> 64) & _MASK64 for k in keys), dtype=_U64, count=n)
-    lo = np.fromiter((k & _MASK64 for k in keys), dtype=_U64, count=n)
-    return hi, lo
 
 
 class FastGroundTruth:
@@ -107,8 +97,25 @@ class FastGroundTruth:
             )
         if not self.supported or partial.width > 64:
             return self.trace.ground_truth(partial)
+        uniq, totals = self.ground_truth_columns(partial)
+        return dict(zip(uniq.tolist(), totals.tolist()))
+
+    def ground_truth_columns(
+        self, partial: PartialKeySpec
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Exact aggregation as ``(unique partial keys, totals)`` arrays.
+
+        Only for supported specs with ``partial.width <= 64`` (the
+        vectorised accuracy scoring path); :meth:`ground_truth` routes
+        through here and handles the fallbacks.
+        """
+        if not self.supported or partial.width > 64:
+            raise ValueError(
+                f"columnar ground truth needs a <=64-bit partial over a "
+                f"<=128-bit spec, got {partial} over {self.trace.spec}"
+            )
         mapped = self._mapped_columns(partial)
         uniq, inverse = np.unique(mapped, return_inverse=True)
         totals = np.zeros(len(uniq), dtype=np.int64)
         np.add.at(totals, inverse, self._flow_totals)
-        return dict(zip(uniq.tolist(), totals.tolist()))
+        return uniq, totals

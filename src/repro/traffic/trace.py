@@ -108,7 +108,7 @@ class Trace:
             )
         if self._columns is None:
             # Imported here: fast.py imports Trace for its constructor type.
-            from repro.traffic.fast import pack_key_columns
+            from repro.flowkeys.columns import pack_key_columns
 
             hi, lo = pack_key_columns(self.keys)
             if self.sizes is None:
