@@ -1,28 +1,38 @@
 """Engine microbenchmark: scalar vs numpy packets/sec by batch size,
-plus the sharded-pipeline scaling sweep.
+plus the sharded-pipeline and staged-pipeline sweeps.
 
 Times the full update path of both execution engines — basic and
 hardware CocoSketch — on a Zipf trace, sweeping the numpy engine across
 batch sizes.  This is the acceptance gauge for the batched columnar
 engine: at the default 4096-packet batch the numpy basic CocoSketch
-must clear 5x the scalar engine on a 500k-packet trace.
+must clear 5x the scalar engine on a 500k-packet trace.  A large-batch
+guard (``LARGE_BATCH_FLOOR``) fails the sweep if throughput at the
+biggest batch drops below the mid-batch rate — the cache cliff the
+staged pipeline's chunking exists to prevent.
 
 The shard sweep runs the same trace through the sharded multi-worker
 pipeline (:mod:`repro.engine.sharded`) at 1/2/4/8 workers, recording
-aggregate and wall-clock packet rates, load imbalance, and the SrcIP
-heavy-hitter ARE of the merged sketch; its acceptance gate is that the
-4-worker ARE stays within the statistical-harness margin of the
-single-sketch reference while aggregate throughput scales above 1x.
+capacity and wall-clock packet rates, the driver-efficiency ratio
+between them (gated at ``DRIVER_EFFICIENCY_FLOOR`` when run at full
+scale), load imbalance, and the SrcIP heavy-hitter ARE of the merged
+sketch; its accuracy gate is that the 4-worker ARE stays within the
+statistical-harness margin of the single-sketch reference while fleet
+capacity scales above 1x.
+
+The pipeline sweep times each stage of the staged numpy engine
+(hash → replace → stats) via the ``pipeline.stage.*`` metric spans and
+records the per-stage breakdown with chunk/stall counters.
 
 Runs two ways:
 
 * ``pytest benchmarks/bench_engine_batch.py`` — records
-  ``results/bench_engine_batch.json`` and
-  ``results/bench_shard_sweep.json`` like every other bench (the
+  ``results/bench_engine_batch.json``,
+  ``results/bench_shard_sweep.json``, and
+  ``results/bench_pipeline_stages.json`` like every other bench (the
   smoke sizes trim the traces for CI).
 * ``python benchmarks/bench_engine_batch.py --packets 500000`` —
   standalone sweeps printing the tables and writing the same JSON
-  (``--sweep engine|shards|all`` selects which).
+  (``--sweep engine|shards|obs|pipeline|all`` selects which).
 """
 
 from __future__ import annotations
@@ -77,6 +87,28 @@ def _time_engine(engine_name: str, trace, batch_size, variant: str) -> float:
     return len(trace) / elapsed
 
 
+#: Large-batch guard: numpy pps at the biggest batch must stay within
+#: noise of the mid-batch rate.  The staged pipeline chunks every batch
+#: to a cache-resident size, so the old 65536 cliff (0.69x of the 4096
+#: rate) would trip this immediately; 0.95 leaves room for timer noise.
+LARGE_BATCH_FLOOR = 0.95
+
+
+def _cliff_guard(speedups: Dict[str, float]) -> List[str]:
+    """Large-batch-vs-mid-batch violations (empty = guard passes)."""
+    failures = []
+    mid, large = 4096, max(BATCH_SIZES)
+    for variant in ("basic", "hardware"):
+        ratio = speedups[f"{variant}@{large}"] / speedups[f"{variant}@{mid}"]
+        if ratio < LARGE_BATCH_FLOOR:
+            failures.append(
+                f"{variant}: batch-{large} throughput is {ratio:.3f}x of "
+                f"batch-{mid} (floor {LARGE_BATCH_FLOOR}) — large-batch "
+                "cliff is back"
+            )
+    return failures
+
+
 def run_sweep(packets: int, flows: int, seed: int = 7) -> Dict:
     """Sweep both engines/variants; returns the recorded payload rows."""
     trace = zipf_trace(packets, flows, alpha=1.05, seed=seed)
@@ -95,6 +127,7 @@ def run_sweep(packets: int, flows: int, seed: int = 7) -> Dict:
         "flows": flows,
         "rows": rows,
         "speedups": speedups,
+        "cliff_failures": _cliff_guard(speedups),
     }
 
 
@@ -102,12 +135,20 @@ HEADERS = ["variant", "engine", "batch", "packets_per_sec", "speedup"]
 
 SHARD_HEADERS = [
     "shards",
-    "capacity_pps",
+    "cpu_capacity_pps",
     "wall_pps",
+    "driver_efficiency",
     "capacity_scaling",
     "imbalance",
     "srcip_are",
 ]
+
+#: Streaming-driver acceptance: wall pps at 2 shards must reach 75% of
+#: fleet capacity (the old barrier driver sat at ~45%).  Applied by the
+#: standalone sweep at full scale; the CI-sized pytest entry uses a
+#: looser directional floor because worker spawn cost doesn't amortise
+#: over a 120k-packet trace.
+DRIVER_EFFICIENCY_FLOOR = 0.75
 
 
 def _sharded_are(table: Dict[int, float], truth: Dict[int, float], threshold: float) -> float:
@@ -125,12 +166,14 @@ def run_shard_sweep(
 ) -> Dict:
     """Throughput scaling + merged-sketch accuracy across shard counts.
 
-    Scaling is measured on *capacity* — the sum of per-worker update
-    rates, i.e. what the shard fleet sustains with one core/device per
-    worker — because wall time on the simulation host is bounded by
-    however many cores it happens to have.  The default engine is
-    ``scalar``: the sharded pipeline exists to scale the compute-bound
-    path horizontally (the numpy engine is the SIMD-style answer).
+    Scaling is measured on *CPU capacity* — the sum of per-worker
+    CPU-time rates, i.e. what the shard fleet sustains with one
+    core/device per worker — because wall time on the simulation host
+    is bounded by however many cores it happens to have (the streaming
+    workers genuinely overlap, so wall-span rates just split the host
+    between them).  The default engine is ``scalar``: the sharded
+    pipeline exists to scale the compute-bound path horizontally (the
+    numpy engine is the SIMD-style answer).
 
     Also runs the statistical acceptance gate: over *gate_trials*
     seeded (4-shard, single-sketch) pairs, the sharded SrcIP ARE must
@@ -146,21 +189,24 @@ def run_shard_sweep(
 
     rows: List[List] = []
     base_capacity = None
+    efficiency_at = {}
     for shards in shard_counts:
         sketch = ShardedSketch(spec_for(seed), shards)
         sketch.process(trace)
         result = sketch.throughput()
-        capacity = result.capacity_pps
+        cpu_capacity = result.cpu_capacity_pps
         wall = result.packets / result.wall_elapsed_s
         if base_capacity is None:
-            base_capacity = capacity
+            base_capacity = cpu_capacity
+        efficiency_at[shards] = result.driver_efficiency
         table = FullKeyEstimator(sketch, FIVE_TUPLE).table(partial)
         rows.append(
             [
                 shards,
-                capacity,
+                cpu_capacity,
                 wall,
-                capacity / base_capacity,
+                result.driver_efficiency,
+                cpu_capacity / base_capacity,
                 result.load_imbalance,
                 _sharded_are(table, truth, threshold),
             ]
@@ -184,6 +230,7 @@ def run_shard_sweep(
         "flows": flows,
         "engine": engine,
         "rows": rows,
+        "driver_efficiency": efficiency_at,
         "are_gate": {
             "passed": gate.passed,
             "sharded_mean_are": gate.candidate_mean,
@@ -202,8 +249,15 @@ OBS_HEADERS = ["variant", "plain_pps", "instrumented_pps", "ratio"]
 OBS_OVERHEAD_FLOOR = 0.95
 
 
-def _time_obs(trace, variant: str, batch_size: int, instrumented: bool) -> float:
-    """Packets/sec of the numpy engine, registry on or off."""
+def _time_obs(trace, variant: str, batch_size, instrumented: bool) -> float:
+    """Packets/sec of the numpy engine, registry on or off.
+
+    ``batch_size=None`` runs the engine's default streaming path — the
+    staged pipeline at its own ``pipeline_chunk`` — which is the
+    configuration whose overhead the gate certifies; smaller explicit
+    batches multiply the per-chunk span frequency beyond anything the
+    engine would choose itself.
+    """
     engine = get_engine("numpy")
     if variant == "basic":
         sketch = engine.cocosketch_from_memory(mem_bytes(MEMORY_KB), d=2, seed=7)
@@ -211,7 +265,7 @@ def _time_obs(trace, variant: str, batch_size: int, instrumented: bool) -> float
         sketch = engine.hardware_cocosketch_from_memory(
             mem_bytes(MEMORY_KB), d=2, seed=7
         )
-    for _ in trace.batches(batch_size):
+    for _ in trace.batches(batch_size or sketch.pipeline_chunk):
         break
     if instrumented:
         with obs.collecting():
@@ -240,9 +294,9 @@ def run_obs_overhead(
     for variant in ("basic", "hardware"):
         plain, instrumented = 0.0, 0.0
         for _ in range(repeats):
-            plain = max(plain, _time_obs(trace, variant, 4096, False))
+            plain = max(plain, _time_obs(trace, variant, None, False))
             instrumented = max(
-                instrumented, _time_obs(trace, variant, 4096, True)
+                instrumented, _time_obs(trace, variant, None, True)
             )
         ratio = instrumented / plain
         rows.append([variant, plain, instrumented, ratio])
@@ -253,6 +307,83 @@ def run_obs_overhead(
         "rows": rows,
         "ratios": ratios,
         "floor": OBS_OVERHEAD_FLOOR,
+    }
+
+
+PIPELINE_HEADERS = [
+    "variant",
+    "stage",
+    "chunks",
+    "total_s",
+    "mean_us_per_chunk",
+    "share",
+]
+
+
+def run_pipeline_stages(packets: int, flows: int, seed: int = 7) -> Dict:
+    """Per-stage timing breakdown of the staged numpy pipeline.
+
+    Runs each numpy variant's ``process`` path under a metrics registry,
+    validates the snapshot against ``repro.obs.metrics/v1``, and turns
+    the ``pipeline.stage.*`` spans into rows: chunk count, total stage
+    seconds, mean microseconds per chunk, and each stage's share of the
+    staged time.  The ring-buffer counters (chunks fed, producer
+    stalls) ride along per variant, so the artifact shows both where
+    the time goes and that backpressure never engaged on a healthy run.
+    """
+    from repro.obs.schema import validate_snapshot
+
+    trace = zipf_trace(packets, flows, alpha=1.05, seed=seed)
+    engine = get_engine("numpy")
+    rows: List[List] = []
+    variants: Dict[str, Dict] = {}
+    for variant, tag in (("basic", "basic"), ("hardware", "hw")):
+        if variant == "basic":
+            sketch = engine.cocosketch_from_memory(
+                mem_bytes(MEMORY_KB), d=2, seed=seed
+            )
+        else:
+            sketch = engine.hardware_cocosketch_from_memory(
+                mem_bytes(MEMORY_KB), d=2, seed=seed
+            )
+        for _ in trace.batches(sketch.pipeline_chunk):
+            break
+        with obs.collecting() as reg:
+            start = time.perf_counter()
+            sketch.process(trace)
+            elapsed = time.perf_counter() - start
+        snap = reg.snapshot()
+        validate_snapshot(snap)
+        stage_spans = {
+            name.split(".")[-1]: span
+            for name, span in snap["spans"].items()
+            if name.startswith("pipeline.stage.")
+        }
+        staged_total = sum(s["total_s"] for s in stage_spans.values()) or 1.0
+        for stage in ("hash", "replace", "stats"):
+            span = stage_spans.get(stage)
+            if span is None:
+                continue
+            rows.append(
+                [
+                    variant,
+                    stage,
+                    span["count"],
+                    span["total_s"],
+                    span["total_s"] / max(span["count"], 1) * 1e6,
+                    span["total_s"] / staged_total,
+                ]
+            )
+        variants[variant] = {
+            "chunks": snap["counters"].get(f"pipeline.numpy.{tag}.chunks", 0),
+            "stalls": snap["counters"].get(f"pipeline.numpy.{tag}.stalls", 0),
+            "pps": len(trace) / elapsed,
+        }
+    return {
+        "packets": packets,
+        "flows": flows,
+        "rows": rows,
+        "variants": variants,
     }
 
 
@@ -270,11 +401,16 @@ def test_engine_batch_throughput(record):
     # at CI scale assert the direction with headroom to spare.
     assert sweep["speedups"]["basic@4096"] > 3.0
     assert sweep["speedups"]["hardware@4096"] > 3.0
+    assert not sweep["cliff_failures"], "; ".join(sweep["cliff_failures"])
 
 
 def test_obs_overhead(record):
-    """Pytest entry: instrumented numpy must stay within 5% of plain."""
-    sweep = run_obs_overhead(packets=150_000, flows=40_000)
+    """Pytest entry: instrumented numpy must stay within 5% of plain.
+
+    300k packets keeps each timed run ~25ms+ — at the engines' Mpps
+    rates anything shorter drowns a 5% floor in scheduler noise.
+    """
+    sweep = run_obs_overhead(packets=300_000, flows=60_000)
     record(
         "bench_obs_overhead",
         "Observability overhead: numpy engine with metrics on vs off",
@@ -293,6 +429,27 @@ def test_obs_overhead(record):
         )
 
 
+def test_pipeline_stage_breakdown(record):
+    """Pytest entry: per-stage pipeline timing, schema-validated."""
+    sweep = run_pipeline_stages(packets=120_000, flows=40_000)
+    record(
+        "bench_pipeline_stages",
+        "Staged pipeline: per-stage timing breakdown (numpy engines)",
+        PIPELINE_HEADERS,
+        sweep["rows"],
+        extra={
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "variants": sweep["variants"],
+        },
+    )
+    stages = {(row[0], row[1]) for row in sweep["rows"]}
+    for variant in ("basic", "hardware"):
+        for stage in ("hash", "replace", "stats"):
+            assert (variant, stage) in stages, f"missing span {variant}/{stage}"
+        assert sweep["variants"][variant]["chunks"] > 0
+
+
 def test_shard_sweep_scaling(record):
     """Pytest entry: CI-sized shard sweep, same JSON artifact."""
     sweep = run_shard_sweep(packets=120_000, flows=20_000, gate_trials=3)
@@ -309,19 +466,26 @@ def test_shard_sweep_scaling(record):
         },
     )
     by_shards = {row[0]: row for row in sweep["rows"]}
-    # Fleet capacity must scale above 1x from 1 -> 4 workers.
-    assert by_shards[4][3] > 1.0
+    # Fleet CPU capacity (one core per worker) must scale from 1 -> 4
+    # workers; ~4x in practice, 2x leaves room for per-worker overhead.
+    assert by_shards[4][4] > 2.0
+    # Directional driver-overhead floor; the 0.75 acceptance gate runs
+    # at full standalone scale where spawn cost amortises.
+    assert sweep["driver_efficiency"][2] > 0.5, (
+        f"2-shard driver efficiency {sweep['driver_efficiency'][2]:.2f} "
+        "below the CI directional floor 0.5"
+    )
     assert sweep["are_gate"]["passed"], sweep["are_gate"]["detail"]
 
 
 def _print_shard_sweep(sweep: Dict) -> None:
     print(
-        f"{'shards':>6} {'cap pps':>12} {'wall pps':>12} "
+        f"{'shards':>6} {'cap pps':>12} {'wall pps':>12} {'drv eff':>8} "
         f"{'scaling':>8} {'imbal':>6} {'ARE':>8}"
     )
-    for shards, agg, wall, scaling, imbal, are in sweep["rows"]:
+    for shards, agg, wall, eff, scaling, imbal, are in sweep["rows"]:
         print(
-            f"{shards:>6} {agg:>12.0f} {wall:>12.0f} "
+            f"{shards:>6} {agg:>12.0f} {wall:>12.0f} {eff:>7.0%} "
             f"{scaling:>7.2f}x {imbal:>5.2f}x {are:>8.4f}"
         )
     print(f"ARE gate: {sweep['are_gate']['detail']}")
@@ -334,7 +498,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--sweep",
-        choices=("engine", "shards", "obs", "all"),
+        choices=("engine", "shards", "obs", "pipeline", "all"),
         default="engine",
         help="which sweep(s) to run standalone",
     )
@@ -350,6 +514,10 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--obs-out",
         default=str(Path(__file__).resolve().parent.parent / "results" / "bench_obs_overhead.json"),
+    )
+    parser.add_argument(
+        "--pipeline-out",
+        default=str(Path(__file__).resolve().parent.parent / "results" / "bench_pipeline_stages.json"),
     )
     args = parser.parse_args(argv)
 
@@ -369,6 +537,10 @@ def main(argv: List[str] = None) -> int:
         out.parent.mkdir(exist_ok=True)
         out.write_text(json.dumps(payload, indent=2))
         print(f"\nwrote {out}")
+        if sweep["cliff_failures"]:
+            for failure in sweep["cliff_failures"]:
+                print(f"large-batch guard FAILED: {failure}", file=sys.stderr)
+            return 1
 
     if args.sweep in ("shards", "all"):
         sweep = run_shard_sweep(
@@ -383,6 +555,7 @@ def main(argv: List[str] = None) -> int:
                 "packets": sweep["packets"],
                 "flows": sweep["flows"],
                 "engine": sweep["engine"],
+                "driver_efficiency": sweep["driver_efficiency"],
                 "are_gate": sweep["are_gate"],
             },
         }
@@ -393,6 +566,18 @@ def main(argv: List[str] = None) -> int:
         if not sweep["are_gate"]["passed"]:
             print("shard-sweep ARE gate FAILED", file=sys.stderr)
             return 1
+        # Driver-overhead gate at full scale only: below ~500k packets
+        # the per-worker spawn cost dominates and the ratio is
+        # meaningless (the CI smoke runs at 120k).
+        efficiency = sweep["driver_efficiency"].get(2)
+        if args.packets >= 500_000 and efficiency is not None:
+            if efficiency < DRIVER_EFFICIENCY_FLOOR:
+                print(
+                    f"driver efficiency gate FAILED: {efficiency:.2f} at "
+                    f"2 shards (floor {DRIVER_EFFICIENCY_FLOOR})",
+                    file=sys.stderr,
+                )
+                return 1
 
     if args.sweep in ("obs", "all"):
         sweep = run_obs_overhead(args.packets, args.flows, seed=args.seed)
@@ -419,6 +604,37 @@ def main(argv: List[str] = None) -> int:
         if any(r < OBS_OVERHEAD_FLOOR for r in sweep["ratios"].values()):
             print("obs overhead gate FAILED", file=sys.stderr)
             return 1
+
+    if args.sweep in ("pipeline", "all"):
+        sweep = run_pipeline_stages(args.packets, args.flows, seed=args.seed)
+        print(
+            f"{'variant':<10} {'stage':<8} {'chunks':>7} {'total s':>9} "
+            f"{'us/chunk':>9} {'share':>6}"
+        )
+        for variant, stage, chunks, total_s, mean_us, share in sweep["rows"]:
+            print(
+                f"{variant:<10} {stage:<8} {chunks:>7} {total_s:>9.4f} "
+                f"{mean_us:>9.1f} {share:>5.0%}"
+            )
+        for variant, stats in sweep["variants"].items():
+            print(
+                f"{variant}: {stats['chunks']} chunks, "
+                f"{stats['stalls']} stalls, {stats['pps']:,.0f} pps"
+            )
+        payload = {
+            "title": "Staged pipeline: per-stage timing breakdown (numpy engines)",
+            "headers": PIPELINE_HEADERS,
+            "rows": sweep["rows"],
+            "extra": {
+                "packets": sweep["packets"],
+                "flows": sweep["flows"],
+                "variants": sweep["variants"],
+            },
+        }
+        out = Path(args.pipeline_out)
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2))
+        print(f"\nwrote {out}")
     return 0
 
 

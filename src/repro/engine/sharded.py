@@ -9,14 +9,17 @@ deployment.  This module turns that into a horizontal scaling lever:
    flow lands wholly on one worker, the multi-core NIC/RSS shape) or
    round-robin (flows split across workers; the merge is unbiased
    either way, and tests exercise both).
-2. **Measure** — one engine-backed sketch per shard runs in a
-   ``multiprocessing`` pool (:mod:`repro.parallel`).  Workers share one
-   hash-family seed (mergeable state) but draw replacement decisions
-   from decorrelated streams; state returns through the
-   :mod:`repro.core.serialize` wire format.
-3. **Combine** — the collector folds all worker sketches through the
-   unbiased merge (:func:`repro.extensions.merging.merge_many`), all
-   coin flips from one seeded stream, yielding a single queryable
+2. **Measure** — one engine-backed sketch per shard runs behind a
+   persistent streaming worker (:class:`repro.parallel.StreamDriver`):
+   the driver partitions one stream block while the workers consume the
+   previous one through bounded queues — no per-batch pool barrier.
+   Workers share one hash-family seed (mergeable state) but draw
+   replacement decisions from decorrelated streams; state returns
+   through the :mod:`repro.core.serialize` wire format.
+3. **Combine** — the collector folds worker sketches through the
+   unbiased merge (:func:`repro.extensions.merging.merge_cocosketch`)
+   *incrementally, in shard order, as each worker's state arrives* —
+   all coin flips from one seeded stream, yielding a single queryable
    sketch whose per-flow expectations equal the sum of the shards'.
 
 With one shard the pipeline replays the unsharded execution exactly —
@@ -140,6 +143,7 @@ def shard_assignments(
     shards: int,
     strategy: str = "hash",
     seed: int = 0,
+    offset: int = 0,
 ) -> "np.ndarray":
     """Per-packet shard index (int64 array).
 
@@ -147,7 +151,10 @@ def shard_assignments(
     splitmix64 over the folded key columns — deterministic under
     *seed*, independent of the sketch hash family, and flow-pure
     (every packet of a flow reaches the same worker).  ``round-robin``
-    deals packets in arrival order, splitting flows across workers.
+    deals packets in arrival order, splitting flows across workers;
+    *offset* is the stream position of the first packet, so a streaming
+    driver partitioning block by block deals exactly like a whole-trace
+    call (``hash`` ignores it — key hashes are position-free).
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -157,10 +164,51 @@ def shard_assignments(
         )
     n = len(lo)
     if strategy == "round-robin":
-        return (np.arange(n, dtype=np.int64) % shards).astype(np.int64)
+        return ((offset + np.arange(n, dtype=np.int64)) % shards).astype(
+            np.int64
+        )
     salt = np.uint64(mix64(seed ^ _PARTITION_SALT))
     hashed = mix64_array(fold_columns(hi, lo) ^ salt)
     return (hashed % np.uint64(shards)).astype(np.int64)
+
+
+def _split_by_assignment(
+    hi: "np.ndarray",
+    lo: "np.ndarray",
+    sizes: "np.ndarray",
+    assign: "np.ndarray",
+    shards: int,
+) -> List[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]]:
+    """Split columns into per-shard triples, order-preserving.
+
+    One packed value sort of ``(shard << pos_bits) | position``
+    composites (uint32 when it fits) replaces per-shard boolean masks —
+    a single sort plus three gathers instead of ``3 * shards`` masked
+    copies, the same trick the engine kernels use.  Per-shard outputs
+    are contiguous slices of the gathered arrays.
+    """
+    if shards == 1:
+        return [(hi, lo, sizes)]
+    n = len(assign)
+    counts = np.bincount(assign, minlength=shards)
+    pos_bits = max((n - 1).bit_length(), 1)
+    shard_bits = max((shards - 1).bit_length(), 1)
+    comp = (assign << np.int64(pos_bits)) | np.arange(n, dtype=np.int64)
+    if shard_bits + pos_bits <= 32:
+        c = comp.astype(np.uint32)
+        c.sort()
+        order = (c & np.uint32((1 << pos_bits) - 1)).astype(np.int64)
+    else:
+        comp.sort()
+        order = comp & np.int64((1 << pos_bits) - 1)
+    shi, slo, ssz = hi[order], lo[order], sizes[order]
+    out = []
+    start = 0
+    for shard in range(shards):
+        stop = start + int(counts[shard])
+        out.append((shi[start:stop], slo[start:stop], ssz[start:stop]))
+        start = stop
+    return out
 
 
 def partition_columns(
@@ -170,40 +218,40 @@ def partition_columns(
     shards: int,
     strategy: str = "hash",
     seed: int = 0,
+    offset: int = 0,
 ) -> List[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]]:
     """Split one columnar stream into per-shard streams, order-preserving."""
-    assign = shard_assignments(hi, lo, shards, strategy, seed)
-    out = []
-    for shard in range(shards):
-        mask = assign == shard
-        out.append((hi[mask], lo[mask], sizes[mask]))
-    return out
+    assign = shard_assignments(hi, lo, shards, strategy, seed, offset)
+    return _split_by_assignment(hi, lo, sizes, assign, shards)
 
 
-def _as_full_columns(
-    packets: Iterable[Tuple[int, int]]
-) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
-    """Whole input as one (hi, lo, sizes) column triple.
+def _iter_blocks(
+    packets: Iterable[Tuple[int, int]], block: int
+) -> Iterable[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]]:
+    """Yield the input as (hi, lo, sizes) blocks of at most *block*.
 
     A :class:`~repro.traffic.trace.Trace` supplies (and caches) its own
-    columns; any other ``(key, size)`` iterable is packed here.
+    columns; any other ``(key, size)`` iterable is packed here block by
+    block — the streaming driver never materialises the whole trace.
     """
     batches = getattr(packets, "batches", None)
     if batches is not None:
-        n = len(packets)  # type: ignore[arg-type]
-        if n == 0:
-            return (
-                np.empty(0, dtype=np.uint64),
-                np.empty(0, dtype=np.uint64),
-                np.empty(0, dtype=np.int64),
-            )
-        return next(batches(n))
+        yield from batches(block)
+        return
     from repro.flowkeys.columns import pack_key_columns
 
-    pairs = list(packets)
-    hi, lo = pack_key_columns([k for k, _ in pairs])
-    sizes = np.fromiter((s for _, s in pairs), dtype=np.int64, count=len(pairs))
-    return hi, lo, sizes
+    keys: list = []
+    szs: list = []
+    for key, size in packets:
+        keys.append(key)
+        szs.append(size)
+        if len(keys) >= block:
+            hi, lo = pack_key_columns(keys)
+            yield hi, lo, np.asarray(szs, dtype=np.int64)
+            keys, szs = [], []
+    if keys:
+        hi, lo = pack_key_columns(keys)
+        yield hi, lo, np.asarray(szs, dtype=np.int64)
 
 
 class ShardedSketch(Sketch):
@@ -257,6 +305,7 @@ class ShardedSketch(Sketch):
         self._merge_rng = random.Random(mix64(spec.seed ^ _MERGE_STREAM_SALT))
         self.worker_reports: List[WorkerThroughput] = []
         self.wall_elapsed_s = 0.0
+        self.merge_elapsed_s = 0.0
 
     @property
     def merged(self) -> Optional[Sketch]:
@@ -268,20 +317,91 @@ class ShardedSketch(Sketch):
         packets: Iterable[Tuple[int, int]],
         batch_size: Optional[int] = None,
     ) -> None:
-        """Partition, run the worker pool, and fold the results in."""
+        """Stream the trace through the shard workers, folding results in.
+
+        The steady state is a three-way overlap: the driver partitions
+        stream block *k+1* while the workers' staged pipelines chew on
+        block *k*'s chunks, and each worker's final state is folded into
+        the merged sketch as soon as it (and every lower-numbered
+        shard) arrives — shard order keeps the single seeded merge
+        stream reproducible.  Wall time covers the
+        partition/stream/gather pipeline; the folds run interleaved
+        with still-active workers but their own time is tracked
+        separately (``merge_elapsed_s``), since merging scales with
+        sketch geometry, not packets.
+        """
+        import time
+
         from repro.core.serialize import load_metrics, load_sketch
-        from repro.extensions.merging import merge_cocosketch, merge_many
+        from repro.extensions.merging import merge_cocosketch
         from repro.obs.registry import get_registry
-        from repro.parallel import run_sharded
+        from repro.parallel import StreamDriver, stream_batch_for
 
         reg = get_registry()
-        with reg.span("shard.partition"):
-            hi, lo, sizes = _as_full_columns(packets)
-            shard_columns = partition_columns(
-                hi, lo, sizes, self.shards, self.strategy, self.spec.seed
-            )
+        bs = batch_size or self.batch_size
+        step = stream_batch_for(bs)
+        counts = [0] * self.shards
+        wall_start = time.perf_counter()
+        driver = StreamDriver(
+            self.spec,
+            self.shards,
+            processes=self.processes,
+            batch_size=bs,
+            collect_metrics=reg.enabled,
+        )
+        with reg.span("shard.workers"):
+            offset = 0
+            for bhi, blo, bsizes in _iter_blocks(packets, step):
+                with reg.span("shard.partition"):
+                    parts = partition_columns(
+                        bhi, blo, bsizes, self.shards, self.strategy,
+                        self.spec.seed, offset=offset,
+                    )
+                offset += len(bsizes)
+                for shard, (shi, slo, ssz) in enumerate(parts):
+                    if len(ssz):
+                        counts[shard] += len(ssz)
+                        driver.send(shard, shi, slo, ssz)
+            # Incremental shard-order fold: results arrive in completion
+            # order, but the one seeded merge stream must consume them
+            # in shard order — fold shard k as soon as it and every
+            # lower-numbered shard are in, overlapping the merge with
+            # still-running workers.
+            pending = {}
+            next_fold = 0
+            merge_elapsed = 0.0
+            for result in driver.results():
+                pending[result[0]] = result
+                while next_fold in pending:
+                    shard, blob, packets_n, elapsed, cpu, mblob = (
+                        pending.pop(next_fold)
+                    )
+                    self.worker_reports.append(
+                        WorkerThroughput(
+                            shard=shard,
+                            packets=packets_n,
+                            elapsed_s=elapsed,
+                            cpu_s=cpu,
+                        )
+                    )
+                    if reg.enabled and mblob is not None:
+                        reg.merge_snapshot(load_metrics(mblob))
+                    with reg.span("shard.merge"):
+                        fold_start = time.perf_counter()
+                        sketch = load_sketch(blob)
+                        if self._merged is None:
+                            self._merged = sketch
+                        else:
+                            self._merged = merge_cocosketch(
+                                self._merged, sketch, rng=self._merge_rng
+                            )
+                        merge_elapsed += time.perf_counter() - fold_start
+                    next_fold += 1
+        self.merge_elapsed_s += merge_elapsed
+        self.wall_elapsed_s += (
+            time.perf_counter() - wall_start - merge_elapsed
+        )
         if reg.enabled:
-            counts = [len(cols[2]) for cols in shard_columns]
             for shard, count in enumerate(counts):
                 reg.inc(f"shard.{shard}.packets", count)
             mean = sum(counts) / len(counts)
@@ -290,30 +410,9 @@ class ShardedSketch(Sketch):
                 "shard.partition.imbalance",
                 max(counts) / mean if mean else 1.0,
             )
-        with reg.span("shard.workers"):
-            blobs, reports, wall, metrics_blobs = run_sharded(
-                self.spec,
-                shard_columns,
-                processes=self.processes,
-                batch_size=batch_size or self.batch_size,
-                collect_metrics=reg.enabled,
+            reg.set_gauge(
+                "shard.driver.efficiency", self.throughput().driver_efficiency
             )
-        self.worker_reports.extend(reports)
-        self.wall_elapsed_s += wall
-        if reg.enabled:
-            for mblob in metrics_blobs:
-                if mblob is not None:
-                    reg.merge_snapshot(load_metrics(mblob))
-        with reg.span("shard.merge"):
-            merged = merge_many(
-                [load_sketch(blob) for blob in blobs], rng=self._merge_rng
-            )
-            if self._merged is None:
-                self._merged = merged
-            else:
-                self._merged = merge_cocosketch(
-                    self._merged, merged, rng=self._merge_rng
-                )
 
     def throughput(self) -> ShardedThroughputResult:
         """Aggregate + per-worker packet rates of all runs so far."""
@@ -377,6 +476,7 @@ class ShardedSketch(Sketch):
         self._merged = None
         self.worker_reports = []
         self.wall_elapsed_s = 0.0
+        self.merge_elapsed_s = 0.0
         self._merge_rng = random.Random(
             mix64(self.spec.seed ^ _MERGE_STREAM_SALT)
         )

@@ -47,6 +47,29 @@ def mix64_array(values: "np.ndarray") -> "np.ndarray":
         return z ^ (z >> np.uint64(31))
 
 
+def mix64_into(
+    values: "np.ndarray", out: "np.ndarray", scratch: "np.ndarray"
+) -> "np.ndarray":
+    """Allocation-free :func:`mix64_array`: ``out <- mix64(values)``.
+
+    *out* and *scratch* are caller-owned uint64 arrays of the same
+    length as *values* (``out is values`` is allowed); the hot update
+    path pre-allocates them once per pipeline chunk.  Bit-identical to
+    :func:`mix64_array`.
+    """
+    with np.errstate(over="ignore"):
+        np.add(values, np.uint64(_SM_GAMMA), out=out)
+        np.right_shift(out, np.uint64(30), out=scratch)
+        np.bitwise_xor(out, scratch, out=out)
+        np.multiply(out, np.uint64(_SM_M1), out=out)
+        np.right_shift(out, np.uint64(27), out=scratch)
+        np.bitwise_xor(out, scratch, out=out)
+        np.multiply(out, np.uint64(_SM_M2), out=out)
+        np.right_shift(out, np.uint64(31), out=scratch)
+        np.bitwise_xor(out, scratch, out=out)
+    return out
+
+
 def fold_columns(hi: "np.ndarray", lo: "np.ndarray") -> "np.ndarray":
     """Fold (hi, lo) uint64 key columns into the 64-bit hash input.
 
@@ -163,6 +186,35 @@ class HashFamily:
             seed = np.uint64(self.seeds[i])
             out[i] = (mix64_array(keys ^ seed) % np.uint64(size)).astype(np.int64)
         return out
+
+    def index_arrays_into(
+        self,
+        keys: "np.ndarray",
+        size: int,
+        out: "np.ndarray",
+        z: "np.ndarray",
+        t: "np.ndarray",
+    ) -> None:
+        """Allocation-free :meth:`index_arrays` over pre-folded keys.
+
+        Writes row *i* of *out* (an int64 ``(d, >= n)`` array) for each
+        hash function; *z* and *t* are caller-owned uint64 scratch of
+        length ``n = len(keys)``.  Bit-identical to
+        :meth:`index_arrays` — the staged pipeline's hash stage uses
+        this to keep the hot path free of per-chunk allocation.
+        """
+        if self.backend != "mix64":
+            raise NotImplementedError("vectorised hashing requires mix64")
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        seeds = np.array(self.seeds, dtype=np.uint64)
+        usize = np.uint64(size)
+        n = len(keys)
+        for i in range(self.d):
+            np.bitwise_xor(keys, seeds[i], out=z)
+            mix64_into(z, z, t)
+            np.mod(z, usize, out=z)
+            out[i][:n] = z
 
 
 def uniform_random_stream(seed: int, count: int) -> Sequence[int]:

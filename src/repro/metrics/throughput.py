@@ -22,15 +22,31 @@ from repro._util import percentile
 
 @dataclass(frozen=True)
 class WorkerThroughput:
-    """Update performance of one shard worker (its own timed region)."""
+    """Update performance of one shard worker (its own timed region).
+
+    ``elapsed_s`` is the wall-clock span of the worker's update loop —
+    on an oversubscribed host it includes time the OS gave to other
+    workers, so the derived :attr:`pps` reflects what the worker
+    achieved *running concurrently on this host*.  ``cpu_s`` is the
+    worker process's own CPU time over the same region, immune to
+    preemption — :attr:`cpu_pps` is the rate the worker would sustain
+    with a core to itself (0.0 when the driver didn't record it).
+    """
 
     shard: int
     packets: int
     elapsed_s: float
+    cpu_s: float = 0.0
 
     @property
     def pps(self) -> float:
-        """Packets processed per second inside the worker."""
+        """Packets processed per second inside the worker.
+
+        An idle worker (an empty shard) reports 0.0 rather than an
+        infinite rate, so fleet capacity sums stay finite.
+        """
+        if self.packets == 0:
+            return 0.0
         if self.elapsed_s == 0:
             return float("inf")
         return self.packets / self.elapsed_s
@@ -40,15 +56,32 @@ class WorkerThroughput:
         """Millions of packets per second inside the worker."""
         return self.pps / 1e6
 
+    @property
+    def cpu_pps(self) -> float:
+        """Packets per second of the worker's own CPU time.
+
+        Host-independent: preemption by sibling workers doesn't count
+        against it.  Falls back to the wall-span :attr:`pps` when the
+        driver recorded no CPU time (older drivers, inline runs on
+        interpreters without ``process_time`` resolution).
+        """
+        if self.packets == 0:
+            return 0.0
+        if self.cpu_s <= 0:
+            return self.pps
+        return self.packets / self.cpu_s
+
 
 @dataclass(frozen=True)
 class ShardedThroughputResult:
     """Aggregate + per-worker rates of one sharded measurement run.
 
-    ``wall_elapsed_s`` covers the whole scatter → process → gather →
-    merge pipeline, so ``aggregate_pps`` is the rate a deployment
-    actually observes; per-worker rates time only each worker's own
-    update loop and show how evenly the partitioner spread the load.
+    ``wall_elapsed_s`` covers the partition → stream → gather pipeline
+    (merge time is tracked separately by the sharded facade — it scales
+    with sketch geometry, not packets), so ``aggregate_pps`` is the
+    packet rate the driver actually sustains; per-worker rates time
+    only each worker's own update loop and show how evenly the
+    partitioner spread the load.
     """
 
     workers: Tuple[WorkerThroughput, ...]
@@ -91,8 +124,45 @@ class ShardedThroughputResult:
         return self.capacity_pps / 1e6
 
     @property
+    def cpu_capacity_pps(self) -> float:
+        """Fleet capacity from per-worker CPU time: Σ ``cpu_pps``.
+
+        The host-independent version of :attr:`capacity_pps`: each
+        worker contributes the rate it would sustain with its own core
+        (the paper's one-sketch-per-switch deployment), even when the
+        simulation host time-slices the workers and inflates their
+        wall spans.  Scaling studies should use this; the
+        :attr:`driver_efficiency` ratio deliberately does not — it
+        compares wall rate against what the workers concurrently
+        achieved *here*.
+        """
+        return sum(w.cpu_pps for w in self.workers)
+
+    @property
+    def cpu_capacity_mpps(self) -> float:
+        return self.cpu_capacity_pps / 1e6
+
+    @property
     def worker_pps(self) -> Tuple[float, ...]:
         return tuple(w.pps for w in self.workers)
+
+    @property
+    def driver_efficiency(self) -> float:
+        """Wall rate over fleet capacity: ``aggregate_pps / capacity_pps``.
+
+        1.0 means the driver (partitioning, queueing, gather, merge)
+        added no overhead beyond the workers' own update loops; the gap
+        below 1.0 *is* the driver overhead, reported explicitly instead
+        of leaving callers to infer it from two other numbers.  0.0
+        when no worker did any timed work.
+        """
+        capacity = self.capacity_pps
+        if capacity == 0 or capacity != capacity:  # 0 or NaN
+            return 0.0
+        ratio = self.aggregate_pps / capacity
+        if ratio != ratio:  # inf/inf
+            return 0.0
+        return ratio
 
     @property
     def load_imbalance(self) -> float:
@@ -111,7 +181,8 @@ class ShardedThroughputResult:
             f"{self.shards} worker(s): aggregate {self.aggregate_pps:,.0f} "
             f"pps over {self.packets} packets "
             f"(per-worker pps: [{rates}], "
-            f"imbalance {self.load_imbalance:.2f}x)"
+            f"imbalance {self.load_imbalance:.2f}x, "
+            f"driver efficiency {self.driver_efficiency:.0%})"
         )
 
 

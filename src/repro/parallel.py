@@ -1,23 +1,33 @@
-"""Multi-worker measurement driver: scatter, sketch, gather.
+"""Multi-worker measurement driver: stream, sketch, gather.
 
-This is the process-pool half of the sharded pipeline
+This is the worker-pool half of the sharded pipeline
 (:mod:`repro.engine.sharded` owns partitioning and the queryable
-facade).  Each worker
+facade).  Execution is *streaming*: the driver launches one persistent
+worker per shard group up front, then scatters columnar chunks to them
+through bounded queues while it keeps partitioning the next block — no
+per-batch pool barrier.  Each worker
 
-1. rebuilds its own sketch from a :class:`~repro.engine.sharded.SketchSpec`
-   (same geometry and hash-family seed everywhere, so the results are
-   mergeable),
-2. decorrelates its replacement RNG from the other workers (shard 0
-   keeps the spec's natural stream, which makes a one-shard run
-   bit-identical to an unsharded sketch under the same seed),
-3. consumes its columnar ``(hi, lo, sizes)`` shard through the normal
-   engine update path, timing only that region, and
-4. returns its state as a :mod:`repro.core.serialize` blob — the same
-   wire format a switch would export — plus a
+1. rebuilds its shard sketches from a
+   :class:`~repro.engine.sharded.SketchSpec` (same geometry and
+   hash-family seed everywhere, so the results are mergeable),
+2. decorrelates each shard's replacement RNG from the other shards
+   (shard 0 keeps the spec's natural stream, which makes a one-shard
+   run bit-identical to an unsharded sketch under the same seed),
+3. consumes arriving ``(hi, lo, sizes)`` chunks through the engine's
+   normal streaming path (:meth:`Sketch.process_columns` — the staged
+   pipeline for the numpy engines), timing only that region, and
+4. on end-of-stream returns each shard's state as a
+   :mod:`repro.core.serialize` blob — the same wire format a switch
+   would export — plus a
    :class:`~repro.metrics.throughput.WorkerThroughput` report.
 
-Workers run in a ``multiprocessing`` pool by default; ``processes=False``
-runs them sequentially in-process through the *same* code path
+Backpressure is credit-based end to end: every worker's input queue
+holds at most :data:`WORKER_CREDITS` chunks, so a slow worker stalls
+the driver's scatter loop instead of buffering the whole trace, and
+inside each worker the engine's own ring buffer
+(:mod:`repro.engine.pipeline`) bounds chunks in flight per stage.
+
+``processes=False`` runs the same driver/worker code path inline
 (including the serialise round-trip), so serial and parallel execution
 produce identical sketches — tests exploit this for speed.
 """
@@ -25,10 +35,9 @@ produce identical sketches — tests exploit this for speed.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import random
 import time
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,12 +45,27 @@ from repro.core.serialize import dump_metrics, dump_sketch
 from repro.hashing.family import mix64
 from repro.metrics.throughput import WorkerThroughput
 from repro.obs.registry import MetricsRegistry, set_registry
-from repro.sketches.base import DEFAULT_BATCH_SIZE, Sketch, iter_batch
+from repro.sketches.base import Sketch
 
 _WORKER_RNG_SALT = 0x51A8D
 
+#: Driver scatter granularity in packets.  A power of two and a
+#: multiple of every engine ``pipeline_chunk``, so the chunk boundaries
+#: a worker's staged pipeline sees match an unsharded run's exactly
+#: (the shards=1 bit-identity tests rely on this).
+STREAM_BATCH = 65536
+
+#: Chunks a worker's input queue may hold before the driver's scatter
+#: loop blocks — the process-level analogue of the ring buffer's
+#: credits.
+WORKER_CREDITS = 4
+
 #: One shard's columnar packet stream: (keys_hi, keys_lo, sizes).
 ShardColumns = Tuple["np.ndarray", "np.ndarray", "np.ndarray"]
+
+#: What one shard returns: (shard, sketch blob, packets, elapsed_s,
+#: cpu_s, metrics blob or None).
+ShardResult = Tuple[int, bytes, int, float, float, Optional[bytes]]
 
 
 def worker_seed(base_seed: int, shard: int) -> int:
@@ -68,79 +92,208 @@ def _reseed_sketch(sketch: Sketch, base_seed: int, shard: int) -> None:
         sketch._rng = np.random.Generator(np.random.PCG64(seed))
 
 
-def _feed_columns(
-    sketch: Sketch,
-    hi: "np.ndarray",
-    lo: "np.ndarray",
-    sizes: "np.ndarray",
-    batch_size: Optional[int],
-) -> None:
-    """Drive the engine's normal update path over one shard's columns.
+def stream_batch_for(batch_size: Optional[int]) -> int:
+    """Scatter block size compatible with an explicit worker batch.
 
-    Mirrors :meth:`Sketch.process` routing exactly: vectorised sketches
-    consume batch slices (default 4096), scalar sketches run the plain
-    per-packet loop — so a one-shard run replays the unsharded
-    execution bit for bit.
+    Defaults to :data:`STREAM_BATCH`; with an explicit *batch_size* the
+    block is rounded up to a multiple of it so per-worker batch
+    boundaries stay stream-position invariant.
     """
-    n = len(sizes)
-    if n == 0:
-        return
-    if batch_size is None and sketch.vectorized:
-        batch_size = DEFAULT_BATCH_SIZE
     if batch_size is None:
-        update = sketch.update
-        for key, size in iter_batch((hi, lo), sizes):
-            update(key, size)
-        return
+        return STREAM_BATCH
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    for start in range(0, n, batch_size):
-        stop = start + batch_size
-        sketch.update_batch((hi[start:stop], lo[start:stop]), sizes[start:stop])
+    if batch_size >= STREAM_BATCH:
+        return batch_size
+    return batch_size * (STREAM_BATCH // batch_size)
 
 
-def _run_worker(payload) -> Tuple[int, bytes, int, float, Optional[bytes]]:
-    """Pool entry point: build, reseed, consume, serialise (picklable)."""
-    spec, shard, hi, lo, sizes, batch_size, collect = payload
-    sketch = spec.build()
-    if shard:
-        _reseed_sketch(sketch, spec.seed, shard)
-    metrics_blob = None
-    if collect:
-        # Worker-local registry: collected here, shipped back as a wire
+class _ShardRun:
+    """Worker-side state for one shard: sketch, registry, timing."""
+
+    __slots__ = ("shard", "sketch", "registry", "packets", "elapsed", "cpu")
+
+    def __init__(self, spec, shard: int, collect: bool) -> None:
+        self.shard = shard
+        self.sketch = spec.build()
+        if shard:
+            _reseed_sketch(self.sketch, spec.seed, shard)
+        # Shard-local registry: collected here, shipped back as a wire
         # blob, folded into the collector's registry per shard.
-        registry = MetricsRegistry()
-        previous = set_registry(registry)
+        self.registry = MetricsRegistry() if collect else None
+        self.packets = 0
+        self.elapsed = 0.0
+        self.cpu = 0.0
+
+    def consume(self, hi, lo, sizes, batch_size: Optional[int]) -> None:
+        """Feed one chunk through the engine's streaming path, timed.
+
+        Both clocks run over the same region: wall span (what the
+        worker achieved while concurrent siblings shared the host) and
+        the process's own CPU time (its host-independent capacity).
+        """
+        previous = None
+        if self.registry is not None:
+            previous = set_registry(self.registry)
         try:
             start = time.perf_counter()
-            _feed_columns(sketch, hi, lo, sizes, batch_size)
-            elapsed = time.perf_counter() - start
-            registry.inc("worker.packets", len(sizes))
-            stats = getattr(sketch, "stats", None)
-            if stats is not None:
-                stats.publish(registry, prefix="sketch.")
-            metrics_blob = dump_metrics(
-                registry.snapshot(meta={"shard": shard})
-            )
+            cpu_start = time.process_time()
+            self.sketch.process_columns(hi, lo, sizes, batch_size)
+            self.cpu += time.process_time() - cpu_start
+            self.elapsed += time.perf_counter() - start
         finally:
-            set_registry(previous)
-    else:
-        start = time.perf_counter()
-        _feed_columns(sketch, hi, lo, sizes, batch_size)
-        elapsed = time.perf_counter() - start
-    return shard, dump_sketch(sketch), len(sizes), elapsed, metrics_blob
+            if self.registry is not None:
+                set_registry(previous)
+        self.packets += len(sizes)
+
+    def finalize(self) -> ShardResult:
+        """Serialise state (and metrics) for the trip back to the driver."""
+        metrics_blob = None
+        if self.registry is not None:
+            self.registry.inc("worker.packets", self.packets)
+            stats = getattr(self.sketch, "stats", None)
+            if stats is not None:
+                stats.publish(self.registry, prefix="sketch.")
+            metrics_blob = dump_metrics(
+                self.registry.snapshot(meta={"shard": self.shard})
+            )
+        return (
+            self.shard,
+            dump_sketch(self.sketch),
+            self.packets,
+            self.elapsed,
+            self.cpu,
+            metrics_blob,
+        )
+
+
+def _stream_worker(spec, shards, batch_size, collect, in_q, out_q) -> None:
+    """Process entry point: consume chunks until the end-of-stream mark.
+
+    One worker may own several shards (when the driver runs fewer
+    processes than shards); each keeps its own sketch, registry and
+    timers, so the reports stay per-shard regardless of placement.
+    """
+    runs = {shard: _ShardRun(spec, shard, collect) for shard in shards}
+    while True:
+        message = in_q.get()
+        if message is None:
+            break
+        shard, hi, lo, sizes = message
+        runs[shard].consume(hi, lo, sizes, batch_size)
+    for shard in shards:
+        out_q.put(runs[shard].finalize())
 
 
 def _pool_size(processes: Union[bool, int, None], shards: int) -> int:
-    """Worker process count; 0 means run serially in-process."""
+    """Worker process count; 0 means run serially in-process.
+
+    ``True`` gives every shard its own process — workers must actually
+    run concurrently for the capacity/wall comparison to mean anything,
+    even when the host has fewer cores (contention then shows up in the
+    per-worker timings, as it would in deployment).
+    """
     if processes is True:
-        return min(shards, os.cpu_count() or 1)
+        return shards
     if processes in (False, None):
         return 0
     count = int(processes)
     if count < 0:
         raise ValueError(f"processes must be >= 0, got {processes}")
     return min(count, shards)
+
+
+class StreamDriver:
+    """Scatter columnar chunks to persistent shard workers, gather state.
+
+    The streaming replacement for the old scatter/``pool.map``/gather
+    barrier: workers start once, consume chunks as the driver sends
+    them (overlapping with the driver's partitioning of the next
+    block), and ship their serialized state when :meth:`results` closes
+    the stream.
+
+    Args:
+        spec: Per-worker :class:`~repro.engine.sharded.SketchSpec`.
+        shards: Total shard count; each shard owns one sketch.
+        processes: ``True`` — one OS process per shard; an int — at
+            most that many processes (shards are dealt round-robin
+            across them); ``False``/``None`` — run every shard inline
+            in this process through the same code path.
+        batch_size: Per-worker ``process_columns`` slice; ``None`` lets
+            each engine use its own streaming default.
+        collect_metrics: When true each shard runs under its own
+            :class:`~repro.obs.registry.MetricsRegistry` and ships the
+            snapshot back as a blob.
+    """
+
+    def __init__(
+        self,
+        spec,
+        shards: int,
+        processes: Union[bool, int, None] = True,
+        batch_size: Optional[int] = None,
+        collect_metrics: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self._batch_size = batch_size
+        self._closed = False
+        pool = _pool_size(processes, shards)
+        if pool == 0:
+            self._inline = [
+                _ShardRun(spec, shard, collect_metrics)
+                for shard in range(shards)
+            ]
+            self._queues = None
+            self._procs: List = []
+            return
+        self._inline = None
+        ctx = multiprocessing.get_context()
+        self._out_q = ctx.Queue()
+        self._in_qs = []
+        self._procs = []
+        for w in range(pool):
+            owned = list(range(w, shards, pool))
+            in_q = ctx.Queue(maxsize=WORKER_CREDITS)
+            proc = ctx.Process(
+                target=_stream_worker,
+                args=(spec, owned, batch_size, collect_metrics, in_q, self._out_q),
+            )
+            proc.start()
+            self._in_qs.append(in_q)
+            self._procs.append(proc)
+        # shard -> its owner's input queue
+        self._queues = [self._in_qs[shard % pool] for shard in range(shards)]
+
+    def send(self, shard: int, hi, lo, sizes) -> None:
+        """Ship one chunk to *shard* (blocks when its credits run out)."""
+        if self._closed:
+            raise RuntimeError("driver already closed")
+        if len(sizes) == 0:
+            return
+        if self._inline is not None:
+            self._inline[shard].consume(hi, lo, sizes, self._batch_size)
+            return
+        self._queues[shard].put((shard, hi, lo, sizes))
+
+    def results(self) -> Iterator[ShardResult]:
+        """Close the stream and yield shard results as workers finish.
+
+        Results arrive in completion order (shard order when inline);
+        exactly one per shard, empty shards included.
+        """
+        self._closed = True
+        if self._inline is not None:
+            for run in self._inline:
+                yield run.finalize()
+            return
+        for in_q in self._in_qs:
+            in_q.put(None)
+        for _ in range(self.shards):
+            yield self._out_q.get()
+        for proc in self._procs:
+            proc.join()
 
 
 def run_sharded(
@@ -150,18 +303,23 @@ def run_sharded(
     batch_size: Optional[int] = None,
     collect_metrics: bool = False,
 ) -> Tuple[List[bytes], List[WorkerThroughput], float, List[Optional[bytes]]]:
-    """Run one engine-backed sketch per shard and gather their state.
+    """Run one engine-backed sketch per shard over pre-partitioned columns.
+
+    The batch facade over :class:`StreamDriver` (the sharded facade
+    streams instead — see ``ShardedSketch.process``): chunks each
+    shard's columns at the stream granularity, interleaves the sends
+    across shards so workers fill evenly, and gathers state.
 
     Args:
         spec: The per-worker :class:`~repro.engine.sharded.SketchSpec`.
         shard_columns: One ``(hi, lo, sizes)`` triple per shard, in
             shard order (see ``partition_columns``).
-        processes: ``True`` — one OS process per shard (capped at the
-            CPU count); an int — at most that many processes; ``False``
-            — run every worker sequentially in this process (identical
-            results, no pool overhead).
-        batch_size: Per-worker ``update_batch`` slice; ``None`` lets
-            each sketch route itself exactly like ``Sketch.process``.
+        processes: ``True`` — one OS process per shard; an int — at
+            most that many processes; ``False`` — run every worker
+            sequentially in this process (identical results, no pool
+            overhead).
+        batch_size: Per-worker update slice; ``None`` lets each sketch
+            route itself exactly like ``Sketch.process``.
         collect_metrics: When true each worker installs its own
             :class:`~repro.obs.registry.MetricsRegistry`, publishes its
             sketch's decision counters into it, and ships the snapshot
@@ -174,24 +332,28 @@ def run_sharded(
         per-shard metrics blobs (``None`` entries unless
         ``collect_metrics``).
     """
-    payloads = [
-        (spec, shard, hi, lo, sizes, batch_size, collect_metrics)
-        for shard, (hi, lo, sizes) in enumerate(shard_columns)
-    ]
-    pool_size = _pool_size(processes, len(payloads))
+    shards = len(shard_columns)
+    step = stream_batch_for(batch_size)
     wall_start = time.perf_counter()
-    if pool_size > 1 and len(payloads) > 1:
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=pool_size) as pool:
-            outs = pool.map(_run_worker, payloads)
-    else:
-        outs = [_run_worker(p) for p in payloads]
+    driver = StreamDriver(spec, shards, processes, batch_size, collect_metrics)
+    longest = max((len(cols[2]) for cols in shard_columns), default=0)
+    for start in range(0, longest, step):
+        for shard, (hi, lo, sizes) in enumerate(shard_columns):
+            stop = min(start + step, len(sizes))
+            if start < stop:
+                driver.send(
+                    shard, hi[start:stop], lo[start:stop], sizes[start:stop]
+                )
+    outs: List[Optional[ShardResult]] = [None] * shards
+    for result in driver.results():
+        outs[result[0]] = result
     wall_elapsed = time.perf_counter() - wall_start
-    outs.sort(key=lambda item: item[0])
-    blobs = [blob for _, blob, _, _, _ in outs]
+    blobs = [out[1] for out in outs]
     reports = [
-        WorkerThroughput(shard=shard, packets=packets, elapsed_s=elapsed)
-        for shard, _, packets, elapsed, _ in outs
+        WorkerThroughput(
+            shard=out[0], packets=out[2], elapsed_s=out[3], cpu_s=out[4]
+        )
+        for out in outs
     ]
-    metrics_blobs = [mblob for _, _, _, _, mblob in outs]
+    metrics_blobs = [out[5] for out in outs]
     return blobs, reports, wall_elapsed, metrics_blobs

@@ -182,6 +182,41 @@ class Sketch(abc.ABC):
             for key, size in packets:
                 update(key, size)
 
+    def process_columns(
+        self,
+        hi: "np.ndarray",
+        lo: "np.ndarray",
+        sizes: "np.ndarray",
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Consume one columnar ``(hi, lo, sizes)`` block.
+
+        The streaming entry point the sharded workers use: mirrors
+        :meth:`process` routing over pre-packed columns — vectorised
+        sketches consume batch slices (engine default size when
+        *batch_size* is None), scalar sketches run the per-packet loop
+        — so a one-shard streamed run replays the unsharded execution
+        bit for bit.  The staged-pipeline engines override this to feed
+        their ring directly.
+        """
+        n = len(sizes)
+        if n == 0:
+            return
+        if batch_size is None and self.vectorized:
+            batch_size = DEFAULT_BATCH_SIZE
+        if batch_size is None:
+            update = self.update
+            for key, size in iter_batch((hi, lo), sizes):
+                update(key, size)
+            return
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        for start in range(0, n, batch_size):
+            stop = start + batch_size
+            self.update_batch(
+                (hi[start:stop], lo[start:stop]), sizes[start:stop]
+            )
+
     def reset(self) -> None:
         """Clear all state.  Subclasses with cheap re-init may override."""
         raise NotImplementedError(
