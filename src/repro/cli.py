@@ -210,6 +210,54 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return _with_metrics(args, body)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.engine.sharded import SketchSpec
+    from repro.service import MeasurementDaemon, ServiceConfig, ServiceServer
+
+    trace = load_csv(args.path, FIVE_TUPLE)
+    spec = SketchSpec.from_memory(
+        int(args.memory_kb * 1024),
+        engine=args.engine,
+        d=args.d,
+        seed=args.seed,
+    )
+    config = ServiceConfig(
+        spec=spec,
+        key_spec=FIVE_TUPLE,
+        shards=args.shards,
+        strategy=args.shard_strategy,
+        epoch_packets=args.epoch_packets,
+        epoch_seconds=args.epoch_seconds,
+        history=args.history,
+        live_refresh_packets=args.live_refresh,
+    )
+    daemon = MeasurementDaemon(config)
+    daemon.start()
+    server = ServiceServer(daemon, host=args.host, port=args.port).start()
+    # Parsed by wrappers (CI smoke) that need the ephemeral port.
+    print(f"serving on {server.url}", flush=True)
+    block = args.batch_size or 16384
+    try:
+        for _ in range(args.loop):
+            for hi, lo, sizes in trace.batches(block):
+                daemon.offer(hi, lo, sizes)
+        daemon.stop_feeder()
+        print(
+            f"trace fed ({args.loop}x {len(trace)} packets); "
+            f"epochs closed: {len(daemon.store)}",
+            flush=True,
+        )
+        if args.linger:
+            _time.sleep(args.linger)
+    finally:
+        server.close()
+        daemon.close()
+    print(f"shut down with epochs {daemon.store.ids()}")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     def body() -> int:
         from repro.core.sql import run_query
@@ -322,6 +370,57 @@ def build_parser() -> argparse.ArgumentParser:
         'GROUP BY SrcIP/8 ORDER BY SUM(size) DESC LIMIT 5" (repeatable)',
     )
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="run the always-on measurement daemon + HTTP query API",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 picks an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--epoch-packets",
+        type=int,
+        default=50_000,
+        help="rotate the measurement epoch every N packets",
+    )
+    serve.add_argument(
+        "--epoch-seconds",
+        type=float,
+        default=None,
+        help="also rotate when the live epoch is older than this",
+    )
+    serve.add_argument(
+        "--history",
+        type=int,
+        default=64,
+        help="closed epochs retained for time-travel queries",
+    )
+    serve.add_argument(
+        "--live-refresh",
+        type=int,
+        default=0,
+        help="serve cached live views until N further packets flush "
+        "(0 = always rebuild on new data)",
+    )
+    serve.add_argument(
+        "--loop",
+        type=int,
+        default=1,
+        help="times to replay the trace through the daemon",
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help="seconds to keep serving queries after the trace is fed",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -52,6 +52,12 @@ _CLASSES = {number: cls for cls, number in _KINDS.items()}
 #: registry snapshot back to the collector alongside sketch blobs).
 METRICS_KIND = 5
 
+#: Wire kind for a frozen measurement epoch: rotation metadata wrapped
+#: around an embedded sketch blob (the service daemon's snapshot files).
+EPOCH_KIND = 6
+
+_EPOCH_META = struct.Struct("<QQQdI")
+
 AnyCocoSketch = Union[
     BasicCocoSketch,
     HardwareCocoSketch,
@@ -175,6 +181,11 @@ def load_sketch(blob: bytes) -> AnyCocoSketch:
             "blob holds a metrics snapshot, not sketch state; "
             "use load_metrics()"
         )
+    if kind == EPOCH_KIND:
+        raise SerializationError(
+            "blob holds an epoch snapshot, not bare sketch state; "
+            "use load_epoch()"
+        )
     cls = _CLASSES.get(kind)
     if cls is None:
         raise SerializationError(f"unknown sketch kind {kind}")
@@ -264,3 +275,90 @@ def load_metrics(blob: bytes) -> Dict:
     if not isinstance(snapshot, dict):
         raise SerializationError("metrics payload must be a JSON object")
     return snapshot
+
+
+def dump_epoch(
+    epoch: int,
+    start_seq: int,
+    packets: int,
+    closed_at: float,
+    sketch_blob: bytes,
+) -> bytes:
+    """Serialise a frozen measurement epoch to the shared wire format.
+
+    Layout: the common header with ``kind`` = :data:`EPOCH_KIND` and
+    zeroed geometry fields, then
+    ``epoch u64 | start_seq u64 | packets u64 | closed_at f64 |
+    blob_len u32 | sketch blob``.  The embedded blob is
+    :func:`dump_sketch` output, so an epoch file is self-describing:
+    :func:`load_epoch` hands back metadata plus a sketch that hashes
+    and merges identically to the frozen original.
+    """
+    for name, field in (
+        ("epoch", epoch), ("start_seq", start_seq), ("packets", packets)
+    ):
+        if not 0 <= field < 1 << 64:
+            raise SerializationError(f"{name} {field} out of u64 range")
+    if not isinstance(sketch_blob, (bytes, bytearray)):
+        raise SerializationError(
+            f"sketch_blob must be bytes, got {type(sketch_blob).__name__}"
+        )
+    if (
+        len(sketch_blob) < _HEADER.size
+        or sketch_blob[:4] != _MAGIC
+        or sketch_blob[6] in (METRICS_KIND, EPOCH_KIND)
+    ):
+        raise SerializationError(
+            "embedded payload is not a sketch blob"
+        )
+    return b"".join(
+        [
+            _HEADER.pack(_MAGIC, _VERSION, EPOCH_KIND, 0, 0, 0, 0),
+            _EPOCH_META.pack(
+                epoch, start_seq, packets, float(closed_at),
+                len(sketch_blob),
+            ),
+            bytes(sketch_blob),
+        ]
+    )
+
+
+def load_epoch(blob: bytes):
+    """Reconstruct ``(meta, sketch)`` from :func:`dump_epoch` output.
+
+    ``meta`` is a dict with ``epoch``, ``start_seq``, ``packets`` and
+    ``closed_at``; ``sketch`` is the embedded sketch, rebuilt via
+    :func:`load_sketch`.  Truncated or corrupted snapshot files raise
+    :class:`SerializationError` rather than propagating a struct or
+    numpy traceback.
+    """
+    if len(blob) < _HEADER.size + _EPOCH_META.size:
+        raise SerializationError("epoch blob shorter than header")
+    magic, version, kind, _d, _l, _kb, _sc = _HEADER.unpack(
+        blob[: _HEADER.size]
+    )
+    if magic != _MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    if kind != EPOCH_KIND:
+        raise SerializationError(
+            f"kind {kind} is not an epoch snapshot (expected "
+            f"{EPOCH_KIND}); use load_sketch()"
+        )
+    epoch, start_seq, packets, closed_at, length = _EPOCH_META.unpack_from(
+        blob, _HEADER.size
+    )
+    payload = blob[_HEADER.size + _EPOCH_META.size :]
+    if len(payload) != length:
+        raise SerializationError(
+            f"epoch payload length {len(payload)} != declared {length}"
+        )
+    sketch = load_sketch(payload)
+    meta = {
+        "epoch": epoch,
+        "start_seq": start_seq,
+        "packets": packets,
+        "closed_at": closed_at,
+    }
+    return meta, sketch

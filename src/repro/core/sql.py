@@ -326,7 +326,9 @@ def parse_query(text: str) -> Query:
 
 
 def run_query(
-    text: str, table: FlowTable
+    text: str,
+    table: Optional[FlowTable] = None,
+    planner=None,
 ) -> List[Tuple[int, float]]:
     """Execute a SELECT over a *full-key* flow table, columnar.
 
@@ -335,8 +337,20 @@ def run_query(
     Execution is entirely vectorised: WHERE predicates become boolean
     masks over the table's key-word columns, GROUP BY is the shared
     projection + sort/reduceat aggregation.
+
+    Pass ``planner`` (a :class:`~repro.query.planner.QueryPlanner`)
+    instead of — or alongside — *table* to reuse its one-time
+    extraction and per-spec aggregation cache: an unfiltered
+    ``SUM(size)`` query then hits :meth:`QueryPlanner.table` directly,
+    which is what lets a query server answer repeated SQL against a
+    frozen epoch without re-aggregating.
     """
-    spec = table.spec
+    if planner is not None:
+        spec = planner.spec
+    elif table is not None:
+        spec = table.spec
+    else:
+        raise SqlError("run_query needs a table or a planner")
     if not isinstance(spec, FullKeySpec):
         raise SqlError("queries run on full-key tables")
     query = parse_query(text)
@@ -347,7 +361,13 @@ def run_query(
         selection.append((name, prefix if prefix is not None else fld.width))
     partial = PartialKeySpec(spec, tuple(selection))
 
-    columns = table.columns().group()
+    if planner is not None:
+        if not query.predicates and query.aggregate == "sum":
+            # Memoized path: aggregation skipped entirely on cache hits.
+            return _finish(planner.table(partial), query)
+        columns = planner.base.group()
+    else:
+        columns = table.columns().group()
     if query.predicates:
         keep = np.ones(len(columns), dtype=bool)
         for predicate in query.predicates:
@@ -358,7 +378,11 @@ def run_query(
             spec, columns.words, np.ones(len(columns), dtype=np.float64)
         )
     grouped = columns.aggregate(partial)
+    return _finish(grouped, query)
 
+
+def _finish(grouped: ColumnTable, query: Query) -> List[Tuple[int, float]]:
+    """HAVING / ORDER BY / LIMIT over an aggregated table."""
     if query.having_min is not None:
         grouped = grouped.threshold(query.having_min)
     if query.order_desc is not None:

@@ -40,6 +40,7 @@ from repro.obs.registry import (
     collecting,
     format_snapshot,
     get_registry,
+    histogram_quantile,
     set_registry,
 )
 from repro.obs.replay import (
@@ -68,6 +69,7 @@ __all__ = [
     "collecting",
     "format_snapshot",
     "get_registry",
+    "histogram_quantile",
     "set_registry",
     "replay_draw",
     "replay_draws",

@@ -112,6 +112,56 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of quantile ``q`` from the buckets.
+
+        Returns the edge of the bucket holding the ``q``-th observation
+        (the overflow bucket reports the observed max), so a fixed-edge
+        histogram answers "p95 latency" without keeping raw samples.
+        """
+        return histogram_quantile(
+            {
+                "edges": list(self.edges),
+                "counts": list(self.counts),
+                "count": self.count,
+                "max": self.max,
+            },
+            q,
+        )
+
+
+def histogram_quantile(payload: Dict, q: float) -> float:
+    """Quantile from a snapshot-format histogram payload.
+
+    ``payload`` is the per-histogram dict a registry snapshot carries
+    (``edges``, ``counts``, ``count``, ``max``) — so soak tests and
+    dashboards can compute p95 straight from a ``/metrics`` response or
+    a merged worker snapshot.  Returns the smallest edge at or above
+    the target rank; the overflow bucket maps to the recorded max (or
+    the last edge when the max wasn't kept).  Empty histogram -> 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = payload.get("count", 0)
+    if not count:
+        return 0.0
+    edges = payload["edges"]
+    counts = payload["counts"]
+    if len(counts) != len(edges) + 1:
+        raise ValueError(
+            f"counts has {len(counts)} slots for {len(edges)} edges"
+        )
+    rank = q * count
+    seen = 0
+    for i, c in enumerate(counts):
+        seen += c
+        if seen >= rank and c:
+            if i < len(edges):
+                return float(edges[i])
+            break
+    top = payload.get("max")
+    return float(top) if top is not None else float(edges[-1])
+
 
 class SpanStats:
     """Aggregate timing of one named pipeline stage."""

@@ -48,6 +48,7 @@ from repro.obs.registry import MetricsRegistry, set_registry
 from repro.sketches.base import Sketch
 
 _WORKER_RNG_SALT = 0x51A8D
+_EPOCH_RNG_SALT = 0xE70C4
 
 #: Driver scatter granularity in packets.  A power of two and a
 #: multiple of every engine ``pipeline_chunk``, so the chunk boundaries
@@ -76,6 +77,22 @@ def worker_seed(base_seed: int, shard: int) -> int:
     worker's stream while distinct shards draw independently.
     """
     return mix64((base_seed ^ _WORKER_RNG_SALT) + shard * 0x9E3779B97F4A7C15)
+
+
+def epoch_stream_seed(base_seed: int, epoch: int) -> int:
+    """Decorrelated replacement-RNG base seed for one measurement epoch.
+
+    Epoch 0 keeps the run's natural seed, so a daemon's first epoch (and
+    every non-epoch run) replays today's unsharded/sharded streams bit
+    for bit; later epochs draw replacement decisions from independent
+    streams while sharing the hash family, which keeps their snapshots
+    mergeable.
+    """
+    if epoch < 0:
+        raise ValueError(f"epoch must be >= 0, got {epoch}")
+    if epoch == 0:
+        return base_seed
+    return mix64((base_seed ^ _EPOCH_RNG_SALT) + epoch * 0x9E3779B97F4A7C15)
 
 
 def _reseed_sketch(sketch: Sketch, base_seed: int, shard: int) -> None:
@@ -113,11 +130,13 @@ class _ShardRun:
 
     __slots__ = ("shard", "sketch", "registry", "packets", "elapsed", "cpu")
 
-    def __init__(self, spec, shard: int, collect: bool) -> None:
+    def __init__(self, spec, shard: int, collect: bool, epoch: int = 0) -> None:
         self.shard = shard
         self.sketch = spec.build()
-        if shard:
-            _reseed_sketch(self.sketch, spec.seed, shard)
+        if shard or epoch:
+            _reseed_sketch(
+                self.sketch, epoch_stream_seed(spec.seed, epoch), shard
+            )
         # Shard-local registry: collected here, shipped back as a wire
         # blob, folded into the collector's registry per shard.
         self.registry = MetricsRegistry() if collect else None
@@ -167,14 +186,14 @@ class _ShardRun:
         )
 
 
-def _stream_worker(spec, shards, batch_size, collect, in_q, out_q) -> None:
+def _stream_worker(spec, shards, batch_size, collect, in_q, out_q, epoch=0) -> None:
     """Process entry point: consume chunks until the end-of-stream mark.
 
     One worker may own several shards (when the driver runs fewer
     processes than shards); each keeps its own sketch, registry and
     timers, so the reports stay per-shard regardless of placement.
     """
-    runs = {shard: _ShardRun(spec, shard, collect) for shard in shards}
+    runs = {shard: _ShardRun(spec, shard, collect, epoch) for shard in shards}
     while True:
         message = in_q.get()
         if message is None:
@@ -224,6 +243,11 @@ class StreamDriver:
         collect_metrics: When true each shard runs under its own
             :class:`~repro.obs.registry.MetricsRegistry` and ships the
             snapshot back as a blob.
+        epoch: Measurement-epoch index.  Epoch 0 (the default) replays
+            today's replacement streams exactly; a daemon rotating
+            epochs passes the epoch id so each epoch's shards draw from
+            independent streams (see :func:`epoch_stream_seed`) while
+            staying mergeable across epochs.
     """
 
     def __init__(
@@ -233,16 +257,18 @@ class StreamDriver:
         processes: Union[bool, int, None] = True,
         batch_size: Optional[int] = None,
         collect_metrics: bool = False,
+        epoch: int = 0,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards
+        self.epoch = epoch
         self._batch_size = batch_size
         self._closed = False
         pool = _pool_size(processes, shards)
         if pool == 0:
             self._inline = [
-                _ShardRun(spec, shard, collect_metrics)
+                _ShardRun(spec, shard, collect_metrics, epoch)
                 for shard in range(shards)
             ]
             self._queues = None
@@ -258,13 +284,35 @@ class StreamDriver:
             in_q = ctx.Queue(maxsize=WORKER_CREDITS)
             proc = ctx.Process(
                 target=_stream_worker,
-                args=(spec, owned, batch_size, collect_metrics, in_q, self._out_q),
+                args=(
+                    spec, owned, batch_size, collect_metrics,
+                    in_q, self._out_q, epoch,
+                ),
             )
             proc.start()
             self._in_qs.append(in_q)
             self._procs.append(proc)
         # shard -> its owner's input queue
         self._queues = [self._in_qs[shard % pool] for shard in range(shards)]
+
+    @property
+    def inline(self) -> bool:
+        """True when every shard runs in this process (snapshot-able)."""
+        return self._inline is not None
+
+    def live_blobs(self) -> Optional[List[bytes]]:
+        """Serialise every shard's *current* state without closing.
+
+        Only available in inline mode, where the shard sketches live in
+        this process — the read half of an always-on service: a query
+        plane can snapshot mid-stream state while ingestion continues.
+        The caller is responsible for not racing :meth:`send` (the
+        service daemon holds its ingest lock across both).  Returns
+        ``None`` when shards run in worker processes.
+        """
+        if self._inline is None:
+            return None
+        return [dump_sketch(run.sketch) for run in self._inline]
 
     def send(self, shard: int, hi, lo, sizes) -> None:
         """Ship one chunk to *shard* (blocks when its credits run out)."""

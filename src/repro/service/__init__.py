@@ -1,0 +1,46 @@
+"""Always-on streaming service plane.
+
+The batch pipeline measures run-to-completion; deployments (the
+paper's OVS integration, §7) measure *continuously* and answer queries
+against live state.  This package is that system layer:
+
+* :class:`MeasurementDaemon` — a long-lived ingestion loop over the
+  staged pipeline / :class:`~repro.parallel.StreamDriver` sharded
+  backend, rotating measurement epochs on packet-count or wall-clock
+  boundaries and freezing each closed epoch as an immutable snapshot
+  (:mod:`repro.core.serialize` epoch wire kind).
+* :class:`EpochStore` — bounded history of frozen epochs plus
+  time-travel: any contiguous epoch range merges into one queryable
+  sketch through the unbiased Theorem 1 fold.
+* :class:`ServiceServer` — a thread-safe HTTP API (``/query`` SQL,
+  ``/topk``, ``/epochs``, ``/metrics``) over the live epoch, any
+  historical epoch, and merged ranges.
+
+See ``docs/service.md`` for the lifecycle and the epoch model.
+"""
+
+from repro.service.daemon import (
+    EpochBuilder,
+    MeasurementDaemon,
+    ServiceConfig,
+    ServiceError,
+)
+from repro.service.epochs import (
+    EpochSnapshot,
+    EpochStore,
+    epoch_merge_seed,
+    offline_epoch_run,
+)
+from repro.service.http import ServiceServer
+
+__all__ = [
+    "EpochBuilder",
+    "EpochSnapshot",
+    "EpochStore",
+    "MeasurementDaemon",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "epoch_merge_seed",
+    "offline_epoch_run",
+]

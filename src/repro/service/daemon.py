@@ -1,0 +1,561 @@
+"""The long-lived measurement daemon: ingest, rotate, serve.
+
+Turns the batch engine into a system.  One :class:`MeasurementDaemon`
+owns a sequence of epochs; inside each epoch an :class:`EpochBuilder`
+drives the staged pipeline through the sharded
+:class:`~repro.parallel.StreamDriver`, and at every rotation boundary
+the builder's state freezes into an immutable
+:class:`~repro.service.epochs.EpochSnapshot`.
+
+Determinism contract (what the bit-identity suite gates): an epoch's
+snapshot is a pure function of *(spec, shards, strategy, chunk, the
+epoch's packet column sequence)* — independent of how callers chunk
+their submissions and of thread scheduling.  Two mechanisms make that
+true:
+
+* the builder buffers arrivals and feeds the partitioner/engines in
+  exact ``chunk``-sized blocks (the remainder flushes only at close),
+  so engine-visible call boundaries never depend on arrival framing;
+* every random stream is positionally seeded — replacement RNGs by
+  ``(seed, epoch, shard)`` via
+  :func:`~repro.parallel.epoch_stream_seed`, the per-epoch shard fold
+  by :func:`~repro.service.epochs.epoch_merge_seed` — while the hash
+  family (from the spec seed) is shared by all epochs, keeping their
+  snapshots mergeable.
+
+Live reads never perturb that: :meth:`MeasurementDaemon.live_planner`
+serialises the flushed shard state under the ingest lock and merges
+the copy *outside* the lock with its own ephemeral stream.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.serialize import dump_sketch, load_sketch
+from repro.engine.sharded import (
+    PARTITION_STRATEGIES,
+    SketchSpec,
+    partition_columns,
+)
+from repro.extensions.merging import merge_many
+from repro.extensions.windowed import split_budget
+from repro.flowkeys.key import FullKeySpec
+from repro.hashing.family import mix64
+from repro.obs.registry import TIME_EDGES, MetricsRegistry
+from repro.parallel import StreamDriver
+from repro.query.planner import QueryPlanner
+from repro.service.epochs import EpochSnapshot, EpochStore, epoch_merge_seed
+
+_LIVE_MERGE_SALT = 0x11FE5
+_GOLDEN_LIVE = 0x9E3779B97F4A7C15
+
+#: Default engine feed granularity — the staged pipeline's cache-resident
+#: chunk (`NumpyCocoSketch.pipeline_chunk`).
+DEFAULT_CHUNK = 16384
+
+
+class ServiceError(RuntimeError):
+    """Daemon misuse or unavailable state (closed daemon, no live view)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a measurement daemon needs.
+
+    Args:
+        spec: Per-shard sketch configuration (one hash family for the
+            daemon's whole lifetime — epochs must stay mergeable).
+        key_spec: Full-key spec of the traffic (drives the query plane).
+        shards: Worker sketch count.
+        strategy: ``"hash"`` (flow-pure) or ``"round-robin"`` partitioner.
+        processes: Worker placement, as in :class:`StreamDriver`.  The
+            default ``False`` runs shards inline — required for live
+            (unrotated-epoch) queries, which snapshot in-process state.
+        chunk: Engine feed granularity; arrivals are re-blocked to this
+            before the engines see them (the determinism contract).
+        batch_size: Per-worker ``process_columns`` slice; defaults to
+            *chunk* so one feed block is one engine chunk.
+        epoch_packets: Rotate after exactly this many packets (boundary
+            splits mid-block when needed).  ``None`` — no packet bound.
+        epoch_seconds: Rotate when the live epoch is older than this at
+            the next ingest.  ``None`` — no wall-clock bound.
+        history: Closed epochs retained by the store.
+        queue_blocks: Bound of the background ingest queue
+            (:meth:`MeasurementDaemon.offer` blocks when full).
+        live_refresh_packets: Freshness/throughput trade-off for live
+            reads.  ``0`` (default) rebuilds the live view whenever new
+            packets have flushed; a positive value keeps serving the
+            cached view until at least this many further packets flush
+            in the same epoch — readers see a slightly stale but still
+            version-consistent snapshot, and heavy query load stops
+            stealing ingest cycles.
+    """
+
+    spec: SketchSpec
+    key_spec: FullKeySpec
+    shards: int = 1
+    strategy: str = "hash"
+    processes: Union[bool, int, None] = False
+    chunk: int = DEFAULT_CHUNK
+    batch_size: Optional[int] = None
+    epoch_packets: Optional[int] = None
+    epoch_seconds: Optional[float] = None
+    history: int = 64
+    queue_blocks: int = 8
+    live_refresh_packets: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.strategy not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                f"choose from {PARTITION_STRATEGIES}"
+            )
+        if self.chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {self.chunk}")
+        if self.epoch_packets is not None and self.epoch_packets < 1:
+            raise ValueError(
+                f"epoch_packets must be >= 1, got {self.epoch_packets}"
+            )
+        if self.epoch_seconds is not None and self.epoch_seconds <= 0:
+            raise ValueError(
+                f"epoch_seconds must be > 0, got {self.epoch_seconds}"
+            )
+        if self.queue_blocks < 1:
+            raise ValueError(
+                f"queue_blocks must be >= 1, got {self.queue_blocks}"
+            )
+        if self.live_refresh_packets < 0:
+            raise ValueError(
+                f"live_refresh_packets must be >= 0, "
+                f"got {self.live_refresh_packets}"
+            )
+
+
+class EpochBuilder:
+    """Accumulates one epoch's traffic through the sharded driver.
+
+    Arrivals buffer until a full ``chunk`` is available, then flush as
+    exact chunk-sized blocks: partitioned at the epoch-local stream
+    offset and scattered to the per-shard engines.  The tail shorter
+    than a chunk flushes only at :meth:`close`, so engine-visible block
+    boundaries are a function of the packet sequence alone.
+    """
+
+    def __init__(self, config: ServiceConfig, epoch: int, start_seq: int) -> None:
+        self.config = config
+        self.epoch = epoch
+        self.start_seq = start_seq
+        self.packets = 0  # accepted: flushed + buffered
+        self.flushed = 0  # handed to the engines
+        self.opened_at = time.monotonic()
+        self._pend: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._pend_n = 0
+        self._driver = StreamDriver(
+            config.spec,
+            config.shards,
+            processes=config.processes,
+            batch_size=config.batch_size or config.chunk,
+            epoch=epoch,
+        )
+
+    def feed(self, hi, lo, sizes) -> None:
+        """Accept one columnar block (any length, including empty)."""
+        n = len(sizes)
+        if n == 0:
+            return
+        self._pend.append((hi, lo, sizes))
+        self._pend_n += n
+        self.packets += n
+        if self._pend_n >= self.config.chunk:
+            self._flush(full_only=True)
+
+    def _flush(self, full_only: bool) -> None:
+        """Re-block the pending buffer into chunk-sized engine feeds."""
+        if not self._pend_n:
+            return
+        chunk = self.config.chunk
+        if full_only and self._pend_n < chunk:
+            return
+        if len(self._pend) == 1:  # aligned arrivals: no copy needed
+            hi, lo, sizes = self._pend[0]
+        else:
+            hi = np.concatenate([p[0] for p in self._pend])
+            lo = np.concatenate([p[1] for p in self._pend])
+            sizes = np.concatenate([p[2] for p in self._pend])
+        total = self._pend_n
+        whole = total if not full_only else (total // chunk) * chunk
+        for start in range(0, whole, chunk):
+            end = min(start + chunk, whole)
+            self._scatter(hi[start:end], lo[start:end], sizes[start:end])
+        if whole < total:
+            self._pend = [(hi[whole:], lo[whole:], sizes[whole:])]
+            self._pend_n = total - whole
+        else:
+            self._pend = []
+            self._pend_n = 0
+
+    def _scatter(self, hi, lo, sizes) -> None:
+        cfg = self.config
+        parts = partition_columns(
+            hi, lo, sizes, cfg.shards, cfg.strategy, cfg.spec.seed,
+            offset=self.flushed,
+        )
+        for shard, (shi, slo, ssz) in enumerate(parts):
+            if len(ssz):
+                self._driver.send(shard, shi, slo, ssz)
+        self.flushed += len(sizes)
+
+    def live_blobs(self) -> Tuple[int, List[bytes]]:
+        """``(flushed packets, per-shard state blobs)`` without closing.
+
+        Requires inline workers; the caller must hold the daemon's
+        ingest lock so the copy is not racing :meth:`feed`.
+        """
+        blobs = self._driver.live_blobs()
+        if blobs is None:
+            raise ServiceError(
+                "live views need inline shards (ServiceConfig.processes=False)"
+            )
+        return self.flushed, blobs
+
+    def close(self, closed_at: Optional[float] = None) -> EpochSnapshot:
+        """Flush the tail, drain the driver, freeze the snapshot."""
+        self._flush(full_only=False)
+        results = sorted(self._driver.results(), key=lambda r: r[0])
+        blobs = [r[1] for r in results]
+        if len(blobs) == 1:
+            blob = blobs[0]
+        else:
+            rng = random.Random(
+                epoch_merge_seed(self.config.spec.seed, self.epoch)
+            )
+            merged = merge_many([load_sketch(b) for b in blobs], rng=rng)
+            blob = dump_sketch(merged)
+        return EpochSnapshot(
+            epoch=self.epoch,
+            start_seq=self.start_seq,
+            packets=self.packets,
+            closed_at=time.time() if closed_at is None else closed_at,
+            blob=blob,
+        )
+
+
+class MeasurementDaemon:
+    """Long-lived epoch-rotating measurement process.
+
+    Feed traffic either synchronously (:meth:`ingest`) or through the
+    bounded background queue (:meth:`start` + :meth:`offer` — the shape
+    the HTTP soak exercises: one ingest thread, many reader threads).
+    Readers get consistent views: every published state is either a
+    frozen epoch snapshot or a lock-consistent copy of the live shard
+    state tagged with its ``(epoch, packets)`` version.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.store = EpochStore(config.history, seed=config.spec.seed)
+        self.registry = MetricsRegistry()
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._builder = EpochBuilder(config, epoch=0, start_seq=0)
+        self._closed = False
+        self._queue: Optional[queue.Queue] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ingest_error: Optional[BaseException] = None
+        self._live_cache: Tuple[Optional[Tuple[int, int]], Optional[QueryPlanner]] = (
+            None,
+            None,
+        )
+        self._epoch_planners: dict = {}
+
+    # ------------------------------------------------------------------
+    # write path
+
+    def ingest(self, hi, lo, sizes) -> None:
+        """Feed one columnar block; rotates at exact epoch boundaries.
+
+        A block straddling a packet-count boundary is split: the prefix
+        closes the old epoch, the suffix opens the next — epoch
+        contents are independent of submission framing.
+        """
+        cfg = self.config
+        with self._lock:
+            if self._closed:
+                raise ServiceError("daemon is closed")
+            n = len(sizes)
+            if (
+                cfg.epoch_seconds is not None
+                and self._builder.packets
+                and time.monotonic() - self._builder.opened_at
+                >= cfg.epoch_seconds
+            ):
+                self._rotate_locked()
+            if cfg.epoch_packets is None:
+                self._builder.feed(hi, lo, sizes)
+                self._seq += n
+            else:
+                start = 0
+                while start < n:
+                    take, _rest = split_budget(
+                        n - start, cfg.epoch_packets - self._builder.packets
+                    )
+                    end = start + take
+                    self._builder.feed(hi[start:end], lo[start:end], sizes[start:end])
+                    self._seq += take
+                    start = end
+                    if self._builder.packets >= cfg.epoch_packets:
+                        self._rotate_locked()
+            self.registry.inc("service.ingest.packets", n)
+            self.registry.inc("service.ingest.blocks")
+            self.registry.set_gauge("service.epoch.live", self._builder.epoch)
+            self.registry.set_gauge(
+                "service.epoch.packets", self._builder.packets
+            )
+
+    def ingest_pairs(self, pairs) -> None:
+        """Feed ``(key, size)`` tuples (packs one columnar block)."""
+        from repro.flowkeys.columns import pack_key_columns
+
+        keys = []
+        sizes = []
+        for key, size in pairs:
+            keys.append(key)
+            sizes.append(size)
+        if not keys:
+            return
+        hi, lo = pack_key_columns(keys)
+        self.ingest(hi, lo, np.asarray(sizes, dtype=np.int64))
+
+    def rotate(self) -> Optional[EpochSnapshot]:
+        """Force a rotation now; no-op (returns None) on an empty epoch."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("daemon is closed")
+            if not self._builder.packets:
+                return None
+            return self._rotate_locked()
+
+    def _rotate_locked(self) -> EpochSnapshot:
+        start = time.perf_counter()
+        snap = self._builder.close()
+        self.store.add(snap)
+        self._builder = EpochBuilder(
+            self.config, epoch=snap.epoch + 1, start_seq=self._seq
+        )
+        self.registry.inc("service.epochs.rotated")
+        self.registry.observe(
+            "service.rotate.seconds", time.perf_counter() - start, TIME_EDGES
+        )
+        return snap
+
+    def close(self) -> None:
+        """Stop ingestion, drain the queue, freeze the final epoch.
+
+        The trailing epoch only becomes a snapshot when it actually
+        absorbed packets — an empty tail leaves no empty epoch behind.
+        Idempotent.
+        """
+        feeder_error: Optional[ServiceError] = None
+        try:
+            self.stop_feeder()
+        except ServiceError as exc:
+            feeder_error = exc  # still release the workers below
+        with self._lock:
+            if self._closed:
+                if feeder_error is not None:
+                    raise feeder_error
+                return
+            self._closed = True
+            if self._builder.packets:
+                snap = self._builder.close()
+                self.store.add(snap)
+                self.registry.inc("service.epochs.rotated")
+            else:
+                self._builder.close()  # drain the driver's workers
+        if feeder_error is not None:
+            raise feeder_error
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    # background feeder
+
+    def start(self) -> None:
+        """Start the background ingest thread (pair with :meth:`offer`)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("daemon is closed")
+            if self._thread is not None:
+                raise ServiceError("feeder already running")
+            self._queue = queue.Queue(maxsize=self.config.queue_blocks)
+            self._thread = threading.Thread(
+                target=self._ingest_loop, name="repro-service-ingest",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def offer(self, hi, lo, sizes, timeout: Optional[float] = None) -> None:
+        """Queue one block for the ingest thread (blocks when full)."""
+        if self._queue is None:
+            raise ServiceError("feeder not running; call start() first")
+        if self._ingest_error is not None:
+            raise ServiceError(
+                f"ingest thread died: {self._ingest_error!r}"
+            )
+        self._queue.put((hi, lo, sizes), timeout=timeout)
+
+    def stop_feeder(self) -> None:
+        """Drain queued blocks and join the ingest thread (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._queue.put(None)
+        thread.join()
+        self._thread = None
+        self._queue = None
+        if self._ingest_error is not None:
+            raise ServiceError(
+                f"ingest thread died: {self._ingest_error!r}"
+            )
+
+    def _ingest_loop(self) -> None:
+        while True:
+            block = self._queue.get()
+            if block is None:
+                return
+            try:
+                self.ingest(*block)
+            except BaseException as exc:  # surfaced via offer/stop_feeder
+                self._ingest_error = exc
+                return
+
+    # ------------------------------------------------------------------
+    # read path
+
+    def live_version(self) -> Tuple[int, int]:
+        """Current ``(epoch, flushed packets)`` — the live view's id."""
+        with self._lock:
+            return self._builder.epoch, self._builder.flushed
+
+    def live_planner(self) -> Tuple[Tuple[int, int], QueryPlanner]:
+        """Consistent queryable view of the live (unclosed) epoch.
+
+        The shard-state copy happens under the ingest lock (no torn
+        reads); the merge runs outside it with an ephemeral stream
+        seeded by the view's version, so concurrent readers rebuild
+        identical views and ingestion's own RNG streams are never
+        advanced by a read.  Returns ``((epoch, packets), planner)``;
+        *packets* counts flushed packets (arrivals still buffered below
+        one chunk become visible at the next flush or rotation).
+
+        With ``live_refresh_packets > 0`` the cached view keeps serving
+        until that many further packets have flushed in the same epoch:
+        the returned version is then the cached view's own (older)
+        version, so responses stay self-consistent and per-reader
+        versions stay monotone.
+        """
+        refresh = self.config.live_refresh_packets
+        with self._lock:
+            if self._closed:
+                raise ServiceError("daemon is closed")
+            epoch = self._builder.epoch
+            cached_version, cached_planner = self._live_cache
+            if (
+                refresh
+                and cached_planner is not None
+                and cached_version[0] == epoch
+                and self._builder.flushed - cached_version[1] < refresh
+            ):
+                self.registry.inc("service.live.cache.hits")
+                return cached_version, cached_planner
+            flushed, blobs = self._builder.live_blobs()
+            version = (epoch, flushed)
+            if cached_version == version:
+                self.registry.inc("service.live.cache.hits")
+                return version, cached_planner
+        if len(blobs) == 1:
+            sketch = load_sketch(blobs[0])
+        else:
+            rng = random.Random(
+                mix64(self.config.spec.seed ^ _LIVE_MERGE_SALT)
+                ^ mix64(epoch * _GOLDEN_LIVE + flushed)
+            )
+            sketch = merge_many([load_sketch(b) for b in blobs], rng=rng)
+        planner = QueryPlanner(sketch, self.config.key_spec)
+        with self._lock:
+            self._live_cache = (version, planner)
+            self.registry.inc("service.live.views")
+        return version, planner
+
+    def epoch_planner(self, epoch: int) -> QueryPlanner:
+        """Memoized planner over one frozen epoch (immutable → cached)."""
+        with self._lock:
+            planner = self._epoch_planners.get(epoch)
+            if planner is not None:
+                return planner
+        snap = self.store.get(epoch)  # KeyError surfaces to the caller
+        planner = QueryPlanner(snap.sketch(), self.config.key_spec)
+        with self._lock:
+            # Bound the cache alongside the store's own history.
+            if len(self._epoch_planners) >= self.config.history:
+                for stale in list(self._epoch_planners):
+                    if stale not in set(self.store.ids()):
+                        del self._epoch_planners[stale]
+            self._epoch_planners[epoch] = planner
+        return planner
+
+    def range_planner(self, lo: int, hi: int) -> QueryPlanner:
+        """Planner over the time-travel merge of epochs ``lo..hi``."""
+        merged = self.store.merged_range(lo, hi)
+        return QueryPlanner(merged, self.config.key_spec)
+
+    def observe_query(self, elapsed_s: float) -> None:
+        """Record one served query's latency (drives the soak p95)."""
+        with self._lock:
+            self.registry.inc("service.queries")
+            self.registry.observe(
+                "service.query.seconds", elapsed_s, TIME_EDGES
+            )
+
+    def metrics_snapshot(self) -> dict:
+        """`repro.obs.metrics/v1` snapshot of the daemon's instruments."""
+        with self._lock:
+            return self.registry.snapshot(
+                meta={
+                    "service": "repro.service",
+                    "shards": self.config.shards,
+                    "strategy": self.config.strategy,
+                    "seed": self.config.spec.seed,
+                }
+            )
+
+    def status(self) -> dict:
+        """JSON-ready daemon status (what ``/epochs`` wraps)."""
+        with self._lock:
+            live = {
+                "epoch": self._builder.epoch,
+                "packets": self._builder.packets,
+                "flushed": self._builder.flushed,
+                "start_seq": self._builder.start_seq,
+            }
+            closed = self._closed
+            seq = self._seq
+        return {
+            "closed": closed,
+            "total_packets": seq,
+            "live": live,
+            "epochs": self.store.metas(),
+        }

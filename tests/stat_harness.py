@@ -270,6 +270,50 @@ def random_partial_specs(count: int, seed: int = 0) -> List:
     return specs
 
 
+def assert_partial_key_unbiased_states(
+    make_state: Callable[[int], object],
+    trace,
+    spec,
+    trials: int,
+    base_seed: int = 0,
+    rank: int = 5,
+    z: float = DEFAULT_Z,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    label: str = "partial-key estimate",
+) -> UnbiasednessCheck:
+    """Partial-key unbiasedness over *already-measured* seeded states.
+
+    ``make_state(seed)`` returns any queryable object exposing the
+    sketch read interface (``flow_table``/``export_columns``) that has
+    already absorbed *trace* under that seed — a plain sketch after
+    ``process``, or a multi-stage product like the merge of a daemon
+    run's epoch snapshots.  Each trial aggregates the state's flow
+    table onto *spec* and the sample mean of the *rank*-th largest true
+    aggregate's estimates is compared against its ground truth — the
+    Lemma 3 gate, applied to whatever pipeline produced the state.
+    """
+    from repro.core.query import FlowTable
+    from repro.flowkeys.key import FIVE_TUPLE
+
+    truth = trace.ground_truth(spec)
+    ranked = sorted(truth.items(), key=lambda kv: -kv[1])
+    target, target_size = ranked[min(rank, len(ranked) - 1)]
+
+    def estimate(seed: int) -> float:
+        state = make_state(seed)
+        table = FlowTable.from_sketch(state, FIVE_TUPLE).aggregate(spec)
+        return table.query(target)
+
+    estimates = trial_estimates(estimate, trials, base_seed)
+    return assert_unbiased(
+        estimates,
+        target_size,
+        z=z,
+        rel_floor=rel_floor,
+        label=f"{label} [{spec.name}]",
+    )
+
+
 def assert_partial_key_unbiased(
     make_sketch: Callable[[int], object],
     trace,
@@ -290,24 +334,20 @@ def assert_partial_key_unbiased(
     ``process``/``flow_table`` interface — plain sketches, engine
     sketches, or :class:`~repro.engine.sharded.ShardedSketch`.
     """
-    from repro.core.query import FlowTable
-    from repro.flowkeys.key import FIVE_TUPLE
 
-    truth = trace.ground_truth(spec)
-    ranked = sorted(truth.items(), key=lambda kv: -kv[1])
-    target, target_size = ranked[min(rank, len(ranked) - 1)]
-
-    def estimate(seed: int) -> float:
+    def make_state(seed: int):
         sketch = make_sketch(seed)
         sketch.process(trace)
-        table = FlowTable.from_sketch(sketch, FIVE_TUPLE).aggregate(spec)
-        return table.query(target)
+        return sketch
 
-    estimates = trial_estimates(estimate, trials, base_seed)
-    return assert_unbiased(
-        estimates,
-        target_size,
+    return assert_partial_key_unbiased_states(
+        make_state,
+        trace,
+        spec,
+        trials,
+        base_seed=base_seed,
+        rank=rank,
         z=z,
         rel_floor=rel_floor,
-        label=f"{label} [{spec.name}]",
+        label=label,
     )

@@ -1,8 +1,9 @@
 """Property/fuzz tests for the wire format (:mod:`repro.core.serialize`).
 
 Hypothesis drives random geometry, random traffic and random header
-corruption through every wire kind — the five sketch kinds (0-4) and
-the metrics-snapshot kind (5) — asserting two properties:
+corruption through every wire kind — the five sketch kinds (0-4), the
+metrics-snapshot kind (5) and the epoch-snapshot kind (6) — asserting
+two properties:
 
 * **Round-trip fixpoint** — ``dump(load(dump(x))) == dump(x)`` for
   sketches (byte equality is the strongest state-identity check the
@@ -22,11 +23,15 @@ from hypothesis import strategies as st
 from repro.core.cocosketch import BasicCocoSketch
 from repro.core.hardware import HardwareCocoSketch, P4CocoSketch
 from repro.core.serialize import (
+    EPOCH_KIND,
     METRICS_KIND,
     SerializationError,
+    _EPOCH_META,
     _HEADER,
+    dump_epoch,
     dump_metrics,
     dump_sketch,
+    load_epoch,
     load_metrics,
     load_sketch,
 )
@@ -214,3 +219,101 @@ def _is_json_object(raw: bytes) -> bool:
         return isinstance(json.loads(raw.decode("utf-8")), dict)
     except (UnicodeDecodeError, json.JSONDecodeError):
         return False
+
+
+epoch_metas = st.tuples(
+    st.integers(0, 2**63),       # epoch
+    st.integers(0, 2**63),       # start_seq
+    st.integers(0, 2**63),       # packets
+    st.floats(0, 2e9, allow_nan=False),  # closed_at
+)
+
+
+class TestEpochRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", [BasicCocoSketch, NumpyCocoSketch, NumpyHardwareCocoSketch]
+    )
+    @given(meta=epoch_metas, geometry=geometries, packets=packet_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_round_trip(self, cls, meta, geometry, packets):
+        epoch, start_seq, count, closed_at = meta
+        d, l = geometry
+        blob = dump_sketch(_build(cls, d, l, 11, packets))
+        wire = dump_epoch(epoch, start_seq, count, closed_at, blob)
+        loaded_meta, sketch = load_epoch(wire)
+        assert loaded_meta == {
+            "epoch": epoch,
+            "start_seq": start_seq,
+            "packets": count,
+            "closed_at": closed_at,
+        }
+        assert dump_sketch(sketch) == blob
+        # Fixpoint through a second trip.
+        again = dump_epoch(epoch, start_seq, count, closed_at, dump_sketch(sketch))
+        assert again == wire
+
+    def test_kind_routing_both_directions(self):
+        sketch_blob = dump_sketch(BasicCocoSketch(1, 4, seed=0))
+        wire = dump_epoch(3, 100, 50, 1.5, sketch_blob)
+        with pytest.raises(SerializationError, match="use load_epoch"):
+            load_sketch(wire)
+        with pytest.raises(SerializationError, match="use load_sketch"):
+            load_epoch(sketch_blob)
+        with pytest.raises(SerializationError):
+            load_metrics(wire)
+
+    def test_rejects_non_sketch_payload(self):
+        metrics_blob = dump_metrics(MetricsRegistry().snapshot())
+        with pytest.raises(SerializationError, match="not a sketch"):
+            dump_epoch(0, 0, 0, 0.0, metrics_blob)
+        with pytest.raises(SerializationError, match="not a sketch"):
+            dump_epoch(0, 0, 0, 0.0, b"junk")
+
+    def test_out_of_range_meta_rejected(self):
+        blob = dump_sketch(BasicCocoSketch(1, 4, seed=0))
+        with pytest.raises(SerializationError, match="out of u64"):
+            dump_epoch(-1, 0, 0, 0.0, blob)
+        with pytest.raises(SerializationError, match="out of u64"):
+            dump_epoch(0, 0, 1 << 64, 0.0, blob)
+
+
+class TestEpochCorruptionRejection:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_mutations_rejected(self, data):
+        wire = bytearray(
+            dump_epoch(2, 1000, 500, 12.5, _valid_sketch_blob())
+        )
+        mutation = data.draw(
+            st.sampled_from(
+                ["magic", "version", "kind", "length", "truncate",
+                 "extend", "payload_kind"]
+            )
+        )
+        if mutation == "magic":
+            wire[data.draw(st.integers(0, 3))] ^= data.draw(st.integers(1, 255))
+        elif mutation == "version":
+            struct.pack_into("<H", wire, 4, data.draw(st.integers(2, 0xFFFF)))
+        elif mutation == "kind":
+            wire[6] = data.draw(
+                st.integers(0, 255).filter(lambda k: k != EPOCH_KIND)
+            )
+        elif mutation == "length":
+            # Declared sketch-blob length disagrees with the payload.
+            offset = _HEADER.size + _EPOCH_META.size - 4
+            (declared,) = struct.unpack_from("<I", wire, offset)
+            lie = data.draw(
+                st.integers(0, 1 << 20).filter(lambda v: v != declared)
+            )
+            struct.pack_into("<I", wire, offset, lie)
+        elif mutation == "truncate":
+            cut = data.draw(st.integers(1, len(wire) - 1))
+            wire = wire[:cut]
+        elif mutation == "extend":
+            wire += bytes(data.draw(st.integers(1, 64)))
+        else:
+            # Corrupt the embedded sketch header (magic byte) while
+            # keeping the outer framing consistent.
+            wire[_HEADER.size + _EPOCH_META.size] ^= 0xFF
+        with pytest.raises(SerializationError):
+            load_epoch(bytes(wire))
