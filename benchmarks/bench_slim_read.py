@@ -1,0 +1,214 @@
+"""Slim-replica read latency vs fat serialize-and-extract under load.
+
+The fat/slim split exists for exactly one reason: answering a live
+query off the fat sketches means freezing the shard state and folding
+it through export + merge while the ingest lock is held — cost
+proportional to the full table (``d x l`` per shard), paid on every
+refresh, with ingestion stalled behind it.  The slim replica instead
+applies the compact per-chunk deltas the engines already emit, so a
+read costs the drained delta rows plus a concat of cached shard
+tables.
+
+This bench runs both read paths against the *same* daemon while a
+feeder thread ingests at full rate (``live_refresh_packets=0`` so
+every read pays its view's true rebuild cost), interleaving fat and
+slim reads so machine noise hits both alike.  Each sample is the full
+user-visible query: resolve the live planner, project a partial key,
+extract the top-10.
+
+Acceptance gate: slim p95 read latency at least ``GATE``x (3x) better
+than fat p95.  Recorded to ``results/bench_slim_read.json``.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_slim_read.py`` — records the JSON like
+  every other bench.
+* ``python benchmarks/bench_slim_read.py --reads 50`` — standalone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.sharded import SketchSpec  # noqa: E402
+from repro.flowkeys.key import FIVE_TUPLE  # noqa: E402
+from repro.service import MeasurementDaemon, ServiceConfig  # noqa: E402
+from repro.traffic.synthetic import zipf_trace  # noqa: E402
+
+#: Acceptance gate: fat_p95 / slim_p95 must be at least this.
+GATE = 3.0
+
+# Big-table geometry: the fat path's cost scales with d*l per shard,
+# the slim path's with delta rows per drain — this is the regime the
+# split targets (large sketch, steady ingest, dashboard-rate reads).
+FLOWS = 8_000
+L = 65_536
+D = 2
+SHARDS = 2
+CHUNK = 4_096
+PACKETS = 40 * CHUNK
+READS = 30
+WARMUP = 3
+
+HEADERS = ["view", "reads", "p50_s", "p95_s", "speedup"]
+
+_TITLE = "Live read latency under full-rate ingest: slim replica vs fat extract"
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    arr = np.asarray(samples, dtype=np.float64)
+    return {
+        "p50_s": float(np.percentile(arr, 50)),
+        "p95_s": float(np.percentile(arr, 95)),
+    }
+
+
+def run_bench(reads: int = READS) -> Dict:
+    trace = zipf_trace(PACKETS, FLOWS, alpha=1.1, seed=9)
+    config = ServiceConfig(
+        spec=SketchSpec(engine="numpy", variant="basic", d=D, l=L, seed=5),
+        key_spec=FIVE_TUPLE,
+        shards=SHARDS,
+        chunk=CHUNK,
+        live_refresh_packets=0,  # every read pays its true rebuild cost
+    )
+    daemon = MeasurementDaemon(config)
+    partial = FIVE_TUPLE.partial(("SrcIP", 16))
+
+    # Prime: one full pass so the tables are dense before timing starts.
+    for hi, lo, sizes in trace.batches(CHUNK):
+        daemon.ingest(hi, lo, sizes)
+
+    stop = threading.Event()
+
+    def feeder() -> None:
+        while not stop.is_set():
+            for hi, lo, sizes in trace.batches(CHUNK):
+                if stop.is_set():
+                    return
+                daemon.ingest(hi, lo, sizes)
+
+    def measure(view: str) -> float:
+        start = time.perf_counter()
+        _, planner = daemon.live_planner(view=view)
+        planner.table(partial).top_k(10)
+        return time.perf_counter() - start
+
+    latencies: Dict[str, List[float]] = {"fat": [], "slim": []}
+    feed = threading.Thread(target=feeder, daemon=True)
+    feed.start()
+    try:
+        for view in latencies:
+            for _ in range(WARMUP):
+                measure(view)
+        # Interleave so ingest pressure and machine noise hit both
+        # read paths alike.
+        for _ in range(reads):
+            for view in ("fat", "slim"):
+                latencies[view].append(measure(view))
+    finally:
+        stop.set()
+        feed.join(timeout=60)
+    snap = daemon.metrics_snapshot()
+    daemon.close()
+
+    fat = _percentiles(latencies["fat"])
+    slim = _percentiles(latencies["slim"])
+    speedup = fat["p95_s"] / slim["p95_s"]
+    rows = [
+        ["fat-extract", reads, fat["p50_s"], fat["p95_s"], 1.0],
+        ["slim-replica", reads, slim["p50_s"], slim["p95_s"], speedup],
+    ]
+    counters = snap["counters"]
+    return {
+        "rows": rows,
+        "speedup": speedup,
+        "ingested_packets": counters["service.ingest.packets"],
+        "slim_deltas": counters["slim.sync.deltas"],
+        "slim_compactions": counters.get("slim.sync.compactions", 0),
+    }
+
+
+def _extra(bench: Dict) -> Dict:
+    return {
+        "flows": FLOWS,
+        "l": L,
+        "d": D,
+        "shards": SHARDS,
+        "chunk": CHUNK,
+        "gate": GATE,
+        "ingested_packets": bench["ingested_packets"],
+        "slim_deltas": bench["slim_deltas"],
+        "slim_compactions": bench["slim_compactions"],
+    }
+
+
+def test_slim_read_latency(record):
+    """Pytest entry: slim p95 at least GATE x better than fat p95."""
+    bench = run_bench()
+    record(
+        "bench_slim_read", _TITLE, HEADERS, bench["rows"], extra=_extra(bench)
+    )
+    assert bench["speedup"] >= GATE, (
+        f"slim replica only {bench['speedup']:.2f}x faster at p95 "
+        f"(gate {GATE}x)"
+    )
+    assert bench["slim_deltas"] > 0, "replica never synced a delta"
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reads", type=int, default=READS)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent
+            / "results"
+            / "bench_slim_read.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    bench = run_bench(args.reads)
+    print(f"{'view':<14} {'reads':>6} {'p50_s':>10} {'p95_s':>10} {'rel':>7}")
+    for view, reads, p50, p95, rel in bench["rows"]:
+        print(f"{view:<14} {reads:>6} {p50:>10.5f} {p95:>10.5f} {rel:>6.2f}x")
+    print(
+        f"deltas={bench['slim_deltas']} "
+        f"compactions={bench['slim_compactions']} "
+        f"ingested={bench['ingested_packets']}"
+    )
+
+    payload = {
+        "title": _TITLE,
+        "headers": HEADERS,
+        "rows": bench["rows"],
+        "extra": _extra(bench),
+    }
+    out = Path(args.out)
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2))
+    print(f"\nwrote {out}")
+    if bench["speedup"] < GATE:
+        print(
+            f"latency gate FAILED: {bench['speedup']:.2f}x < {GATE}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,15 @@ Design contract (see docs/pipeline.md for the full write-up):
   ``pipeline.<name>.occupancy`` gauge and producer stalls in the
   ``pipeline.<name>.stalls`` counter, all under the existing
   ``repro.obs.metrics/v1`` schema.
+* **Delta emission** — the ``replace`` stage is the single point where
+  sketch state mutates, so it is also where slim-replica deltas leave
+  the pipeline: after the kernel runs, the stage hands the slot's
+  candidate index block ``slot.hashes`` to the sketch's
+  ``_emit_chunk_delta``, which gathers the touched bucket rows for any
+  attached sink (:mod:`repro.query.slim`).  Emission is read-only and
+  happens before the slot is retired, so a sink observes chunks in
+  exact publication order — the property the slim replica's
+  "consistent drained prefix" guarantee rests on.
 """
 
 from __future__ import annotations

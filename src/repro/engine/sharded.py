@@ -225,6 +225,24 @@ def partition_columns(
     return _split_by_assignment(hi, lo, sizes, assign, shards)
 
 
+def shard_table_columns(sketches, key_spec):
+    """Combined flow table of per-shard sketches as one grouped ColumnTable.
+
+    The *sum-of-shards* read semantics the slim replica serves: each
+    shard's recorded table is an unbiased per-flow estimate (Theorem 1),
+    and a flow's combined estimate is the sum of its per-shard estimates
+    — so any partial-key aggregate over the concatenation stays unbiased
+    (Lemma 3).  Unlike the coin-flip state fold
+    (:func:`repro.extensions.merging.merge_many`) this involves no
+    randomness, which is what makes replica-vs-fat differential tests
+    bit-exact.
+    """
+    from repro.query.columns import ColumnTable
+
+    tables = [ColumnTable.from_sketch(sketch, key_spec) for sketch in sketches]
+    return ColumnTable.concat_many(tables, key_spec).group()
+
+
 def _iter_blocks(
     packets: Iterable[Tuple[int, int]], block: int
 ) -> Iterable[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]]:

@@ -168,6 +168,7 @@ class _ReplaceStage(Stage):
                 slot.hi[:n], slot.lo[:n], slot.sizes[:n],
                 slot.hashes, slot.seq_base,
             )
+            self._sketch._emit_chunk_delta(slot.hashes, n)
 
 
 class _StatsStage(Stage):
@@ -193,6 +194,7 @@ class _ColumnarKeyValueSketch(Sketch):
     """
 
     vectorized = True
+    emits_bucket_deltas = True
 
     #: Kernel chunk size: both the staged pipeline's pack stage and the
     #: monolithic ``update_batch`` slice input to at most this many
@@ -348,6 +350,7 @@ class _ColumnarKeyValueSketch(Sketch):
                 delta = self._update_chunk(chi, clo, cw, s.J, self._seq)
                 self._seq += m
                 self._fold_delta(delta)
+                self._emit_chunk_delta(s.J, m)
 
     # -- per-chunk kernels --------------------------------------------
 
@@ -360,6 +363,31 @@ class _ColumnarKeyValueSketch(Sketch):
 
     def _update_chunk(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
         raise NotImplementedError
+
+    def _emit_chunk_delta(self, J, n: int) -> None:
+        """Ship the chunk's dirty-bucket rows to the attached delta sink.
+
+        Every write either kernel performs lands in one of the chunk's
+        candidate buckets ``J[i][p]`` (matched adds, evictions and
+        adoptions all target a candidate), so the sorted-unique
+        candidate set is a lossless superset of the touched rows: a
+        mirror replaying these gathered post-chunk rows in emission
+        order reproduces the fat arrays bit for bit.  Emission is
+        read-only — no RNG draws, no state writes — so an attached sink
+        never perturbs the deterministic replay/epoch contracts.
+        """
+        sink = self._delta_sink
+        if sink is None:
+            return
+        idx = np.unique(J[:, :n] + self._row_offsets)
+        sink.push_buckets(
+            n,
+            idx,
+            self._key_hi_flat[idx],
+            self._key_lo_flat[idx],
+            self._occupied_flat[idx],
+            self._vals_flat[idx],
+        )
 
     def _fold_delta(self, delta: StatsDelta) -> None:
         packets, matched, scans, repl, rejects, evictions, extra = delta

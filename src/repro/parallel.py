@@ -314,6 +314,18 @@ class StreamDriver:
             return None
         return [dump_sketch(run.sketch) for run in self._inline]
 
+    def live_sketches(self) -> Optional[List]:
+        """The in-process shard sketches, in shard order (inline only).
+
+        The slim read plane's attachment surface: the service bootstraps
+        replica mirrors from — and attaches delta sinks to — these exact
+        objects.  Like :meth:`live_blobs`, callers must not race
+        :meth:`send`; returns ``None`` when shards run in workers.
+        """
+        if self._inline is None:
+            return None
+        return [run.sketch for run in self._inline]
+
     def send(self, shard: int, hi, lo, sizes) -> None:
         """Ship one chunk to *shard* (blocks when its credits run out)."""
         if self._closed:

@@ -10,6 +10,10 @@ become sort+reduceat group-bys.  A :class:`~repro.query.planner.QueryPlanner`
 on top shares the extraction and memoizes per-spec projections, which is
 what makes many-query workloads (HHH grids, subset-lattice scans, SQL)
 scale with the vectorised ingest.
+
+For write-heavy serving, :mod:`repro.query.slim` adds the fat/slim
+split: a :class:`~repro.query.slim.SlimReplica` kept fresh by compact
+per-chunk deltas serves reads without pausing ingestion.
 """
 
 from repro.query.columns import ColumnTable
@@ -19,11 +23,15 @@ from repro.query.project import (
     extract_bits,
     project_words,
 )
+from repro.query.slim import BucketDelta, SlimReplica, TableDelta
 
 __all__ = [
+    "BucketDelta",
     "ColumnTable",
     "QueryPlanner",
     "ProjectionPlan",
+    "SlimReplica",
+    "TableDelta",
     "extract_bits",
     "project_words",
 ]

@@ -170,6 +170,32 @@ class ColumnTable:
             np.concatenate([self.values, other.values]),
         )
 
+    @classmethod
+    def concat_many(cls, tables: List["ColumnTable"], spec=None) -> "ColumnTable":
+        """Stack any number of same-spec tables in one concatenation.
+
+        The n-way form of :meth:`concat` — a single allocation however
+        many shards contribute, which is what the slim read plane's
+        per-shard combine wants on its hot path.  A one-table list is
+        returned as-is; an empty list needs *spec* to produce the empty
+        table.
+        """
+        if not tables:
+            if spec is None:
+                raise ValueError("concat_many needs tables or an explicit spec")
+            return cls.empty(spec)
+        first = tables[0]
+        for other in tables[1:]:
+            if other.spec != first.spec:
+                raise ValueError("cannot combine tables over different specs")
+        if len(tables) == 1:
+            return first
+        return cls(
+            first.spec,
+            np.concatenate([t.words for t in tables], axis=1),
+            np.concatenate([t.values for t in tables]),
+        )
+
     def scaled(self, factor: float) -> "ColumnTable":
         """Values multiplied by *factor* (e.g. -1 for change tables)."""
         return ColumnTable(

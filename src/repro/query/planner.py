@@ -37,14 +37,32 @@ class QueryPlanner:
         source: A :class:`~repro.sketches.base.Sketch` (extracted on
             first use) or a ready :class:`ColumnTable` over *spec*.
         spec: The full key the source records.
+        group_base: With the default True a ColumnTable source is
+            grouped up front (unique full keys).  The slim read plane
+            passes False to keep the base raw: the full-key group-by —
+            the most expensive lexsort, over ungrouped occupancy-order
+            rows — is deferred until a query actually needs full-key
+            rows, while partial-key aggregates project straight off the
+            raw rows.  Answers are identical either way: float64 sums
+            of sketch estimates are exact in any order, so grouping
+            before or after projection commutes.
+        version: Optional opaque provenance tag (the service stores its
+            ``(epoch, packets)`` tuple here so answers can carry it).
     """
 
-    def __init__(self, source, spec: FullKeySpec) -> None:
+    def __init__(
+        self,
+        source,
+        spec: FullKeySpec,
+        group_base: bool = True,
+        version=None,
+    ) -> None:
         self.spec = spec
+        self.version = version
         self._sketch = None
         self._base: Optional[ColumnTable] = None
         if isinstance(source, ColumnTable):
-            self._base = source.group()
+            self._base = source.group() if group_base else source
         else:
             self._sketch = source
         self._tables: Dict[PartialKeySpec, ColumnTable] = {}
@@ -86,7 +104,9 @@ class QueryPlanner:
         base = self.base
         with obs.span("query.aggregate"):
             if partial.is_full():
-                table = base
+                # A raw (group_base=False) base pays its full-key
+                # group-by here, once, and only if someone asks.
+                table = base.group()
             else:
                 table = base.aggregate(partial)
         if obs.enabled:

@@ -16,6 +16,12 @@ against live state.  This package is that system layer:
   ``/topk``, ``/epochs``, ``/metrics``) over the live epoch, any
   historical epoch, and merged ranges.
 
+Live reads default to the fat/slim split
+(:class:`~repro.query.slim.SlimReplica`): the fat update plane streams
+compact deltas into a slim replica, so queries are served from a
+bounded delta drain instead of a serialize-and-extract under the
+ingest lock, and every answer carries ``packets_behind`` staleness.
+
 See ``docs/service.md`` for the lifecycle and the epoch model.
 """
 

@@ -23,9 +23,17 @@ true:
   family (from the spec seed) is shared by all epochs, keeping their
   snapshots mergeable.
 
-Live reads never perturb that: :meth:`MeasurementDaemon.live_planner`
-serialises the flushed shard state under the ingest lock and merges
-the copy *outside* the lock with its own ephemeral stream.
+Live reads never perturb that.  The default read path is the *slim*
+one: a :class:`~repro.query.slim.SlimReplica` bootstrapped lazily from
+the fat arrays (a per-array memcpy under the ingest lock, once per
+epoch) and kept fresh by compact per-chunk deltas the engines emit from
+the staged pipeline's replace stage — a read is a bounded delta drain
+under the replica's own lock, not a serialize-and-extract under the
+ingest lock.  The *fat* path (``view="fat"``) keeps the original
+semantics: serialise the flushed shard state under the ingest lock and
+merge the copy *outside* the lock with its own ephemeral stream.
+Either way emission is read-only, so ingestion's RNG streams are never
+advanced by a read.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from repro.hashing.family import mix64
 from repro.obs.registry import TIME_EDGES, MetricsRegistry
 from repro.parallel import StreamDriver
 from repro.query.planner import QueryPlanner
+from repro.query.slim import SlimReplica
 from repro.service.epochs import EpochSnapshot, EpochStore, epoch_merge_seed
 
 _LIVE_MERGE_SALT = 0x11FE5
@@ -96,7 +105,17 @@ class ServiceConfig:
             cached view until at least this many further packets flush
             in the same epoch — readers see a slightly stale but still
             version-consistent snapshot, and heavy query load stops
-            stealing ingest cycles.
+            stealing ingest cycles.  Honoured by both read paths.
+        slim_sync: Maintain the slim read replica
+            (:class:`~repro.query.slim.SlimReplica`).  On by default;
+            the replica costs nothing until the first ``view="slim"``
+            read actually bootstraps it.  ``False`` disables the slim
+            view entirely (reads fall back to the fat path).
+        slim_max_pending_rows: Queued-delta row bound before the
+            replica compacts in-line; ``None`` uses the replica's
+            default (a few multiples of the state size).
+        live_view: Default live read path: ``"slim"``, ``"fat"``, or
+            ``None`` (auto — slim when the replica is enabled).
     """
 
     spec: SketchSpec
@@ -111,6 +130,9 @@ class ServiceConfig:
     history: int = 64
     queue_blocks: int = 8
     live_refresh_packets: int = 0
+    slim_sync: bool = True
+    slim_max_pending_rows: Optional[int] = None
+    live_view: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -139,6 +161,18 @@ class ServiceConfig:
                 f"live_refresh_packets must be >= 0, "
                 f"got {self.live_refresh_packets}"
             )
+        if self.slim_max_pending_rows is not None and self.slim_max_pending_rows < 1:
+            raise ValueError(
+                f"slim_max_pending_rows must be >= 1, "
+                f"got {self.slim_max_pending_rows}"
+            )
+        if self.live_view not in (None, "slim", "fat"):
+            raise ValueError(
+                f"live_view must be 'slim', 'fat' or None, "
+                f"got {self.live_view!r}"
+            )
+        if self.live_view == "slim" and not self.slim_sync:
+            raise ValueError("live_view='slim' requires slim_sync=True")
 
 
 class EpochBuilder:
@@ -228,6 +262,20 @@ class EpochBuilder:
             )
         return self.flushed, blobs
 
+    def live_sketches(self) -> List:
+        """The in-process shard sketch objects, in shard order.
+
+        The slim replica's bootstrap/sink-attachment surface.  Same
+        locking contract as :meth:`live_blobs`; raises when shards run
+        in worker processes.
+        """
+        sketches = self._driver.live_sketches()
+        if sketches is None:
+            raise ServiceError(
+                "live views need inline shards (ServiceConfig.processes=False)"
+            )
+        return sketches
+
     def close(self, closed_at: Optional[float] = None) -> EpochSnapshot:
         """Flush the tail, drain the driver, freeze the snapshot."""
         self._flush(full_only=False)
@@ -277,6 +325,16 @@ class MeasurementDaemon:
             None,
         )
         self._epoch_planners: dict = {}
+        self._replica: Optional[SlimReplica] = (
+            SlimReplica(
+                config.spec,
+                config.key_spec,
+                config.shards,
+                max_pending_rows=config.slim_max_pending_rows,
+            )
+            if config.slim_sync
+            else None
+        )
 
     # ------------------------------------------------------------------
     # write path
@@ -450,23 +508,73 @@ class MeasurementDaemon:
         with self._lock:
             return self._builder.epoch, self._builder.flushed
 
-    def live_planner(self) -> Tuple[Tuple[int, int], QueryPlanner]:
+    @property
+    def default_live_view(self) -> str:
+        """The live view served when a reader names none."""
+        if self.config.live_view is not None:
+            return self.config.live_view
+        return "slim" if self._replica is not None else "fat"
+
+    def live_planner(
+        self, view: Optional[str] = None
+    ) -> Tuple[Tuple[int, int], QueryPlanner]:
         """Consistent queryable view of the live (unclosed) epoch.
 
-        The shard-state copy happens under the ingest lock (no torn
-        reads); the merge runs outside it with an ephemeral stream
-        seeded by the view's version, so concurrent readers rebuild
-        identical views and ingestion's own RNG streams are never
-        advanced by a read.  Returns ``((epoch, packets), planner)``;
-        *packets* counts flushed packets (arrivals still buffered below
-        one chunk become visible at the next flush or rotation).
+        Returns ``((epoch, packets), planner)``; *packets* counts the
+        packets the view covers (arrivals still buffered below one
+        chunk become visible at the next flush or rotation).  Per
+        reader, versions are monotone; ``live_refresh_packets``
+        staleness budgets apply on both paths.
 
-        With ``live_refresh_packets > 0`` the cached view keeps serving
-        until that many further packets have flushed in the same epoch:
-        the returned version is then the cached view's own (older)
-        version, so responses stay self-consistent and per-reader
-        versions stay monotone.
+        ``view="slim"`` (the default when the replica is enabled)
+        serves the incrementally-synced replica.  In steady state —
+        replica already bootstrapped into the current epoch — the read
+        never touches the ingest lock at all: it is a bounded delta
+        drain under the replica's own lock, so it cannot queue behind
+        an in-flight chunk.  Only the first read of an epoch takes the
+        ingest lock, for the epoch check plus a per-array memcpy
+        bootstrap.
+
+        ``view="fat"`` serves the original serialize-and-merge path:
+        the shard-state copy happens under the ingest lock, the merge
+        runs outside it with an ephemeral stream seeded by the view's
+        version, so concurrent readers rebuild identical views.
         """
+        if view is None:
+            view = self.default_live_view
+        if view == "fat":
+            return self._fat_live_planner()
+        if view != "slim":
+            raise ValueError(
+                f"unknown live view {view!r}; choose 'slim' or 'fat'"
+            )
+        replica = self._replica
+        if replica is None:
+            raise ServiceError(
+                "slim live view disabled (ServiceConfig.slim_sync=False)"
+            )
+        # Steady-state fast path: both reads are single references (a
+        # stale glimpse at worst), and a rotation racing past the check
+        # only means this read serves the just-rotated epoch's final
+        # state — a monotone, correctly-versioned answer; the next read
+        # sees the new epoch and re-bootstraps under the lock.
+        if self._closed:
+            raise ServiceError("daemon is closed")
+        if replica.epoch != self._builder.epoch:
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("daemon is closed")
+                builder = self._builder
+                if replica.epoch != builder.epoch:
+                    replica.bootstrap(
+                        builder.epoch,
+                        builder.start_seq,
+                        builder.flushed,
+                        builder.live_sketches(),
+                    )
+        return replica.read(self.config.live_refresh_packets)
+
+    def _fat_live_planner(self) -> Tuple[Tuple[int, int], QueryPlanner]:
         refresh = self.config.live_refresh_packets
         with self._lock:
             if self._closed:
@@ -494,11 +602,48 @@ class MeasurementDaemon:
                 ^ mix64(epoch * _GOLDEN_LIVE + flushed)
             )
             sketch = merge_many([load_sketch(b) for b in blobs], rng=rng)
-        planner = QueryPlanner(sketch, self.config.key_spec)
-        with self._lock:
-            self._live_cache = (version, planner)
-            self.registry.inc("service.live.views")
+        planner = QueryPlanner(sketch, self.config.key_spec, version=version)
+        self._publish_live_view(version, planner)
         return version, planner
+
+    def _publish_live_view(
+        self, version: Tuple[int, int], planner: QueryPlanner
+    ) -> None:
+        """Cache a freshly built fat live view — monotonically.
+
+        The build runs outside the ingest lock, so a slow build can
+        finish after a newer build — or after a rotation — has already
+        published.  Unconditionally overwriting would regress the cache
+        to a pre-rotation planner that ``live_refresh_packets`` then
+        serves against a post-rotation epoch; the guard only ever moves
+        the cache forward in ``(epoch, packets)`` order.
+        """
+        with self._lock:
+            cached_version, _ = self._live_cache
+            if cached_version is None or version >= cached_version:
+                self._live_cache = (version, planner)
+            self.registry.inc("service.live.views")
+
+    def packets_behind(self, epoch: int, packets: int) -> int:
+        """How far a served view lags total ingestion — never undercounted.
+
+        For a view versioned ``(epoch, packets)``, counts every packet
+        the daemon has accepted past the view's covered prefix —
+        including arrivals still buffered below one chunk, so the
+        reported lag is an upper bound on what the view is missing.  An
+        evicted epoch (no start sequence on record) degrades to the
+        maximal overcount, the full sequence length.
+        """
+        with self._lock:
+            seq = self._seq
+            if epoch == self._builder.epoch:
+                start = self._builder.start_seq
+            else:
+                try:
+                    start = self.store.get(epoch).start_seq
+                except KeyError:
+                    return int(seq)
+        return max(int(seq) - (int(start) + int(packets)), 0)
 
     def epoch_planner(self, epoch: int) -> QueryPlanner:
         """Memoized planner over one frozen epoch (immutable → cached)."""
@@ -531,16 +676,27 @@ class MeasurementDaemon:
             )
 
     def metrics_snapshot(self) -> dict:
-        """`repro.obs.metrics/v1` snapshot of the daemon's instruments."""
+        """`repro.obs.metrics/v1` snapshot of the daemon's instruments.
+
+        Includes the slim replica's ``slim.*`` instruments: the replica
+        records into its own registry (readers never contend on the
+        ingest lock), and the two are folded here at snapshot time.
+        """
+        meta = {
+            "service": "repro.service",
+            "shards": self.config.shards,
+            "strategy": self.config.strategy,
+            "seed": self.config.spec.seed,
+        }
         with self._lock:
-            return self.registry.snapshot(
-                meta={
-                    "service": "repro.service",
-                    "shards": self.config.shards,
-                    "strategy": self.config.strategy,
-                    "seed": self.config.spec.seed,
-                }
-            )
+            snap = self.registry.snapshot(meta=meta)
+        replica = self._replica
+        if replica is not None:
+            merged = MetricsRegistry()
+            merged.merge_snapshot(snap)
+            merged.merge_snapshot(replica.metrics_snapshot())
+            snap = merged.snapshot(meta=meta)
+        return snap
 
     def status(self) -> dict:
         """JSON-ready daemon status (what ``/epochs`` wraps)."""

@@ -13,14 +13,23 @@ Endpoints (all GET, JSON responses):
   epoch, or a merged epoch range (time-travel).
 * ``/topk?key=SrcIP[/24][,DstIP...]&k=10&epoch=...`` — top-k flows on
   a partial key.
-* ``/metrics`` — the daemon's ``repro.obs.metrics/v1`` snapshot.
+* ``/metrics`` — the daemon's ``repro.obs.metrics/v1`` snapshot
+  (including the slim replica's ``slim.*`` instruments).
+
+Live queries take ``view=slim`` (the default when the replica is
+enabled) or ``view=fat`` to pick the read path — the incrementally
+synced slim replica vs the serialize-and-merge fat path (see
+docs/service.md).
 
 Every data response carries the ``epoch`` descriptor its rows were
-computed against — ``{"kind": "live", "epoch": E, "packets": P}`` or
-``{"kind": "frozen", ...}`` — which is what the soak suite checks for
-torn reads.  Client errors (bad SQL, unknown field, malformed params)
-are 400s; unknown/evicted epochs are 404s; only genuine bugs surface
-as 500s (the soak asserts none occur).
+computed against — e.g. ``{"kind": "live", "epoch": E, "packets": P,
+"view": "slim", "staleness": {"packets_behind": B}}`` — which is what
+the soak suite checks for torn reads.  ``packets_behind`` counts every
+packet the daemon accepted beyond the answer's covered prefix
+(buffered sub-chunk arrivals included), so the reported staleness is
+never an undercount.  Client errors (bad SQL, unknown field, malformed
+params) are 400s; unknown/evicted epochs are 404s; only genuine bugs
+surface as 500s (the soak asserts none occur).
 """
 
 from __future__ import annotations
@@ -122,13 +131,44 @@ class _Handler(BaseHTTPRequestHandler):
         """Epoch selector → ``(descriptor, planner)``."""
         daemon: MeasurementDaemon = self.server.daemon
         selector = _parse_epoch_selector(params.get("epoch"))
+        view = params.get("view")
+        if view is not None and view not in ("slim", "fat"):
+            raise ValueError(
+                f"unknown view {view!r}; choose 'slim' or 'fat'"
+            )
         if selector == "live":
-            (epoch, packets), planner = daemon.live_planner()
-            return {"kind": "live", "epoch": epoch, "packets": packets}, planner
+            (epoch, packets), planner = daemon.live_planner(view)
+            return (
+                {
+                    "kind": "live",
+                    "epoch": epoch,
+                    "packets": packets,
+                    "view": view or daemon.default_live_view,
+                    "staleness": {
+                        "packets_behind": daemon.packets_behind(epoch, packets)
+                    },
+                },
+                planner,
+            )
+        if view is not None:
+            raise ValueError("'view' only applies to the live epoch")
         if isinstance(selector, tuple):
             lo, hi = selector
             planner = daemon.range_planner(lo, hi)
-            return {"kind": "range", "lo": lo, "hi": hi}, planner
+            tail = daemon.store.get(hi)
+            return (
+                {
+                    "kind": "range",
+                    "lo": lo,
+                    "hi": hi,
+                    "staleness": {
+                        "packets_behind": daemon.packets_behind(
+                            tail.epoch, tail.packets
+                        )
+                    },
+                },
+                planner,
+            )
         snap = daemon.store.get(selector)
         planner = daemon.epoch_planner(selector)
         return (
@@ -137,6 +177,11 @@ class _Handler(BaseHTTPRequestHandler):
                 "epoch": snap.epoch,
                 "packets": snap.packets,
                 "start_seq": snap.start_seq,
+                "staleness": {
+                    "packets_behind": daemon.packets_behind(
+                        snap.epoch, snap.packets
+                    )
+                },
             },
             planner,
         )

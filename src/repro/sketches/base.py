@@ -105,6 +105,34 @@ class Sketch(abc.ABC):
     #: leaves it False so callers can pick sensible batch defaults.
     vectorized: bool = False
 
+    #: True when the sketch emits compact per-chunk bucket deltas
+    #: (``sink.push_buckets``) from its update path; scalar sketches
+    #: leave it False and fall back to full-table deltas
+    #: (``sink.push_table``) once per :meth:`process_columns` call.
+    emits_bucket_deltas: bool = False
+
+    #: Slim-replica delta sink (:mod:`repro.query.slim`).  ``None`` —
+    #: the default — keeps every emission a no-op, so sketches that are
+    #: never mirrored pay nothing.
+    _delta_sink = None
+
+    def attach_delta_sink(self, sink) -> None:
+        """Start streaming state deltas to *sink* after every update.
+
+        The sink sees either compact bucket deltas (columnar engines,
+        ``push_buckets``) or full-table deltas (scalar sketches,
+        ``push_table``).  Emission is strictly read-only — it never
+        draws from the sketch's RNG or touches its state — so attaching
+        a sink cannot perturb the deterministic replay contracts.
+        """
+        self._delta_sink = sink
+
+    def detach_delta_sink(self):
+        """Stop emitting deltas; returns the previously attached sink."""
+        sink = self._delta_sink
+        self._delta_sink = None
+        return sink
+
     @abc.abstractmethod
     def update(self, key: int, size: int = 1) -> None:
         """Fold one packet ``(key, size)`` into the sketch."""
@@ -208,14 +236,21 @@ class Sketch(abc.ABC):
             update = self.update
             for key, size in iter_batch((hi, lo), sizes):
                 update(key, size)
-            return
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        for start in range(0, n, batch_size):
-            stop = start + batch_size
-            self.update_batch(
-                (hi[start:stop], lo[start:stop]), sizes[start:stop]
-            )
+        else:
+            if batch_size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            for start in range(0, n, batch_size):
+                stop = start + batch_size
+                self.update_batch(
+                    (hi[start:stop], lo[start:stop]), sizes[start:stop]
+                )
+        # Scalar sketches have no compact dirty set; a full-table dump
+        # once per block is their (valid, if fat) delta.  Columnar
+        # engines override this method and emit per-chunk bucket deltas
+        # instead, so the two never double-emit.
+        sink = self._delta_sink
+        if sink is not None:
+            sink.push_table(n, self.flow_table())
 
     def reset(self) -> None:
         """Clear all state.  Subclasses with cheap re-init may override."""

@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.flowkeys.key import FIVE_TUPLE, paper_partial_keys
 from repro.traffic.synthetic import caida_like, zipf_trace
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep tier-1 fast: heavy soaks only run when REPRO_SOAK is set."""
+    if os.environ.get("REPRO_SOAK"):
+        return
+    skip_soak = pytest.mark.skip(reason="soak test; set REPRO_SOAK=1 to run")
+    for item in items:
+        if "slim_soak" in item.keywords:
+            item.add_marker(skip_soak)
 
 
 @pytest.fixture(scope="session")

@@ -314,6 +314,48 @@ def assert_partial_key_unbiased_states(
     )
 
 
+def assert_partial_key_unbiased_planners(
+    make_planner: Callable[[int], object],
+    trace,
+    spec,
+    trials: int,
+    base_seed: int = 0,
+    rank: int = 5,
+    z: float = DEFAULT_Z,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    label: str = "planner estimate",
+) -> UnbiasednessCheck:
+    """Lemma 3 unbiasedness on *planner-served* answers.
+
+    The replica-facing variant of
+    :func:`assert_partial_key_unbiased_states`: ``make_planner(seed)``
+    returns any object exposing the QueryPlanner read interface
+    (``table(partial)`` whose result supports ``lookup``) that has
+    already absorbed *trace* under that seed — e.g. a daemon's slim
+    live planner, or a composite summing a slim live view with a
+    merged epoch range.  The answers a *reader* would actually receive
+    are the samples, so the gate covers the full serve path (delta
+    drain, raw-base aggregation, shard concatenation) rather than raw
+    sketch state.  Honours the same ``REPRO_STAT_*`` margins.
+    """
+    truth = trace.ground_truth(spec)
+    ranked = sorted(truth.items(), key=lambda kv: -kv[1])
+    target, target_size = ranked[min(rank, len(ranked) - 1)]
+
+    def estimate(seed: int) -> float:
+        planner = make_planner(seed)
+        return planner.table(spec).lookup(target)
+
+    estimates = trial_estimates(estimate, trials, base_seed)
+    return assert_unbiased(
+        estimates,
+        target_size,
+        z=z,
+        rel_floor=rel_floor,
+        label=f"{label} [{spec.name}]",
+    )
+
+
 def assert_partial_key_unbiased(
     make_sketch: Callable[[int], object],
     trace,

@@ -392,10 +392,12 @@ def _get(url, timeout=20):
         return resp.status, json.loads(resp.read())
 
 
-def _sql_url(base, sql, epoch=None):
+def _sql_url(base, sql, epoch=None, view=None):
     query = f"sql={urllib.parse.quote(sql)}"
     if epoch is not None:
         query += f"&epoch={epoch}"
+    if view is not None:
+        query += f"&view={view}"
     return f"{base}/query?{query}"
 
 
@@ -433,13 +435,21 @@ class TestHttpSoak:
 
         def client(idx):
             rng = random.Random(100 + idx)
-            last_live = (-1, -1)
+            last_live = {"slim": (-1, -1), "fat": (-1, -1)}
             served = 0
             try:
                 while feeding.is_set() or served < 10:
                     choice = rng.random()
-                    if choice < 0.4:
+                    if choice < 0.2:
                         status, payload = _get(_sql_url(base, SOAK_SQL))
+                    elif choice < 0.3:
+                        status, payload = _get(
+                            _sql_url(base, SOAK_SQL, view="slim")
+                        )
+                    elif choice < 0.4:
+                        status, payload = _get(
+                            _sql_url(base, SOAK_SQL, view="fat")
+                        )
                     elif choice < 0.6:
                         status, payload = _get(
                             f"{base}/topk?key=SrcIP/8&k=5"
@@ -468,14 +478,20 @@ class TestHttpSoak:
                     desc = payload["epoch"]
                     if desc["kind"] == "live":
                         version = (desc["epoch"], desc["packets"])
-                        # No torn reads: live views move monotonically.
-                        assert version >= last_live, (version, last_live)
-                        last_live = version
+                        view = desc["view"]
+                        assert view in ("slim", "fat"), desc
+                        # No torn reads: per view, live versions move
+                        # monotonically for a single reader.
+                        assert version >= last_live[view], (version, desc)
+                        last_live[view] = version
+                        assert desc["staleness"]["packets_behind"] >= 0
                     elif desc["kind"] == "frozen":
                         # Frozen epochs are immutable and exactly sized.
                         assert desc["packets"] == self.EPOCH_PACKETS
+                        assert desc["staleness"]["packets_behind"] >= 0
                     else:
                         assert desc["lo"] <= desc["hi"]
+                        assert desc["staleness"]["packets_behind"] >= 0
                 return served
             except Exception as exc:  # pragma: no cover - failure detail
                 errors.append((idx, exc))
@@ -632,6 +648,82 @@ class TestDaemonLifecycle:
         assert version_c == (snap.epoch + 1, 0)
         assert planner_c is not planner_a
         daemon.close()
+
+    def test_stale_fat_build_never_clobbers_fresher_cache(self):
+        """Regression: a fat live build finishing after a rotation (or
+        after a newer build) must not overwrite the cache — otherwise
+        ``live_refresh_packets`` serves a pre-rotation planner tagged
+        with a post-rotation epoch id.
+        """
+        from repro.query import QueryPlanner
+
+        daemon = MeasurementDaemon(
+            make_config(live_refresh_packets=1_000_000)
+        )
+        trace = make_trace(2 * CHUNK)
+        for hi, lo, sizes in trace.batches(CHUNK):
+            daemon.ingest(hi, lo, sizes)
+        version_a, planner_a = daemon.live_planner(view="fat")
+        assert version_a == (0, 2 * CHUNK)
+
+        # A slow concurrent build from an older flushed point lands late:
+        stale = QueryPlanner(
+            daemon.config.spec.build(), FIVE_TUPLE, version=(0, 0)
+        )
+        daemon._publish_live_view((0, 0), stale)
+        version_b, planner_b = daemon.live_planner(view="fat")
+        assert version_b == version_a and planner_b is planner_a
+
+        snap = daemon.rotate()
+        version_c, planner_c = daemon.live_planner(view="fat")
+        assert version_c == (snap.epoch + 1, 0)
+        assert planner_c is not planner_a
+
+        # A pre-rotation build arriving after the rotation: the cache
+        # must stay on the post-rotation epoch, version/epoch agreeing.
+        daemon._publish_live_view(version_a, planner_a)
+        version_d, planner_d = daemon.live_planner(view="fat")
+        assert version_d == version_c and planner_d is planner_c
+        daemon.close()
+
+    def test_live_view_selection_and_errors(self):
+        daemon = MeasurementDaemon(make_config())
+        assert daemon.default_live_view == "slim"
+        with pytest.raises(ValueError):
+            daemon.live_planner(view="bogus")
+        daemon.close()
+
+        with pytest.raises(ValueError):
+            make_config(live_view="bogus")
+        with pytest.raises(ValueError):
+            make_config(slim_sync=False, live_view="slim")
+        with pytest.raises(ValueError):
+            make_config(slim_max_pending_rows=0)
+
+        fat_only = MeasurementDaemon(make_config(slim_sync=False))
+        assert fat_only.default_live_view == "fat"
+        trace = make_trace(CHUNK)
+        for hi, lo, sizes in trace.batches(CHUNK):
+            fat_only.ingest(hi, lo, sizes)
+        version, _ = fat_only.live_planner()  # auto -> fat
+        assert version == (0, CHUNK)
+        with pytest.raises(ServiceError):
+            fat_only.live_planner(view="slim")
+        with ServiceServer(fat_only) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(_sql_url(server.url, SOAK_SQL, view="slim"))
+            assert err.value.code == 409
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(_sql_url(server.url, SOAK_SQL, view="nope"))
+            assert err.value.code == 400
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(_sql_url(server.url, SOAK_SQL, epoch=0, view="fat"))
+            assert err.value.code == 400  # view is live-only
+            status, payload = _get(_sql_url(server.url, SOAK_SQL, view="fat"))
+            assert status == 200
+            assert payload["epoch"]["view"] == "fat"
+            assert payload["epoch"]["staleness"]["packets_behind"] == 0
+        fat_only.close()
 
     def test_ingest_error_surfaces_through_offer(self):
         daemon = MeasurementDaemon(make_config())
