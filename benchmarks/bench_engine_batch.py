@@ -23,16 +23,23 @@ The pipeline sweep times each stage of the staged numpy engine
 (hash → replace → stats) via the ``pipeline.stage.*`` metric spans and
 records the per-stage breakdown with chunk/stall counters.
 
+The kernels sweep races the replace-stage backends
+(:mod:`repro.engine.kernels`): staged-numpy vs the numba-jitted kernel
+when the compiler is importable, gated on the compiled replace stage
+clearing ``KERNEL_REPLACE_FLOOR`` (2x) at full standalone scale.
+
 Runs two ways:
 
 * ``pytest benchmarks/bench_engine_batch.py`` — records
   ``results/bench_engine_batch.json``,
-  ``results/bench_shard_sweep.json``, and
-  ``results/bench_pipeline_stages.json`` like every other bench (the
-  smoke sizes trim the traces for CI).
+  ``results/bench_shard_sweep.json``,
+  ``results/bench_pipeline_stages.json``, and
+  ``results/bench_kernels.json`` like every other bench (the smoke
+  sizes trim the traces for CI).
 * ``python benchmarks/bench_engine_batch.py --packets 500000`` —
   standalone sweeps printing the tables and writing the same JSON
-  (``--sweep engine|shards|obs|pipeline|all`` selects which).
+  (``--sweep engine|shards|obs|pipeline|kernels|all`` selects which;
+  every sweep writes ``results/<name>.json`` under ``--out-dir``).
 """
 
 from __future__ import annotations
@@ -387,6 +394,128 @@ def run_pipeline_stages(packets: int, flows: int, seed: int = 7) -> Dict:
     }
 
 
+KERNEL_HEADERS = [
+    "variant",
+    "kernel",
+    "pps",
+    "replace_total_s",
+    "replace_us_per_chunk",
+    "replace_speedup",
+    "pipeline_speedup",
+]
+
+#: Kernel acceptance (standalone at >= 500k packets, numba installed):
+#: the compiled replace stage must run >= 2x the staged-numpy replace
+#: stage.  The CI-sized pytest entry uses the directional floor — a
+#: 120k-packet trace leaves the jitted loop little to amortise over.
+KERNEL_REPLACE_FLOOR = 2.0
+KERNEL_REPLACE_CI_FLOOR = 1.3
+
+
+def _kernel_sketch(variant: str, backend: str, seed: int):
+    """A numpy-engine sketch pinned to one kernel backend."""
+    from repro.engine.base import buckets_for_memory
+    from repro.engine.vectorized import (
+        NumpyCocoSketch,
+        NumpyHardwareCocoSketch,
+    )
+    from repro.sketches.base import DEFAULT_KEY_BYTES
+
+    l = buckets_for_memory(mem_bytes(MEMORY_KB), 2, DEFAULT_KEY_BYTES)
+    cls = NumpyCocoSketch if variant == "basic" else NumpyHardwareCocoSketch
+    return cls(2, l, seed=seed, kernels=backend)
+
+
+def run_kernel_sweep(
+    packets: int, flows: int, seed: int = 7, repeats: int = 2
+) -> Dict:
+    """Replace-stage kernel backends head to head on the staged pipeline.
+
+    Runs each numpy variant once per available backend (``numpy``
+    always; ``numba`` when importable) under a metrics registry, takes
+    the best of *repeats* by replace-stage time, and reports both the
+    stage-level speedup (``pipeline.stage.replace`` span, the tentpole
+    gate) and the whole-pipeline packet rate.  Jit compilation happens
+    in an explicit warmup before any timed run, and the recorded
+    ``pipeline.kernel`` gauge is checked against the requested backend
+    so the sweep can never silently measure the fallback path.
+    """
+    from repro.engine import kernels as kernels_mod
+
+    trace = zipf_trace(packets, flows, alpha=1.05, seed=seed)
+    backends = ["numpy"]
+    if kernels_mod.numba_available():
+        backends.append("numba")
+    for _ in trace.batches(16384):  # warm the trace column cache
+        break
+    rows: List[List] = []
+    speedups: Dict[str, float] = {}
+    failures: List[str] = []
+    for variant in ("basic", "hardware"):
+        stats: Dict[str, Dict] = {}
+        for backend in backends:
+            kernels_mod.warmup(kernels_mod.resolve_kernels(backend))
+            best = None
+            for _ in range(repeats):
+                sketch = _kernel_sketch(variant, backend, seed)
+                with obs.collecting() as reg:
+                    start = time.perf_counter()
+                    sketch.process(trace)
+                    elapsed = time.perf_counter() - start
+                snap = reg.snapshot()
+                gauge = snap["gauges"].get("pipeline.kernel")
+                expected = kernels_mod.KERNEL_BACKEND_CODES[backend]
+                if gauge != expected:
+                    raise RuntimeError(
+                        f"{variant}/{backend}: pipeline.kernel gauge is "
+                        f"{gauge!r}, expected {expected!r} — dispatch "
+                        "did not activate the requested backend"
+                    )
+                span = snap["spans"]["pipeline.stage.replace"]
+                run = {
+                    "pps": len(trace) / elapsed,
+                    "replace_total_s": span["total_s"],
+                    "chunks": span["count"],
+                }
+                if best is None or run["replace_total_s"] < best["replace_total_s"]:
+                    best = run
+            stats[backend] = best
+        base = stats["numpy"]
+        for backend in backends:
+            st = stats[backend]
+            replace_speedup = base["replace_total_s"] / st["replace_total_s"]
+            rows.append(
+                [
+                    variant,
+                    backend,
+                    st["pps"],
+                    st["replace_total_s"],
+                    st["replace_total_s"] / max(st["chunks"], 1) * 1e6,
+                    replace_speedup,
+                    st["pps"] / base["pps"],
+                ]
+            )
+            speedups[f"{variant}@{backend}"] = replace_speedup
+        if "numba" in backends and packets >= 500_000:
+            ratio = speedups[f"{variant}@numba"]
+            if ratio < KERNEL_REPLACE_FLOOR:
+                failures.append(
+                    f"{variant}: compiled replace stage is {ratio:.2f}x "
+                    f"staged-numpy (floor {KERNEL_REPLACE_FLOOR})"
+                )
+    return {
+        "packets": packets,
+        "flows": flows,
+        "rows": rows,
+        "speedups": speedups,
+        "backends": backends,
+        "numba_available": "numba" in backends,
+        "floor": KERNEL_REPLACE_FLOOR,
+        "ci_floor": KERNEL_REPLACE_CI_FLOOR,
+        "failures": failures,
+    }
+
+
 def test_engine_batch_throughput(record):
     """Pytest entry: small sweep sized for CI, same JSON artifact."""
     sweep = run_sweep(packets=120_000, flows=40_000)
@@ -450,6 +579,41 @@ def test_pipeline_stage_breakdown(record):
         assert sweep["variants"][variant]["chunks"] > 0
 
 
+def test_kernel_sweep(record):
+    """Pytest entry: kernel-backend sweep, same JSON artifact.
+
+    Runs numpy-only where numba is absent (the artifact still records
+    the fallback baseline); with numba present it additionally asserts
+    the directional replace-stage floor — the 2x acceptance gate runs
+    at full standalone scale.
+    """
+    sweep = run_kernel_sweep(packets=120_000, flows=40_000)
+    record(
+        "bench_kernels",
+        "Replace-stage kernels: compiled vs numpy on the staged pipeline",
+        KERNEL_HEADERS,
+        sweep["rows"],
+        extra={
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "backends": sweep["backends"],
+            "numba_available": sweep["numba_available"],
+            "floor": sweep["floor"],
+            "ci_floor": sweep["ci_floor"],
+        },
+    )
+    measured = {(row[0], row[1]) for row in sweep["rows"]}
+    for variant in ("basic", "hardware"):
+        assert (variant, "numpy") in measured
+        if sweep["numba_available"]:
+            assert (variant, "numba") in measured
+            ratio = sweep["speedups"][f"{variant}@numba"]
+            assert ratio >= KERNEL_REPLACE_CI_FLOOR, (
+                f"{variant}: compiled replace stage is {ratio:.2f}x "
+                f"staged-numpy (CI floor {KERNEL_REPLACE_CI_FLOOR})"
+            )
+
+
 def test_shard_sweep_scaling(record):
     """Pytest entry: CI-sized shard sweep, same JSON artifact."""
     sweep = run_shard_sweep(packets=120_000, flows=20_000, gate_trials=3)
@@ -491,6 +655,158 @@ def _print_shard_sweep(sweep: Dict) -> None:
     print(f"ARE gate: {sweep['are_gate']['detail']}")
 
 
+# -- standalone sweep registry ----------------------------------------
+#
+# Every sweep is one entry: the ``--sweep`` key doubles as the CLI
+# choice, ``results/<result_name>.json`` is the recorded artifact (the
+# same name the pytest entry passes to ``record``), and the driver
+# returns (rows-payload, failure-strings).  A non-empty failure list
+# fails the process, so adding a sweep here inherits the floor-gate
+# conventions instead of reinventing them.
+
+
+def _drive_engine(args) -> tuple:
+    sweep = run_sweep(args.packets, args.flows, seed=args.seed)
+    print(f"{'variant':<10} {'engine':<8} {'batch':>7} {'pps':>12} {'speedup':>8}")
+    for variant, engine, batch, pps, speedup in sweep["rows"]:
+        print(f"{variant:<10} {engine:<8} {batch!s:>7} {pps:>12.0f} {speedup:>7.2f}x")
+    payload = {
+        "title": "Engine throughput: scalar vs numpy by batch size",
+        "headers": HEADERS,
+        "rows": sweep["rows"],
+        "extra": {"packets": sweep["packets"], "flows": sweep["flows"]},
+    }
+    failures = [f"large-batch guard: {f}" for f in sweep["cliff_failures"]]
+    return payload, failures
+
+
+def _drive_shards(args) -> tuple:
+    sweep = run_shard_sweep(args.packets, args.shard_flows, seed=args.seed)
+    _print_shard_sweep(sweep)
+    payload = {
+        "title": "Sharded pipeline: throughput scaling and accuracy by shard count",
+        "headers": SHARD_HEADERS,
+        "rows": sweep["rows"],
+        "extra": {
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "engine": sweep["engine"],
+            "driver_efficiency": sweep["driver_efficiency"],
+            "are_gate": sweep["are_gate"],
+        },
+    }
+    failures = []
+    if not sweep["are_gate"]["passed"]:
+        failures.append("shard-sweep ARE gate: " + sweep["are_gate"]["detail"])
+    # Driver-overhead gate at full scale only: below ~500k packets the
+    # per-worker spawn cost dominates and the ratio is meaningless (the
+    # CI smoke runs at 120k).
+    efficiency = sweep["driver_efficiency"].get(2)
+    if args.packets >= 500_000 and efficiency is not None:
+        if efficiency < DRIVER_EFFICIENCY_FLOOR:
+            failures.append(
+                f"driver efficiency gate: {efficiency:.2f} at 2 shards "
+                f"(floor {DRIVER_EFFICIENCY_FLOOR})"
+            )
+    return payload, failures
+
+
+def _drive_obs(args) -> tuple:
+    sweep = run_obs_overhead(args.packets, args.flows, seed=args.seed)
+    print(f"{'variant':<10} {'plain pps':>12} {'instr pps':>12} {'ratio':>7}")
+    for variant, plain, instrumented, ratio in sweep["rows"]:
+        print(
+            f"{variant:<10} {plain:>12.0f} {instrumented:>12.0f} "
+            f"{ratio:>6.3f}x"
+        )
+    payload = {
+        "title": "Observability overhead: numpy engine with metrics on vs off",
+        "headers": OBS_HEADERS,
+        "rows": sweep["rows"],
+        "extra": {
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "floor": sweep["floor"],
+        },
+    }
+    failures = [
+        f"obs overhead gate: {variant} ratio {ratio:.3f} "
+        f"(floor {OBS_OVERHEAD_FLOOR})"
+        for variant, ratio in sweep["ratios"].items()
+        if ratio < OBS_OVERHEAD_FLOOR
+    ]
+    return payload, failures
+
+
+def _drive_pipeline(args) -> tuple:
+    sweep = run_pipeline_stages(args.packets, args.flows, seed=args.seed)
+    print(
+        f"{'variant':<10} {'stage':<8} {'chunks':>7} {'total s':>9} "
+        f"{'us/chunk':>9} {'share':>6}"
+    )
+    for variant, stage, chunks, total_s, mean_us, share in sweep["rows"]:
+        print(
+            f"{variant:<10} {stage:<8} {chunks:>7} {total_s:>9.4f} "
+            f"{mean_us:>9.1f} {share:>5.0%}"
+        )
+    for variant, stats in sweep["variants"].items():
+        print(
+            f"{variant}: {stats['chunks']} chunks, "
+            f"{stats['stalls']} stalls, {stats['pps']:,.0f} pps"
+        )
+    payload = {
+        "title": "Staged pipeline: per-stage timing breakdown (numpy engines)",
+        "headers": PIPELINE_HEADERS,
+        "rows": sweep["rows"],
+        "extra": {
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "variants": sweep["variants"],
+        },
+    }
+    return payload, []
+
+
+def _drive_kernels(args) -> tuple:
+    sweep = run_kernel_sweep(args.packets, args.flows, seed=args.seed)
+    print(
+        f"{'variant':<10} {'kernel':<8} {'pps':>12} {'replace s':>10} "
+        f"{'us/chunk':>9} {'repl x':>7} {'pipe x':>7}"
+    )
+    for variant, kernel, pps, total_s, mean_us, rx, px in sweep["rows"]:
+        print(
+            f"{variant:<10} {kernel:<8} {pps:>12.0f} {total_s:>10.4f} "
+            f"{mean_us:>9.1f} {rx:>6.2f}x {px:>6.2f}x"
+        )
+    if not sweep["numba_available"]:
+        print("numba not installed — numpy baseline only, no gate applied")
+    payload = {
+        "title": "Replace-stage kernels: compiled vs numpy on the staged pipeline",
+        "headers": KERNEL_HEADERS,
+        "rows": sweep["rows"],
+        "extra": {
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "backends": sweep["backends"],
+            "numba_available": sweep["numba_available"],
+            "floor": sweep["floor"],
+            "ci_floor": sweep["ci_floor"],
+        },
+    }
+    failures = [f"kernel gate: {f}" for f in sweep["failures"]]
+    return payload, failures
+
+
+#: sweep key -> (results/ artifact stem, legacy out-flag dest, driver).
+SWEEPS = {
+    "engine": ("bench_engine_batch", "out", _drive_engine),
+    "shards": ("bench_shard_sweep", "shard_out", _drive_shards),
+    "obs": ("bench_obs_overhead", "obs_out", _drive_obs),
+    "pipeline": ("bench_pipeline_stages", "pipeline_out", _drive_pipeline),
+    "kernels": ("bench_kernels", "kernels_out", _drive_kernels),
+}
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--packets", type=int, default=500_000)
@@ -498,144 +814,43 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--sweep",
-        choices=("engine", "shards", "obs", "pipeline", "all"),
+        choices=tuple(SWEEPS) + ("all",),
         default="engine",
         help="which sweep(s) to run standalone",
     )
     parser.add_argument("--shard-flows", type=int, default=50_000)
     parser.add_argument(
-        "--out",
-        default=str(Path(__file__).resolve().parent.parent / "results" / "bench_engine_batch.json"),
+        "--out-dir",
+        default=str(Path(__file__).resolve().parent.parent / "results"),
+        help="directory for the results/<sweep>.json artifacts",
     )
-    parser.add_argument(
-        "--shard-out",
-        default=str(Path(__file__).resolve().parent.parent / "results" / "bench_shard_sweep.json"),
-    )
-    parser.add_argument(
-        "--obs-out",
-        default=str(Path(__file__).resolve().parent.parent / "results" / "bench_obs_overhead.json"),
-    )
-    parser.add_argument(
-        "--pipeline-out",
-        default=str(Path(__file__).resolve().parent.parent / "results" / "bench_pipeline_stages.json"),
-    )
+    for result_name, dest, _driver in SWEEPS.values():
+        flag = "--" + dest.replace("_", "-")
+        parser.add_argument(
+            flag,
+            default=None,
+            help=f"override path for {result_name}.json",
+        )
     args = parser.parse_args(argv)
 
-    if args.sweep in ("engine", "all"):
-        sweep = run_sweep(args.packets, args.flows, seed=args.seed)
-        print(f"{'variant':<10} {'engine':<8} {'batch':>7} {'pps':>12} {'speedup':>8}")
-        for variant, engine, batch, pps, speedup in sweep["rows"]:
-            print(f"{variant:<10} {engine:<8} {batch!s:>7} {pps:>12.0f} {speedup:>7.2f}x")
-
-        payload = {
-            "title": "Engine throughput: scalar vs numpy by batch size",
-            "headers": HEADERS,
-            "rows": sweep["rows"],
-            "extra": {"packets": sweep["packets"], "flows": sweep["flows"]},
-        }
-        out = Path(args.out)
-        out.parent.mkdir(exist_ok=True)
-        out.write_text(json.dumps(payload, indent=2))
-        print(f"\nwrote {out}")
-        if sweep["cliff_failures"]:
-            for failure in sweep["cliff_failures"]:
-                print(f"large-batch guard FAILED: {failure}", file=sys.stderr)
-            return 1
-
-    if args.sweep in ("shards", "all"):
-        sweep = run_shard_sweep(
-            args.packets, args.shard_flows, seed=args.seed
+    status = 0
+    selected = tuple(SWEEPS) if args.sweep == "all" else (args.sweep,)
+    for key in selected:
+        result_name, dest, driver = SWEEPS[key]
+        payload, failures = driver(args)
+        override = getattr(args, dest)
+        out = (
+            Path(override)
+            if override
+            else Path(args.out_dir) / f"{result_name}.json"
         )
-        _print_shard_sweep(sweep)
-        payload = {
-            "title": "Sharded pipeline: throughput scaling and accuracy by shard count",
-            "headers": SHARD_HEADERS,
-            "rows": sweep["rows"],
-            "extra": {
-                "packets": sweep["packets"],
-                "flows": sweep["flows"],
-                "engine": sweep["engine"],
-                "driver_efficiency": sweep["driver_efficiency"],
-                "are_gate": sweep["are_gate"],
-            },
-        }
-        out = Path(args.shard_out)
-        out.parent.mkdir(exist_ok=True)
+        out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2))
         print(f"\nwrote {out}")
-        if not sweep["are_gate"]["passed"]:
-            print("shard-sweep ARE gate FAILED", file=sys.stderr)
-            return 1
-        # Driver-overhead gate at full scale only: below ~500k packets
-        # the per-worker spawn cost dominates and the ratio is
-        # meaningless (the CI smoke runs at 120k).
-        efficiency = sweep["driver_efficiency"].get(2)
-        if args.packets >= 500_000 and efficiency is not None:
-            if efficiency < DRIVER_EFFICIENCY_FLOOR:
-                print(
-                    f"driver efficiency gate FAILED: {efficiency:.2f} at "
-                    f"2 shards (floor {DRIVER_EFFICIENCY_FLOOR})",
-                    file=sys.stderr,
-                )
-                return 1
-
-    if args.sweep in ("obs", "all"):
-        sweep = run_obs_overhead(args.packets, args.flows, seed=args.seed)
-        print(f"{'variant':<10} {'plain pps':>12} {'instr pps':>12} {'ratio':>7}")
-        for variant, plain, instrumented, ratio in sweep["rows"]:
-            print(
-                f"{variant:<10} {plain:>12.0f} {instrumented:>12.0f} "
-                f"{ratio:>6.3f}x"
-            )
-        payload = {
-            "title": "Observability overhead: numpy engine with metrics on vs off",
-            "headers": OBS_HEADERS,
-            "rows": sweep["rows"],
-            "extra": {
-                "packets": sweep["packets"],
-                "flows": sweep["flows"],
-                "floor": sweep["floor"],
-            },
-        }
-        out = Path(args.obs_out)
-        out.parent.mkdir(exist_ok=True)
-        out.write_text(json.dumps(payload, indent=2))
-        print(f"\nwrote {out}")
-        if any(r < OBS_OVERHEAD_FLOOR for r in sweep["ratios"].values()):
-            print("obs overhead gate FAILED", file=sys.stderr)
-            return 1
-
-    if args.sweep in ("pipeline", "all"):
-        sweep = run_pipeline_stages(args.packets, args.flows, seed=args.seed)
-        print(
-            f"{'variant':<10} {'stage':<8} {'chunks':>7} {'total s':>9} "
-            f"{'us/chunk':>9} {'share':>6}"
-        )
-        for variant, stage, chunks, total_s, mean_us, share in sweep["rows"]:
-            print(
-                f"{variant:<10} {stage:<8} {chunks:>7} {total_s:>9.4f} "
-                f"{mean_us:>9.1f} {share:>5.0%}"
-            )
-        for variant, stats in sweep["variants"].items():
-            print(
-                f"{variant}: {stats['chunks']} chunks, "
-                f"{stats['stalls']} stalls, {stats['pps']:,.0f} pps"
-            )
-        payload = {
-            "title": "Staged pipeline: per-stage timing breakdown (numpy engines)",
-            "headers": PIPELINE_HEADERS,
-            "rows": sweep["rows"],
-            "extra": {
-                "packets": sweep["packets"],
-                "flows": sweep["flows"],
-                "variants": sweep["variants"],
-            },
-        }
-        out = Path(args.pipeline_out)
-        out.parent.mkdir(exist_ok=True)
-        out.write_text(json.dumps(payload, indent=2))
-        print(f"\nwrote {out}")
-    return 0
+        for failure in failures:
+            print(f"{key} sweep FAILED: {failure}", file=sys.stderr)
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ sketch each, combined by the unbiased Theorem 1 merge — and prints the
 aggregate and per-worker packet rates.  ``--memory-kb`` stays the
 *per-worker* budget, so accuracy at a given ``--memory-kb`` is
 comparable across shard counts.
+
+``--kernels auto|numba|numpy|python`` picks the replace-stage kernel
+backend for numpy-based engines (exported as ``REPRO_KERNELS`` so
+sharded workers inherit it); the resolved backend lands in the
+``--profile`` meta block and the ``pipeline.kernel`` gauge.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from typing import Callable, List
 
 from repro.core.query import FlowTable
 from repro.engine import available_engines, get_engine
+from repro.engine.kernels import BACKEND_CHOICES, BACKEND_ENV, resolve_kernels
 from repro.flowkeys.key import FIVE_TUPLE, PartialKeySpec, paper_partial_keys
 from repro.metrics.accuracy import (
     evaluate_heavy_hitters,
@@ -137,6 +143,7 @@ def _with_metrics(args: argparse.Namespace, body: Callable[[], int]) -> int:
             "engine": args.engine,
             "shards": args.shards,
             "seed": args.seed,
+            "kernels": resolve_kernels(getattr(args, "kernels", None)).name,
         }
     )
     if args.metrics_out:
@@ -311,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="packets per update_batch call (default: engine's choice)",
     )
     common.add_argument(
+        "--kernels",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help="replace-stage kernel backend for numpy-based engines: "
+        "auto probes numba and falls back to numpy; numba/python are "
+        "strict (sets REPRO_KERNELS for this run, workers included)",
+    )
+    common.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -428,6 +443,15 @@ def main(argv: List[str] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    kernels = getattr(args, "kernels", None)
+    if kernels:
+        # Export before any engine or worker pool exists so sharded
+        # workers (spawned subprocesses) resolve the same backend, and
+        # fail fast on a strict request the host cannot satisfy.
+        import os
+
+        os.environ[BACKEND_ENV] = kernels
+        resolve_kernels(kernels)
     return args.func(args)
 
 

@@ -51,6 +51,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.kernels import KERNEL_BACKEND_CODES, KERNEL_GAUGE
 from repro.obs.registry import get_registry
 
 
@@ -204,6 +205,9 @@ class StagedPipeline:
             the full stage ladder can be in flight plus one slot
             filling (minimum 4 keeps tiny pipelines overlapped).
         name: Label used in metric names (``pipeline.<name>.*``).
+        kernel: Active kernel backend name ("numpy"/"numba"/"python");
+            reported through the ``pipeline.kernel`` gauge so profiles
+            show which replace-stage implementation ran.
     """
 
     def __init__(
@@ -213,6 +217,7 @@ class StagedPipeline:
         hash_rows: int = 0,
         slots: Optional[int] = None,
         name: str = "engine",
+        kernel: Optional[str] = None,
     ) -> None:
         if not stages:
             raise ValueError("pipeline needs at least one stage")
@@ -232,6 +237,8 @@ class StagedPipeline:
         self._gauge_name = f"pipeline.{name}.occupancy"
         self._stall_name = f"pipeline.{name}.stalls"
         self._chunk_counter = f"pipeline.{name}.chunks"
+        self.kernel = kernel
+        self._kernel_code = KERNEL_BACKEND_CODES.get(kernel) if kernel else None
 
     # -- producer side -------------------------------------------------
 
@@ -245,6 +252,8 @@ class StagedPipeline:
         """
         n = len(sizes)
         obs = get_registry()
+        if obs.enabled and self._kernel_code is not None:
+            obs.set_gauge(KERNEL_GAUGE, self._kernel_code)
         for start in range(0, n, self.chunk):
             stop = min(start + self.chunk, n)
             slot = self.ring.acquire()

@@ -66,6 +66,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.base import ExecutionEngine, register_engine
+from repro.engine.kernels import (
+    KERNEL_BACKEND_CODES,
+    KERNEL_GAUGE,
+    resolve_kernels,
+)
 from repro.engine.pipeline import Stage, StagedPipeline
 from repro.hashing.family import HashFamily, fold_columns
 from repro.obs.registry import get_registry
@@ -212,6 +217,7 @@ class _ColumnarKeyValueSketch(Sketch):
         key_bytes: int = DEFAULT_KEY_BYTES,
         rng_salt: int = 0,
         replay: bool = False,
+        kernels: Optional[str] = None,
     ) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
@@ -221,6 +227,13 @@ class _ColumnarKeyValueSketch(Sketch):
         self.l = l
         self.key_bytes = key_bytes
         self._family = HashFamily(d, seed, backend="mix64", key_bytes=key_bytes)
+        # Kernel backend: compiled replace/hash kernels when requested
+        # (or REPRO_KERNELS / auto-detected numba), else the numpy
+        # paths below.  Resolved once per sketch at construction.
+        self._kernels = resolve_kernels(kernels)
+        self._seeds_arr = np.asarray(self._family.seeds, dtype=np.uint64)
+        self._usize = np.uint64(l)
+        self._counts = np.zeros(4 + d, dtype=np.int64)
         self._rng = np.random.Generator(np.random.PCG64(seed ^ rng_salt))
         self._replay = bool(replay)
         self._replay_seed = replay_seed(seed ^ rng_salt)
@@ -257,6 +270,7 @@ class _ColumnarKeyValueSketch(Sketch):
                 chunk=self.pipeline_chunk,
                 hash_rows=self.d,
                 name=f"numpy.{self._variant}",
+                kernel=self._kernels.name,
             )
         return self._pipe
 
@@ -339,7 +353,10 @@ class _ColumnarKeyValueSketch(Sketch):
             return
         chunk = self.pipeline_chunk
         s = self._ensure_scratch()
-        with get_registry().span(self._span_update):
+        obs = get_registry()
+        if obs.enabled:
+            obs.set_gauge(KERNEL_GAUGE, KERNEL_BACKEND_CODES[self._kernels.name])
+        with obs.span(self._span_update):
             for start in range(0, n, chunk):
                 stop = min(start + chunk, n)
                 m = stop - start
@@ -359,10 +376,30 @@ class _ColumnarKeyValueSketch(Sketch):
         s = self._ensure_scratch()
         fold = s.fold[:n]
         np.bitwise_xor(hi, lo, out=fold)
-        self._family.index_arrays_into(fold, self.l, out, s.z[:n], s.t[:n])
+        if self._kernels.hash_indices is not None:
+            self._kernels.hash_indices(fold, self._seeds_arr, self._usize, out)
+        else:
+            self._family.index_arrays_into(fold, self.l, out, s.z[:n], s.t[:n])
 
     def _update_chunk(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
+        """Replace-stage dispatch: compiled kernel when active, else numpy."""
+        if self._kernels.compiled:
+            return self._update_chunk_kernel(hi, lo, w, J, seq_base)
+        return self._update_chunk_numpy(hi, lo, w, J, seq_base)
+
+    def _update_chunk_numpy(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
         raise NotImplementedError
+
+    def _update_chunk_kernel(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
+        raise NotImplementedError
+
+    def _unpack_counts(self, n: int) -> StatsDelta:
+        """Turn the kernels' counts array into a StatsDelta (extra=None)."""
+        c = self._counts
+        return (
+            n, int(c[0]), int(c[1]), int(c[2]), int(c[3]),
+            [int(v) for v in c[4:]], None,
+        )
 
     def _emit_chunk_delta(self, J, n: int) -> None:
         """Ship the chunk's dirty-bucket rows to the attached delta sink.
@@ -465,8 +502,12 @@ class NumpyCocoSketch(_ColumnarKeyValueSketch):
         seed: int = 0,
         key_bytes: int = DEFAULT_KEY_BYTES,
         replay: bool = False,
+        kernels: Optional[str] = None,
     ) -> None:
-        super().__init__(d, l, seed, key_bytes, rng_salt=0x5EED, replay=replay)
+        super().__init__(
+            d, l, seed, key_bytes, rng_salt=0x5EED, replay=replay,
+            kernels=kernels,
+        )
 
     @classmethod
     def from_memory(
@@ -481,10 +522,41 @@ class NumpyCocoSketch(_ColumnarKeyValueSketch):
         return cls(d, buckets_for_memory(memory_bytes, d, key_bytes), seed, key_bytes)
 
     def _observe_chunk(self, obs, extra) -> None:
-        obs.observe("engine.numpy.basic.epochs_per_batch", extra)
+        # The compiled kernel is purely sequential — no epoch schedule,
+        # so it reports extra=None and the histogram only fills on the
+        # numpy path.
+        if extra is not None:
+            obs.observe("engine.numpy.basic.epochs_per_batch", extra)
         obs.inc("engine.numpy.basic.batches")
 
-    def _update_chunk(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
+    def _update_chunk_kernel(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
+        """Sequential §4.1 kernel: draws evaluated here, loop compiled.
+
+        Replay draws are keyed on the packet's global sequence number,
+        so precomputing one draw per packet (even for packets that end
+        up matching and never consume it) changes nothing — the kernel
+        reads ``u_*[p]`` only on the eviction path, the same positions
+        the scalar replay walk draws.
+        """
+        n = len(w)
+        if self._replay:
+            seqs = seq_base + np.arange(n, dtype=np.int64)
+            u_tie = replay_draws(self._replay_seed, seqs, PURPOSE_TIEBREAK)
+            u_adopt = replay_draws(self._replay_seed, seqs, PURPOSE_ADOPT)
+        else:
+            u_tie = self._rng.random(n)
+            u_adopt = self._rng.random(n)
+        counts = self._counts
+        counts[:] = 0
+        self._kernels.basic_replace(
+            hi, lo, w, J, self.l,
+            self._key_hi_flat, self._key_lo_flat,
+            self._occupied_flat, self._vals_flat,
+            u_tie, u_adopt, counts,
+        )
+        return self._unpack_counts(n)
+
+    def _update_chunk_numpy(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
         n = len(w)
         d = self.d
         s = self._scratch
@@ -660,8 +732,12 @@ class NumpyHardwareCocoSketch(_ColumnarKeyValueSketch):
         seed: int = 0,
         key_bytes: int = DEFAULT_KEY_BYTES,
         replay: bool = False,
+        kernels: Optional[str] = None,
     ) -> None:
-        super().__init__(d, l, seed, key_bytes, rng_salt=0xFACADE, replay=replay)
+        super().__init__(
+            d, l, seed, key_bytes, rng_salt=0xFACADE, replay=replay,
+            kernels=kernels,
+        )
 
     @classmethod
     def from_memory(
@@ -678,7 +754,33 @@ class NumpyHardwareCocoSketch(_ColumnarKeyValueSketch):
     def _observe_chunk(self, obs, extra) -> None:
         obs.inc("engine.numpy.hw.batches")
 
-    def _update_chunk(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
+    def _update_chunk_kernel(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
+        """Sequential §4.2 kernel: one draw row per array, loop compiled.
+
+        Replay draws are keyed ``(packet seq, array index)`` exactly as
+        the scalar walk and the numpy sorted schedule consume them, so
+        evaluating the whole (d, n) block up front is bit-neutral.
+        """
+        n = len(w)
+        d = self.d
+        if self._replay:
+            seqs = seq_base + np.arange(n, dtype=np.int64)
+            u = np.empty((d, n))
+            for i in range(d):
+                u[i] = replay_draws(self._replay_seed, seqs, i)
+        else:
+            u = self._rng.random((d, n))
+        counts = self._counts
+        counts[:] = 0
+        self._kernels.hw_replace(
+            hi, lo, w, J, self.l,
+            self._key_hi_flat, self._key_lo_flat,
+            self._occupied_flat, self._vals_flat,
+            u, counts,
+        )
+        return self._unpack_counts(n)
+
+    def _update_chunk_numpy(self, hi, lo, w, J, seq_base: int) -> StatsDelta:
         n = len(w)
         d = self.d
         s = self._scratch

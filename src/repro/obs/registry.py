@@ -477,6 +477,11 @@ def collecting(
 def format_snapshot(snap: Dict) -> str:
     """Human-readable profile summary (the CLI's ``--profile`` output)."""
     lines: List[str] = []
+    meta = snap.get("meta", {})
+    if meta:
+        lines.append("-- meta --")
+        for name in sorted(meta):
+            lines.append(f"  {name:<36} {meta[name]}")
     spans = snap.get("spans", {})
     if spans:
         lines.append("-- spans (by total time) --")

@@ -21,14 +21,31 @@ counters across engines:
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.cocosketch import BasicCocoSketch
 from repro.core.hardware import HardwareCocoSketch
+from repro.engine.kernels import numba_available
 from repro.engine.vectorized import NumpyCocoSketch, NumpyHardwareCocoSketch
 from repro.traffic.synthetic import zipf_trace
 
 GEOMETRIES = [(1, 128), (2, 128), (3, 64)]
 SEEDS = [1, 5]
+
+#: Kernel backends compiled from the shared source module
+#: (:mod:`repro.engine.kernels.source`): ``python`` runs it un-jitted
+#: everywhere, ``numba`` joins when the compiler is importable.
+KERNEL_BACKENDS = [
+    pytest.param("python", id="kernel-python"),
+    pytest.param(
+        "numba",
+        id="kernel-numba",
+        marks=pytest.mark.skipif(
+            not numba_available(), reason="numba not installed"
+        ),
+    ),
+]
 
 
 @pytest.fixture(scope="module")
@@ -82,6 +99,20 @@ def _feed_batched(sketch, trace, batch_size):
         )
 
 
+def _feed_framing(sketch, trace, cuts):
+    """Feed *trace* in irregular batches cycling through *cuts* sizes."""
+    keys = [k for k, _ in trace]
+    sizes = [s for _, s in trace]
+    start = i = 0
+    while start < len(keys):
+        step = cuts[i % len(cuts)]
+        i += 1
+        sketch.update_batch(
+            keys[start : start + step], sizes[start : start + step]
+        )
+        start += step
+
+
 @pytest.mark.parametrize("d,l", GEOMETRIES)
 @pytest.mark.parametrize("seed", SEEDS)
 class TestBasicReplayIdentity:
@@ -121,6 +152,74 @@ class TestHardwareReplayIdentity:
             assert (
                 stats.replacements + stats.rejects == stats.packets * d
             )
+
+
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+class TestCompiledKernelReplayIdentity:
+    """Compiled-vs-numpy-vs-scalar bit identity at fuzzed framings.
+
+    The compiled kernels are *sequential* renderings of both rules, so
+    under replay the basic compiled path matches the scalar walk at
+    **any** batch framing and **any** pipeline chunk size — a stronger
+    contract than the numpy epoch kernel's batch-1 identity — and the
+    hardware compiled path matches both the scalar walk and the numpy
+    sorted schedule everywhere.  Hypothesis draws the chunk size and an
+    irregular batch framing per example.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data())
+    def test_basic_compiled_matches_scalar_fuzzed(self, traces, backend, data):
+        trace = list(traces[0])
+        chunk = data.draw(st.integers(8, 700), label="pipeline_chunk")
+        cuts = data.draw(
+            st.lists(st.integers(1, 600), min_size=1, max_size=5),
+            label="batch_framing",
+        )
+        scalar = BasicCocoSketch(2, 128, seed=3, replay=True)
+        for key, size in trace:
+            scalar.update(key, size)
+        vector = NumpyCocoSketch(2, 128, seed=3, replay=True, kernels=backend)
+        vector.pipeline_chunk = chunk
+        _feed_framing(vector, trace, cuts)
+        assert _bucket_state(scalar) == _bucket_state(vector)
+        assert scalar.stats.as_dict() == vector.stats.as_dict()
+
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data())
+    def test_hw_compiled_matches_numpy_and_scalar_fuzzed(
+        self, traces, backend, data
+    ):
+        trace = list(traces[1])
+        chunk = data.draw(st.integers(8, 700), label="pipeline_chunk")
+        cuts = data.draw(
+            st.lists(st.integers(1, 600), min_size=1, max_size=5),
+            label="batch_framing",
+        )
+        scalar = HardwareCocoSketch(2, 128, seed=3, replay=True)
+        for key, size in trace:
+            scalar.update(key, size)
+        compiled = NumpyHardwareCocoSketch(
+            2, 128, seed=3, replay=True, kernels=backend
+        )
+        compiled.pipeline_chunk = chunk
+        _feed_framing(compiled, trace, cuts)
+        vector = NumpyHardwareCocoSketch(2, 128, seed=3, replay=True)
+        _feed_batched(vector, trace, batch_size=4096)
+        assert _bucket_state(compiled) == _bucket_state(scalar)
+        assert _bucket_state(compiled) == _bucket_state(vector)
+        assert compiled.stats.as_dict() == scalar.stats.as_dict()
+        assert compiled.stats.as_dict() == vector.stats.as_dict()
+
+    def test_basic_compiled_matches_numpy_at_batch_one(self, traces, backend):
+        """Batch-1 closes the triangle: compiled == numpy == scalar."""
+        trace = list(traces[0])
+        compiled = NumpyCocoSketch(2, 128, seed=5, replay=True, kernels=backend)
+        vector = NumpyCocoSketch(2, 128, seed=5, replay=True)
+        _feed_batched(compiled, trace, batch_size=1)
+        _feed_batched(vector, trace, batch_size=1)
+        assert _bucket_state(compiled) == _bucket_state(vector)
+        assert compiled.stats.as_dict() == vector.stats.as_dict()
 
 
 class TestReplayDeterminism:

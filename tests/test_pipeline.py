@@ -14,6 +14,11 @@ import numpy as np
 import pytest
 
 from repro import obs
+from repro.engine.kernels import (
+    KERNEL_BACKEND_CODES,
+    KERNEL_GAUGE,
+    numba_available,
+)
 from repro.engine.pipeline import (
     ChunkSlot,
     FnStage,
@@ -25,6 +30,17 @@ from repro.engine.pipeline import (
 from repro.engine.vectorized import NumpyCocoSketch, NumpyHardwareCocoSketch
 
 VARIANTS = [NumpyCocoSketch, NumpyHardwareCocoSketch]
+
+KERNEL_BACKENDS = [
+    pytest.param("python", id="kernel-python"),
+    pytest.param(
+        "numba",
+        id="kernel-numba",
+        marks=pytest.mark.skipif(
+            not numba_available(), reason="numba not installed"
+        ),
+    ),
+]
 
 
 def columns(n, start=0):
@@ -294,6 +310,46 @@ def test_staged_matches_monolithic(cls):
     staged.process_columns(hi, lo, sizes)
     assert_identical(mono, staged)
     assert staged._pipe.backlog == 0
+
+
+@pytest.mark.parametrize("cls", VARIANTS, ids=lambda c: c.__name__)
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_staged_matches_monolithic_with_kernels(cls, backend):
+    """The bit-identity contract holds per kernel backend too.
+
+    Both paths dispatch through the same ``_update_chunk``, so the
+    compiled backends inherit the staged == monolithic guarantee; this
+    pins it, including RNG-consumption alignment in default (non-replay)
+    mode.
+    """
+    hi, lo, sizes = trace_columns(12_000, 2_000, seed=3)
+    mono = cls(d=2, l=64, seed=9, kernels=backend)
+    staged = cls(d=2, l=64, seed=9, kernels=backend)
+    mono.update_batch((hi, lo), sizes)
+    staged.process_columns(hi, lo, sizes)
+    assert_identical(mono, staged)
+    assert staged._pipe.kernel == backend
+
+
+def test_pipeline_reports_kernel_gauge():
+    rec = Recorder()
+    with obs.collecting() as reg:
+        pipe = StagedPipeline([rec], chunk=4, name="unit", kernel="numpy")
+        hi, lo, sizes = columns(8)
+        pipe.feed(hi, lo, sizes)
+        pipe.flush()
+    snap = reg.snapshot()
+    assert snap["gauges"][KERNEL_GAUGE] == KERNEL_BACKEND_CODES["numpy"]
+
+
+def test_pipeline_without_kernel_name_emits_no_gauge():
+    rec = Recorder()
+    with obs.collecting() as reg:
+        pipe = StagedPipeline([rec], chunk=4, name="unit")
+        hi, lo, sizes = columns(8)
+        pipe.feed(hi, lo, sizes)
+        pipe.flush()
+    assert KERNEL_GAUGE not in reg.snapshot()["gauges"]
 
 
 @pytest.mark.parametrize("cls", VARIANTS, ids=lambda c: c.__name__)
