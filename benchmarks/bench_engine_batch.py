@@ -28,6 +28,15 @@ The kernels sweep races the replace-stage backends
 when the compiler is importable, gated on the compiled replace stage
 clearing ``KERNEL_REPLACE_FLOOR`` (2x) at full standalone scale.
 
+The adaptive sweep pits the elastic-geometry governor against the best
+hand-tuned static geometry (the top row of
+``results/ablation_geometry.json``) at equal memory, on an adversarial
+workload that shifts mid-run from ``caida_like`` to ``mawi_like``.
+The governed daemon starts at 1/8 of the budgeted width and must
+grow its way to competitive accuracy: the gate requires at least one
+resize and a post-shift ARE within ``ADAPTIVE_ARE_LIMIT`` (5%) of the
+static reference (docs/governance.md).
+
 Runs two ways:
 
 * ``pytest benchmarks/bench_engine_batch.py`` — records
@@ -38,8 +47,9 @@ Runs two ways:
   sizes trim the traces for CI).
 * ``python benchmarks/bench_engine_batch.py --packets 500000`` —
   standalone sweeps printing the tables and writing the same JSON
-  (``--sweep engine|shards|obs|pipeline|kernels|all`` selects which;
-  every sweep writes ``results/<name>.json`` under ``--out-dir``).
+  (``--sweep engine|shards|obs|pipeline|kernels|adaptive|all`` selects
+  which; every sweep writes ``results/<name>.json`` under
+  ``--out-dir``).
 """
 
 from __future__ import annotations
@@ -655,6 +665,194 @@ def _print_shard_sweep(sweep: Dict) -> None:
     print(f"ARE gate: {sweep['are_gate']['detail']}")
 
 
+# -- adaptive sweep: governor vs best static geometry ------------------
+
+ADAPTIVE_HEADERS = [
+    "mode", "l start", "l final", "resizes", "post-shift ARE"
+]
+
+#: The governed daemon's post-shift ARE may exceed the static
+#: reference's by at most 5% (plus the harness absolute floor).
+ADAPTIVE_ARE_LIMIT = 1.05
+
+
+def _best_static_geometry() -> tuple:
+    """``(d, l)`` of the best-f1 row in the geometry ablation artifact.
+
+    Falls back to the recorded optimum (d=8, l=1505 at ~200 KB) when
+    ``results/ablation_geometry.json`` is absent, so the sweep runs on
+    a fresh checkout.
+    """
+    path = (
+        Path(__file__).resolve().parent.parent
+        / "results"
+        / "ablation_geometry.json"
+    )
+    try:
+        rows = json.loads(path.read_text())["rows"]
+        d, l, _f1 = max(rows, key=lambda row: row[2])
+        return int(d), int(l)
+    except (OSError, ValueError, KeyError):
+        return 8, 1505
+
+
+def run_adaptive_sweep(
+    packets: int, flows: int, seed: int = 7, epochs: int = 8
+) -> Dict:
+    """Governed vs static daemon on a mid-run caida -> mawi shift.
+
+    Both daemons see the identical packet sequence with identical epoch
+    boundaries; accuracy is evaluated on the merged post-shift epochs
+    (the geometry the governor *landed* on) over three partial keys.
+    """
+    from repro.control import GovernorConfig
+    from repro.service import MeasurementDaemon, ServiceConfig
+    from repro.sketches.base import COUNTER_BYTES, DEFAULT_KEY_BYTES
+    from repro.traffic.synthetic import caida_like, mawi_like
+    from repro.traffic.trace import Trace
+    from tests.stat_harness import DEFAULT_ABS_FLOOR
+
+    d, best_l = _best_static_geometry()
+    memory = d * best_l * (DEFAULT_KEY_BYTES + COUNTER_BYTES)
+    # Theorem 1 updates only the minimum of the d candidate buckets, so
+    # the steady-state fraction of buckets holding a key falls with d
+    # (at d=8 a saturated array sits near ~0.25, not ~1.0).  The CLI
+    # defaults (0.70/0.25) are tuned for the default d=2 geometry; this
+    # sweep runs the ablation's best d, so scale the thresholds down.
+    governor_config = GovernorConfig(
+        memory_bytes=memory,
+        grow_occupancy=min(0.70, 2 * 0.70 / d),
+        shrink_occupancy=min(0.25, 2 * 0.25 / d),
+    )
+    half = packets // 2
+    head = caida_like(half, flows, seed=seed)
+    tail = mawi_like(packets - half, max(256, flows // 3), seed=seed + 1)
+    trace = Trace(FIVE_TUPLE, head.keys + tail.keys, name="adaptive-shift")
+    epoch_packets = max(1, packets // epochs)
+
+    def run(governed: bool):
+        l0 = max(64, best_l // 8) if governed else best_l
+        config = ServiceConfig(
+            spec=SketchSpec(
+                engine="numpy", variant="basic", d=d, l=l0, seed=seed
+            ),
+            key_spec=FIVE_TUPLE,
+            shards=1,
+            chunk=4096,
+            epoch_packets=epoch_packets,
+            governor=governor_config if governed else None,
+        )
+        daemon = MeasurementDaemon(config)
+        for hi, lo, sizes in trace.batches(4096):
+            daemon.ingest(hi, lo, sizes)
+        daemon.close()
+        return l0, daemon
+
+    gov_l0, governed = run(True)
+    static_l0, static = run(False)
+    ids = governed.store.ids()
+    assert ids == static.store.ids(), "epoch boundaries diverged"
+    eval_ids = [
+        e for e in ids if governed.store.get(e).start_seq >= half
+    ]
+    start = min(governed.store.get(e).start_seq for e in eval_ids)
+    window = trace.slice(start, len(trace))
+    specs = [
+        FIVE_TUPLE.partial(("SrcIP", 16)),
+        FIVE_TUPLE.partial("SrcIP"),
+        FIVE_TUPLE.partial("SrcIP", "DstIP"),
+    ]
+
+    def window_are(daemon) -> float:
+        planner = daemon.range_planner(eval_ids[0], eval_ids[-1])
+        errors = []
+        for pspec in specs:
+            truth = window.ground_truth(pspec)
+            ranked = sorted(truth.items(), key=lambda kv: -kv[1])[:30]
+            table = planner.table(pspec)
+            errors.extend(
+                abs(table.lookup(key) - value) / value
+                for key, value in ranked
+            )
+        return float(sum(errors) / len(errors))
+
+    gov_are = window_are(governed)
+    static_are = window_are(static)
+    resizes = int(
+        governed.metrics_snapshot()["counters"].get(
+            "control.governor.resizes", 0
+        )
+    )
+    limit = ADAPTIVE_ARE_LIMIT * static_are + DEFAULT_ABS_FLOOR
+    passed = resizes >= 1 and gov_are <= limit
+    detail = (
+        f"governed ARE {gov_are:.4f} vs static {static_are:.4f} "
+        f"(limit {limit:.4f} = {ADAPTIVE_ARE_LIMIT}x + "
+        f"{DEFAULT_ABS_FLOOR} floor) after {resizes} resizes"
+    )
+    return {
+        "packets": packets,
+        "flows": flows,
+        "memory_bytes": memory,
+        "geometry": {"d": d, "best_static_l": best_l},
+        "rows": [
+            ["governed", gov_l0, governed.spec.l, resizes, gov_are],
+            ["static", static_l0, static.spec.l, 0, static_are],
+        ],
+        "are_gate": {"passed": bool(passed), "detail": detail},
+    }
+
+
+def test_adaptive_sweep(record):
+    """Pytest entry: CI-sized adaptive gate, same JSON artifact."""
+    sweep = run_adaptive_sweep(packets=96_000, flows=16_000)
+    record(
+        "bench_adaptive",
+        "Adaptive geometry: governor vs best static at equal memory",
+        ADAPTIVE_HEADERS,
+        sweep["rows"],
+        extra={
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "memory_bytes": sweep["memory_bytes"],
+            "geometry": sweep["geometry"],
+            "are_gate": sweep["are_gate"],
+        },
+    )
+    assert sweep["are_gate"]["passed"], sweep["are_gate"]["detail"]
+
+
+def _print_adaptive(sweep: Dict) -> None:
+    print(
+        f"{'mode':<10} {'l start':>8} {'l final':>8} {'resizes':>8} "
+        f"{'ARE':>8}"
+    )
+    for mode, l0, l1, resizes, are in sweep["rows"]:
+        print(f"{mode:<10} {l0:>8} {l1:>8} {resizes:>8} {are:>8.4f}")
+    print(f"adaptive gate: {sweep['are_gate']['detail']}")
+
+
+def _drive_adaptive(args) -> tuple:
+    sweep = run_adaptive_sweep(args.packets, args.flows, seed=args.seed)
+    _print_adaptive(sweep)
+    payload = {
+        "title": "Adaptive geometry: governor vs best static at equal memory",
+        "headers": ADAPTIVE_HEADERS,
+        "rows": sweep["rows"],
+        "extra": {
+            "packets": sweep["packets"],
+            "flows": sweep["flows"],
+            "memory_bytes": sweep["memory_bytes"],
+            "geometry": sweep["geometry"],
+            "are_gate": sweep["are_gate"],
+        },
+    }
+    failures = []
+    if not sweep["are_gate"]["passed"]:
+        failures.append("adaptive gate: " + sweep["are_gate"]["detail"])
+    return payload, failures
+
+
 # -- standalone sweep registry ----------------------------------------
 #
 # Every sweep is one entry: the ``--sweep`` key doubles as the CLI
@@ -804,6 +1002,7 @@ SWEEPS = {
     "obs": ("bench_obs_overhead", "obs_out", _drive_obs),
     "pipeline": ("bench_pipeline_stages", "pipeline_out", _drive_pipeline),
     "kernels": ("bench_kernels", "kernels_out", _drive_kernels),
+    "adaptive": ("bench_adaptive", "adaptive_out", _drive_adaptive),
 }
 
 

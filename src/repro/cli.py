@@ -230,6 +230,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         d=args.d,
         seed=args.seed,
     )
+    governor = None
+    if args.governor is not None:
+        from repro.control import GovernorConfig
+
+        # The budget caps growth; start small (an eighth of what the
+        # budget buys, floored) so the control loop has room to act.
+        governor = GovernorConfig(memory_bytes=int(args.governor * 1024))
+        small_l = max(64, spec.l // 8)
+        spec = SketchSpec(
+            spec.engine, spec.variant, spec.d, small_l, spec.seed,
+            spec.key_bytes,
+        )
+    tenants = None
+    if args.tenants:
+        tenants = tuple(
+            name.strip() for name in args.tenants.split(",") if name.strip()
+        )
     config = ServiceConfig(
         spec=spec,
         key_spec=FIVE_TUPLE,
@@ -239,6 +256,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         epoch_seconds=args.epoch_seconds,
         history=args.history,
         live_refresh_packets=args.live_refresh,
+        governor=governor,
+        tenants=tenants,
     )
     daemon = MeasurementDaemon(config)
     daemon.start()
@@ -434,6 +453,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="seconds to keep serving queries after the trace is fed",
+    )
+    serve.add_argument(
+        "--governor",
+        type=float,
+        default=None,
+        metavar="MEMORY_KB",
+        help="enable the elastic-geometry governor with this per-shard "
+        "memory budget (the sketch starts small and grows/shrinks at "
+        "epoch rotations based on occupancy)",
+    )
+    serve.add_argument(
+        "--tenants",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated tenant names: route traffic to isolated "
+        "per-tenant daemons under one shared memory budget "
+        "(query with /query?tenant=NAME)",
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -224,6 +224,27 @@ def blob_size(d: int, l: int) -> int:
     return _HEADER.size + 8 * d + d * l * 24
 
 
+def peek_geometry(blob: bytes) -> Tuple[int, int, int]:
+    """``(d, l, key_bytes)`` from a sketch blob's header, nothing parsed.
+
+    The cheap geometry probe elastic services use to tag epoch
+    snapshots and detect resize boundaries without deserialising the
+    bucket arrays.
+    """
+    if len(blob) < _HEADER.size:
+        raise SerializationError("blob shorter than header")
+    magic, version, kind, d, l, key_bytes, _sc = _HEADER.unpack(
+        blob[: _HEADER.size]
+    )
+    if magic != _MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    if kind in (METRICS_KIND, EPOCH_KIND):
+        raise SerializationError(
+            f"kind {kind} carries no sketch geometry in its own right"
+        )
+    return d, l, key_bytes
+
+
 def dump_metrics(snapshot: Dict) -> bytes:
     """Serialise a metrics snapshot to the shared wire format.
 
@@ -287,7 +308,10 @@ def dump_epoch(
     """Serialise a frozen measurement epoch to the shared wire format.
 
     Layout: the common header with ``kind`` = :data:`EPOCH_KIND` and
-    zeroed geometry fields, then
+    the geometry fields (``d``, ``l``, ``key_bytes``) copied from the
+    embedded sketch blob's header — an epoch snapshot records the
+    geometry it was cut at, so elastic services can tell which epochs
+    predate a resize without parsing the payload — then
     ``epoch u64 | start_seq u64 | packets u64 | closed_at f64 |
     blob_len u32 | sketch blob``.  The embedded blob is
     :func:`dump_sketch` output, so an epoch file is self-describing:
@@ -311,9 +335,14 @@ def dump_epoch(
         raise SerializationError(
             "embedded payload is not a sketch blob"
         )
+    _m, _v, _k, inner_d, inner_l, inner_kb, _sc = _HEADER.unpack(
+        sketch_blob[: _HEADER.size]
+    )
     return b"".join(
         [
-            _HEADER.pack(_MAGIC, _VERSION, EPOCH_KIND, 0, 0, 0, 0),
+            _HEADER.pack(
+                _MAGIC, _VERSION, EPOCH_KIND, inner_d, inner_l, inner_kb, 0
+            ),
             _EPOCH_META.pack(
                 epoch, start_seq, packets, float(closed_at),
                 len(sketch_blob),
@@ -326,15 +355,19 @@ def dump_epoch(
 def load_epoch(blob: bytes):
     """Reconstruct ``(meta, sketch)`` from :func:`dump_epoch` output.
 
-    ``meta`` is a dict with ``epoch``, ``start_seq``, ``packets`` and
-    ``closed_at``; ``sketch`` is the embedded sketch, rebuilt via
-    :func:`load_sketch`.  Truncated or corrupted snapshot files raise
+    ``meta`` is a dict with ``epoch``, ``start_seq``, ``packets``,
+    ``closed_at``, and the geometry the epoch was cut at (``d``, ``l``,
+    ``key_bytes``); ``sketch`` is the embedded sketch, rebuilt via
+    :func:`load_sketch`.  Blobs written before geometry was recorded in
+    the outer header (all-zero geometry fields) fall back to the
+    embedded sketch header, so old snapshot files keep loading with
+    correct metadata.  Truncated or corrupted snapshot files raise
     :class:`SerializationError` rather than propagating a struct or
     numpy traceback.
     """
     if len(blob) < _HEADER.size + _EPOCH_META.size:
         raise SerializationError("epoch blob shorter than header")
-    magic, version, kind, _d, _l, _kb, _sc = _HEADER.unpack(
+    magic, version, kind, meta_d, meta_l, meta_kb, _sc = _HEADER.unpack(
         blob[: _HEADER.size]
     )
     if magic != _MAGIC:
@@ -355,10 +388,15 @@ def load_epoch(blob: bytes):
             f"epoch payload length {len(payload)} != declared {length}"
         )
     sketch = load_sketch(payload)
+    if meta_d == 0 or meta_l == 0:  # legacy blob: geometry only inside
+        meta_d, meta_l, meta_kb = sketch.d, sketch.l, sketch.key_bytes
     meta = {
         "epoch": epoch,
         "start_seq": start_seq,
         "packets": packets,
         "closed_at": closed_at,
+        "d": meta_d,
+        "l": meta_l,
+        "key_bytes": meta_kb,
     }
     return meta, sketch

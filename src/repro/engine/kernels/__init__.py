@@ -136,7 +136,37 @@ def _python_kernels() -> KernelSet:
     )
 
 
+def _shared_cache_dir() -> None:
+    """Point numba's on-disk cache at one shared directory.
+
+    The kernels compile with ``cache=True``, but by default each
+    checkout/venv caches next to the source tree — and a cold sharded
+    run pays one JIT compilation *per worker process*.  Defaulting
+    ``NUMBA_CACHE_DIR`` to a stable per-user temp path means the first
+    process to compile publishes the binaries and every sibling worker
+    (and every later run) loads them instead.  An explicit
+    ``NUMBA_CACHE_DIR`` always wins; must run before ``import numba``
+    reads its config.
+    """
+    if os.environ.get("NUMBA_CACHE_DIR"):
+        return
+    import getpass
+    import tempfile
+
+    try:
+        user = getpass.getuser()
+    except (KeyError, OSError):
+        user = "anon"
+    path = os.path.join(tempfile.gettempdir(), f"repro_numba_cache_{user}")
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError:
+        return  # unwritable tmp: keep numba's default behaviour
+    os.environ["NUMBA_CACHE_DIR"] = path
+
+
 def _numba_kernels() -> KernelSet:
+    _shared_cache_dir()
     try:
         import numba
     except ImportError as exc:  # pragma: no cover - exercised in CI

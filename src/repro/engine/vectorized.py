@@ -231,6 +231,7 @@ class _ColumnarKeyValueSketch(Sketch):
         # (or REPRO_KERNELS / auto-detected numba), else the numpy
         # paths below.  Resolved once per sketch at construction.
         self._kernels = resolve_kernels(kernels)
+        self._kernels_override = kernels
         self._seeds_arr = np.asarray(self._family.seeds, dtype=np.uint64)
         self._usize = np.uint64(l)
         self._counts = np.zeros(4 + d, dtype=np.int64)
@@ -467,6 +468,44 @@ class _ColumnarKeyValueSketch(Sketch):
     def occupancy(self) -> float:
         """Fraction of buckets holding a key (diagnostics)."""
         return float(self._occupied.mean())
+
+    resizable = True
+
+    def resize(self, new_l: int, seed: int = 0, rng=None) -> None:
+        """Re-hash the column state to *new_l* buckets, in place.
+
+        The Theorem 1 fold (:func:`~repro.extensions.merging.
+        resize_cocosketch`) produces the resized arrays; this method
+        adopts them and rebuilds every piece of state the old length
+        was baked into: the flat views, the row-offset table, the
+        packed-sort bit budget, and the staged pipeline + kernel
+        scratch (dropped here, lazily rebuilt at the next batch so
+        chunk buffers and the kernel dispatch re-bind to the new
+        geometry).  The hash family, RNG stream, replay seed and
+        decision counters carry over — resizing is invisible to the
+        replacement law.
+        """
+        if new_l == self.l:
+            return
+        from repro.extensions.merging import resize_cocosketch
+
+        out = resize_cocosketch(self, new_l, seed=seed, rng=rng)
+        d = self.d
+        self.l = new_l
+        self._usize = np.uint64(new_l)
+        self._key_hi = out._key_hi
+        self._key_lo = out._key_lo
+        self._occupied = out._occupied
+        self._vals = out._vals
+        self._key_hi_flat = self._key_hi.reshape(-1)
+        self._key_lo_flat = self._key_lo.reshape(-1)
+        self._occupied_flat = self._occupied.reshape(-1)
+        self._vals_flat = self._vals.reshape(-1)
+        self._row_offsets = (np.arange(d, dtype=np.int64) * new_l)[:, None]
+        self._l_bits = max((new_l - 1).bit_length(), 1)
+        self._scratch = None
+        self._pipe = None
+        self._kernels = resolve_kernels(self._kernels_override)
 
     def export_columns(self):
         """Occupied-bucket state as ``(hi, lo, values)`` columns.

@@ -38,6 +38,7 @@ from repro.sketches.base import Sketch
 
 _MERGE_SALT = 0x6E56E
 _COMPRESS_SALT = 0xC0135
+_RESIZE_SALT = 0x4E512E
 
 SketchT = TypeVar("SketchT", bound=Sketch)
 
@@ -251,4 +252,127 @@ def compress_cocosketch(
             )
             out._keys[i][target] = key
             out._vals[i][target] = val
+    return out
+
+
+def _blank_resized(sketch: SketchT, new_l: int) -> SketchT:
+    """Empty sketch of the same class at *new_l*, sharing the hash family.
+
+    Unlike :func:`_blank_like` the hash surfaces are rebuilt for the new
+    length: scalar variants get fresh ``index_fn`` closures at *new_l*
+    (restoring canonical hashing even on a previously compressed
+    sketch), and the columnar engines' cached seed array is re-derived
+    from the shared family so their kernel hash path stays consistent.
+    """
+    out = type(sketch)(sketch.d, new_l, seed=0, key_bytes=sketch.key_bytes)
+    out._family = sketch._family
+    if hasattr(sketch, "mantissa_bits"):
+        out.mantissa_bits = sketch.mantissa_bits
+    if hasattr(out, "_hash"):
+        out._hash = sketch._family.index_fns(new_l)
+    if hasattr(out, "_seeds_arr"):
+        out._seeds_arr = np.array(sketch._family.seeds, dtype=np.uint64)
+    return out
+
+
+def _resize_scalar(sketch: SketchT, new_l: int, rng: random.Random) -> SketchT:
+    out = _blank_resized(sketch, new_l)
+    for i in range(sketch.d):
+        fn = out._hash[i]
+        src_keys = sketch._keys[i]
+        src_vals = sketch._vals[i]
+        out_keys = out._keys[i]
+        out_vals = out._vals[i]
+        for j in range(sketch.l):
+            key = src_keys[j]
+            val = src_vals[j]
+            if key is None and val == 0:
+                continue
+            # Keyed buckets land where the hash family maps their key at
+            # the new length; keyless residual mass (an adoption coin
+            # flip that went the other way) has no key to re-hash — it
+            # folds positionally, which queries never observe.
+            target = fn(key) if key is not None else j % new_l
+            k, v = _fold_bucket(
+                rng, out_keys[target], out_vals[target], key, val
+            )
+            out_keys[target] = k
+            out_vals[target] = v
+    return out
+
+
+def _resize_columnar(sketch: SketchT, new_l: int, rng: random.Random) -> SketchT:
+    out = _blank_resized(sketch, new_l)
+    for i in range(sketch.d):
+        hi = sketch._key_hi[i]
+        lo = sketch._key_lo[i]
+        occ = sketch._occupied[i]
+        vals = sketch._vals[i]
+        # Vectorised re-hash of the whole row; the per-bucket fold below
+        # only walks live buckets (occupancy-bounded, rotation-cadence).
+        targets = sketch._family.index_array(i, hi ^ lo, new_l)
+        live = np.flatnonzero(occ | (vals != 0))
+        for j in live.tolist():
+            if occ[j]:
+                key = (int(hi[j]), int(lo[j]))
+                target = int(targets[j])
+            else:
+                key = None
+                target = j % new_l
+            cur_key = (
+                (int(out._key_hi[i, target]), int(out._key_lo[i, target]))
+                if out._occupied[i, target]
+                else None
+            )
+            k, v = _fold_bucket(
+                rng, cur_key, int(out._vals[i, target]), key, int(vals[j])
+            )
+            out._vals[i, target] = v
+            if k is None:
+                out._occupied[i, target] = False
+                out._key_hi[i, target] = 0
+                out._key_lo[i, target] = 0
+            else:
+                out._occupied[i, target] = True
+                out._key_hi[i, target] = np.uint64(k[0])
+                out._key_lo[i, target] = np.uint64(k[1])
+    return out
+
+
+def resize_cocosketch(
+    sketch: SketchT,
+    new_l: int,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> SketchT:
+    """Re-hash every recorded bucket into arrays of length *new_l*.
+
+    The elastic-geometry primitive: growing spreads recorded keys over
+    a wider array (fewer collisions from here on), shrinking folds
+    colliding buckets through the Theorem 1 coin flip — in both
+    directions each flow's expected estimate is unchanged, so Lemma 3
+    partial-key unbiasedness survives any grow/shrink sequence.  Unlike
+    :func:`compress_cocosketch` the result answers queries through the
+    hash family's *canonical* functions at *new_l* (keyed buckets are
+    re-hashed, not folded positionally), which is what lets the
+    columnar engines — whose query path recomputes indices from the
+    family — adopt the result in place.  Supports every CocoSketch
+    variant, scalar and columnar.  Returns *sketch* itself when the
+    length already matches; otherwise a new sketch sharing the family.
+    *seed*/*rng* inject the coin-flip stream as in
+    :func:`merge_cocosketch`.
+    """
+    if new_l < 1:
+        raise ValueError(f"new_l must be >= 1, got {new_l}")
+    if new_l == sketch.l:
+        return sketch
+    rng = _resolve_rng(rng, seed, _RESIZE_SALT)
+    if _is_columnar(sketch):
+        out = _resize_columnar(sketch, new_l, rng)
+    else:
+        out = _resize_scalar(sketch, new_l, rng)
+    reg = get_registry()
+    if reg.enabled:
+        reg.inc("resize.operations")
+        reg.inc("resize.buckets", sketch.d * sketch.l)
     return out

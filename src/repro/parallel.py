@@ -49,6 +49,7 @@ from repro.sketches.base import Sketch
 
 _WORKER_RNG_SALT = 0x51A8D
 _EPOCH_RNG_SALT = 0xE70C4
+_RESIZE_RNG_SALT = 0x4E5A17
 
 #: Driver scatter granularity in packets.  A power of two and a
 #: multiple of every engine ``pipeline_chunk``, so the chunk boundaries
@@ -93,6 +94,18 @@ def epoch_stream_seed(base_seed: int, epoch: int) -> int:
     if epoch == 0:
         return base_seed
     return mix64((base_seed ^ _EPOCH_RNG_SALT) + epoch * 0x9E3779B97F4A7C15)
+
+
+def resize_stream_seed(base_seed: int, shard: int) -> int:
+    """Decorrelated fold-RNG seed for one shard's elastic resize.
+
+    Inline shards and worker-process shards derive the per-shard seed
+    through the same function, so a resize lands bit-identically
+    regardless of worker placement.
+    """
+    return mix64(
+        (base_seed ^ _RESIZE_RNG_SALT) + shard * 0x9E3779B97F4A7C15
+    )
 
 
 def _reseed_sketch(sketch: Sketch, base_seed: int, shard: int) -> None:
@@ -192,12 +205,29 @@ def _stream_worker(spec, shards, batch_size, collect, in_q, out_q, epoch=0) -> N
     One worker may own several shards (when the driver runs fewer
     processes than shards); each keeps its own sketch, registry and
     timers, so the reports stay per-shard regardless of placement.
+
+    Two message kinds arrive on the queue: data chunks
+    ``(shard, hi, lo, sizes)`` and control tuples ``("resize", shard,
+    new_l, seed)`` — the latter re-hash the shard's live state in
+    place (the daemon's elastic geometry, shipped to persistent
+    workers).  ``None`` ends the stream.
     """
+    if spec.engine != "scalar":
+        # Warm the JIT before the first timed chunk: with a shared
+        # NUMBA_CACHE_DIR (see repro.engine.kernels) the first worker
+        # compiles once and every sibling loads the cached binaries.
+        from repro.engine.kernels import resolve_kernels, warmup
+
+        warmup(resolve_kernels(None), spec.d)
     runs = {shard: _ShardRun(spec, shard, collect, epoch) for shard in shards}
     while True:
         message = in_q.get()
         if message is None:
             break
+        if message[0] == "resize":
+            _, shard, new_l, seed = message
+            runs[shard].sketch.resize(new_l, seed=seed)
+            continue
         shard, hi, lo, sizes = message
         runs[shard].consume(hi, lo, sizes, batch_size)
     for shard in shards:
@@ -336,6 +366,26 @@ class StreamDriver:
             self._inline[shard].consume(hi, lo, sizes, self._batch_size)
             return
         self._queues[shard].put((shard, hi, lo, sizes))
+
+    def resize(self, new_l: int, base_seed: int = 0) -> None:
+        """Re-hash every shard's live state to *new_l* buckets.
+
+        Inline shards resize synchronously; worker-process shards get a
+        ``("resize", ...)`` control tuple on their input queue, ordered
+        FIFO with the data chunks, so the resize lands between the same
+        two chunks it would inline.  Per-shard fold seeds come from
+        :func:`resize_stream_seed` in both placements.
+        """
+        if self._closed:
+            raise RuntimeError("driver already closed")
+        if new_l < 1:
+            raise ValueError(f"new_l must be >= 1, got {new_l}")
+        for shard in range(self.shards):
+            seed = resize_stream_seed(base_seed, shard)
+            if self._inline is not None:
+                self._inline[shard].sketch.resize(new_l, seed=seed)
+            else:
+                self._queues[shard].put(("resize", shard, new_l, seed))
 
     def results(self) -> Iterator[ShardResult]:
         """Close the stream and yield shard results as workers finish.

@@ -194,6 +194,7 @@ class SlimReplica:
         shards: int,
         max_pending_rows: Optional[int] = None,
     ) -> None:
+        self._auto_pending = max_pending_rows is None
         if max_pending_rows is None:
             # Default: a few multiples of the full state per shard —
             # compaction then triggers about as often as a read that
@@ -229,15 +230,44 @@ class SlimReplica:
         with self._lock:
             return self._version
 
-    def bootstrap(self, epoch: int, start_seq: int, flushed: int, sketches) -> None:
+    def invalidate(self) -> None:
+        """Drop the replica's sync state; the next read re-bootstraps.
+
+        Used when the fat state changes shape without an epoch bump
+        (an empty-epoch geometry swap): the mirrors' arrays no longer
+        match the fat geometry, so stale-shape deltas must never be
+        applied — the epoch tag resets to the un-bootstrapped sentinel
+        and any sink still attached to old engines goes stale with it.
+        """
+        with self._lock:
+            self.epoch = -1
+            self._pending = [[] for _ in self._mirrors]
+            self._pending_rows = 0
+            self._planner = None
+            self._version = None
+            self.registry.inc("slim.invalidations")
+
+    def bootstrap(
+        self, epoch: int, start_seq: int, flushed: int, sketches, spec=None
+    ) -> None:
         """(Re)sync the mirrors to the fat state and attach fresh sinks.
 
         Called under the daemon's ingest lock, so the fat arrays are
         quiescent.  The copy is a plain memcpy per array — no
         serialization, no extraction — and from here on the mirrors
         advance by deltas alone until the next rotation re-bootstraps.
+
+        *spec* carries the fat shards' *current* spec when the daemon
+        runs under elastic geometry: mirrors are rebuilt at the new
+        shape, and the auto-derived pending-row bound re-scales with
+        the state size it protects.
         """
         with self._lock:
+            if spec is not None and spec != self.spec:
+                self.spec = spec
+                if self._auto_pending:
+                    self.max_pending_rows = 8 * spec.d * spec.l
+                self.registry.inc("slim.geometry.rebootstraps")
             self.epoch = epoch
             self.start_seq = int(start_seq)
             self.accepted = int(flushed)

@@ -38,6 +38,7 @@ advanced by a read.
 
 from __future__ import annotations
 
+import dataclasses
 import queue
 import random
 import threading
@@ -47,6 +48,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.control.governor import GovernorConfig, ResourceGovernor, Signals
 from repro.core.serialize import dump_sketch, load_sketch
 from repro.engine.sharded import (
     PARTITION_STRATEGIES,
@@ -73,6 +75,18 @@ DEFAULT_CHUNK = 16384
 
 class ServiceError(RuntimeError):
     """Daemon misuse or unavailable state (closed daemon, no live view)."""
+
+
+def _sketch_occupancy(sketch) -> float:
+    """Fraction of buckets holding a key, for any sketch variant."""
+    occ = getattr(sketch, "occupancy", None)
+    if occ is not None:
+        return float(occ())
+    keys = getattr(sketch, "_keys", None)
+    if keys is not None:
+        filled = sum(1 for row in keys for k in row if k is not None)
+        return filled / (sketch.d * sketch.l)
+    return 0.0
 
 
 @dataclass
@@ -116,6 +130,20 @@ class ServiceConfig:
             default (a few multiples of the state size).
         live_view: Default live read path: ``"slim"``, ``"fat"``, or
             ``None`` (auto — slim when the replica is enabled).
+        governor: Elastic-geometry control loop
+            (:class:`~repro.control.governor.GovernorConfig`).  When
+            set, the daemon samples occupancy/skew at every rotation
+            and resizes ``spec.l`` (and re-draws the partition seed)
+            for the *next* epoch — geometry only ever changes at
+            rotation boundaries, so every epoch snapshot remains a
+            pure function of its packet sequence.
+        tenants: Tenant names.  When set, ingested traffic is also
+            routed (by a salted full-key hash) to one isolated
+            sub-daemon per tenant under a shared memory budget — see
+            :class:`~repro.control.tenants.TenantManager`.  The parent
+            keeps measuring the aggregate with its own spec.
+        tenant_memory_bytes: Joint budget across all tenant sketches;
+            defaults to the parent plane's own total footprint.
     """
 
     spec: SketchSpec
@@ -133,6 +161,9 @@ class ServiceConfig:
     slim_sync: bool = True
     slim_max_pending_rows: Optional[int] = None
     live_view: Optional[str] = None
+    governor: Optional[GovernorConfig] = None
+    tenants: Optional[Tuple[str, ...]] = None
+    tenant_memory_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -173,6 +204,23 @@ class ServiceConfig:
             )
         if self.live_view == "slim" and not self.slim_sync:
             raise ValueError("live_view='slim' requires slim_sync=True")
+        if self.tenants is not None:
+            names = tuple(self.tenants)
+            if not names:
+                raise ValueError("tenants must name at least one tenant")
+            if len(set(names)) != len(names):
+                raise ValueError(f"tenant names must be unique: {names}")
+            self.tenants = names
+        if self.tenant_memory_bytes is not None:
+            if self.tenants is None:
+                raise ValueError(
+                    "tenant_memory_bytes requires tenants to be set"
+                )
+            if self.tenant_memory_bytes < 1:
+                raise ValueError(
+                    f"tenant_memory_bytes must be >= 1, "
+                    f"got {self.tenant_memory_bytes}"
+                )
 
 
 class EpochBuilder:
@@ -185,17 +233,32 @@ class EpochBuilder:
     boundaries are a function of the packet sequence alone.
     """
 
-    def __init__(self, config: ServiceConfig, epoch: int, start_seq: int) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig,
+        epoch: int,
+        start_seq: int,
+        spec: Optional[SketchSpec] = None,
+        partition_seed: Optional[int] = None,
+    ) -> None:
         self.config = config
+        # The governed daemon threads its *current* (possibly resized)
+        # spec and partition seed in; plain daemons fall back to the
+        # config's frozen values, preserving the seed behaviour.
+        self.spec = spec if spec is not None else config.spec
+        self.partition_seed = (
+            partition_seed if partition_seed is not None else self.spec.seed
+        )
         self.epoch = epoch
         self.start_seq = start_seq
         self.packets = 0  # accepted: flushed + buffered
         self.flushed = 0  # handed to the engines
+        self.shard_packets = [0] * config.shards  # skew signal
         self.opened_at = time.monotonic()
         self._pend: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._pend_n = 0
         self._driver = StreamDriver(
-            config.spec,
+            self.spec,
             config.shards,
             processes=config.processes,
             batch_size=config.batch_size or config.chunk,
@@ -241,11 +304,12 @@ class EpochBuilder:
     def _scatter(self, hi, lo, sizes) -> None:
         cfg = self.config
         parts = partition_columns(
-            hi, lo, sizes, cfg.shards, cfg.strategy, cfg.spec.seed,
+            hi, lo, sizes, cfg.shards, cfg.strategy, self.partition_seed,
             offset=self.flushed,
         )
         for shard, (shi, slo, ssz) in enumerate(parts):
             if len(ssz):
+                self.shard_packets[shard] += len(ssz)
                 self._driver.send(shard, shi, slo, ssz)
         self.flushed += len(sizes)
 
@@ -315,7 +379,41 @@ class MeasurementDaemon:
         self.registry = MetricsRegistry()
         self._lock = threading.RLock()
         self._seq = 0
-        self._builder = EpochBuilder(config, epoch=0, start_seq=0)
+        # Mutable control state: the *current* geometry and partition
+        # seed.  Epoch 0 always starts from the config exactly, so an
+        # ungoverned daemon replays the historical streams bit for bit.
+        self._spec = config.spec
+        self._partition_seed = config.spec.seed
+        self._pending_l: Optional[int] = None
+        self._governor: Optional[ResourceGovernor] = (
+            ResourceGovernor(
+                config.governor, config.spec.d, config.spec.key_bytes
+            )
+            if config.governor is not None
+            else None
+        )
+        self._tenants = None
+        if config.tenants:
+            from repro.control.tenants import TenantManager
+            from repro.sketches.base import COUNTER_BYTES
+
+            budget = config.tenant_memory_bytes
+            if budget is None:
+                budget = (
+                    config.shards
+                    * config.spec.d
+                    * config.spec.l
+                    * (config.spec.key_bytes + COUNTER_BYTES)
+                )
+            self._tenants = TenantManager(config.tenants, config, budget)
+        self._builder = EpochBuilder(
+            config,
+            epoch=0,
+            start_seq=0,
+            spec=self._spec,
+            partition_seed=self._partition_seed,
+        )
+        self.registry.set_gauge("control.geometry.l", float(self._spec.l))
         self._closed = False
         self._queue: Optional[queue.Queue] = None
         self._thread: Optional[threading.Thread] = None
@@ -373,6 +471,11 @@ class MeasurementDaemon:
                     start = end
                     if self._builder.packets >= cfg.epoch_packets:
                         self._rotate_locked()
+            if self._tenants is not None:
+                # Tenant routing sees the whole block — sub-daemons
+                # rotate with the parent, not on the parent's packet
+                # boundary, so no splitting is needed here.
+                self._tenants.route(hi, lo, sizes)
             self.registry.inc("service.ingest.packets", n)
             self.registry.inc("service.ingest.blocks")
             self.registry.set_gauge("service.epoch.live", self._builder.epoch)
@@ -395,21 +498,99 @@ class MeasurementDaemon:
         self.ingest(hi, lo, np.asarray(sizes, dtype=np.int64))
 
     def rotate(self) -> Optional[EpochSnapshot]:
-        """Force a rotation now; no-op (returns None) on an empty epoch."""
+        """Force a rotation now; no-op (returns None) on an empty epoch.
+
+        An empty epoch with a *staged* geometry change still applies
+        it: the (packet-free) builder is swapped for one at the new
+        geometry, so a quiet tenant's rebalanced allocation takes
+        effect without fabricating an empty snapshot.
+        """
         with self._lock:
             if self._closed:
                 raise ServiceError("daemon is closed")
             if not self._builder.packets:
+                if self._pending_l is not None and self._pending_l != self._spec.l:
+                    self._apply_geometry_locked(self._pending_l)
+                    self._pending_l = None
+                    old = self._builder
+                    self._builder = EpochBuilder(
+                        self.config,
+                        epoch=old.epoch,
+                        start_seq=old.start_seq,
+                        spec=self._spec,
+                        partition_seed=self._partition_seed,
+                    )
+                    old.close()  # drain the replaced builder's workers
+                    if self._replica is not None:
+                        # Same epoch tag, new shape: force the next slim
+                        # read to re-bootstrap instead of serving mirrors
+                        # whose geometry no longer matches the fat state.
+                        self._replica.invalidate()
+                self._pending_l = None
                 return None
             return self._rotate_locked()
+
+    def _apply_geometry_locked(self, new_l: int) -> None:
+        """Adopt *new_l* as the current geometry (caller holds the lock)."""
+        self._spec = dataclasses.replace(self._spec, l=new_l)
+        self.registry.inc("control.resizes")
+        self.registry.set_gauge("control.geometry.l", float(self._spec.l))
+
+    def _control_locked(self, snap: EpochSnapshot) -> None:
+        """Run the control loop over the just-closed epoch's signals.
+
+        Called between ``close()`` and the next builder's construction
+        — the only point where geometry may legally change, so every
+        epoch snapshot stays a pure function of its packet sequence
+        (the resize-at-rotation invariant).
+        """
+        new_l: Optional[int] = None
+        if self._pending_l is not None:
+            if self._pending_l != self._spec.l:
+                new_l = self._pending_l
+            self._pending_l = None
+        if self._governor is not None:
+            builder = self._builder  # the closed epoch's builder
+            counts = builder.shard_packets
+            mean = sum(counts) / len(counts) if counts else 0.0
+            imbalance = max(counts) / mean if mean else 1.0
+            occupancy = _sketch_occupancy(load_sketch(snap.blob))
+            decision = self._governor.decide(
+                Signals(
+                    epoch=snap.epoch,
+                    l=self._spec.l,
+                    occupancy=occupancy,
+                    imbalance=imbalance,
+                )
+            )
+            self.registry.inc("control.governor.decisions")
+            self.registry.set_gauge("control.occupancy", occupancy)
+            if decision.repartition:
+                self._partition_seed = mix64(
+                    (self._partition_seed ^ 0x5EED17)
+                    + (snap.epoch + 1) * _GOLDEN_LIVE
+                )
+                self.registry.inc("control.governor.repartitions")
+            if decision.resized and new_l is None:
+                new_l = decision.new_l
+                self.registry.inc("control.governor.resizes")
+        if new_l is not None:
+            self._apply_geometry_locked(new_l)
 
     def _rotate_locked(self) -> EpochSnapshot:
         start = time.perf_counter()
         snap = self._builder.close()
         self.store.add(snap)
+        self._control_locked(snap)
         self._builder = EpochBuilder(
-            self.config, epoch=snap.epoch + 1, start_seq=self._seq
+            self.config,
+            epoch=snap.epoch + 1,
+            start_seq=self._seq,
+            spec=self._spec,
+            partition_seed=self._partition_seed,
         )
+        if self._tenants is not None:
+            self._tenants.on_parent_rotate()
         self.registry.inc("service.epochs.rotated")
         self.registry.observe(
             "service.rotate.seconds", time.perf_counter() - start, TIME_EDGES
@@ -440,6 +621,8 @@ class MeasurementDaemon:
                 self.registry.inc("service.epochs.rotated")
             else:
                 self._builder.close()  # drain the driver's workers
+        if self._tenants is not None:
+            self._tenants.close()
         if feeder_error is not None:
             raise feeder_error
 
@@ -447,6 +630,43 @@ class MeasurementDaemon:
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+    # ------------------------------------------------------------------
+    # control plane
+
+    @property
+    def spec(self) -> SketchSpec:
+        """The *current* per-shard spec (geometry may have been resized)."""
+        with self._lock:
+            return self._spec
+
+    def set_geometry(self, new_l: int) -> None:
+        """Stage a bucket-count change, applied at the next rotation.
+
+        The external actuation point (tenant rebalancing, operators):
+        geometry never changes mid-epoch, so the live epoch's snapshot
+        stays a pure function of its packet sequence.  A later call
+        before the rotation overwrites the staged value.
+        """
+        if new_l < 1:
+            raise ValueError(f"new_l must be >= 1, got {new_l}")
+        with self._lock:
+            if self._closed:
+                raise ServiceError("daemon is closed")
+            self._pending_l = new_l
+            self.registry.inc("control.geometry.staged")
+
+    def tenant_daemon(self, name: str) -> "MeasurementDaemon":
+        """The named tenant's isolated daemon (KeyError if unknown)."""
+        if self._tenants is None:
+            raise KeyError(
+                f"tenant {name!r} unknown (no tenants configured)"
+            )
+        return self._tenants.daemon(name)
+
+    @property
+    def tenant_names(self) -> Tuple[str, ...]:
+        return self._tenants.names if self._tenants is not None else ()
 
     # ------------------------------------------------------------------
     # background feeder
@@ -571,6 +791,7 @@ class MeasurementDaemon:
                         builder.start_seq,
                         builder.flushed,
                         builder.live_sketches(),
+                        spec=builder.spec,
                     )
         return replica.read(self.config.live_refresh_packets)
 
@@ -690,11 +911,17 @@ class MeasurementDaemon:
         }
         with self._lock:
             snap = self.registry.snapshot(meta=meta)
+        extras = []
         replica = self._replica
         if replica is not None:
+            extras.append(replica.metrics_snapshot())
+        if self._tenants is not None:
+            extras.append(self._tenants.metrics_snapshot())
+        if extras:
             merged = MetricsRegistry()
             merged.merge_snapshot(snap)
-            merged.merge_snapshot(replica.metrics_snapshot())
+            for extra in extras:
+                merged.merge_snapshot(extra)
             snap = merged.snapshot(meta=meta)
         return snap
 
@@ -707,11 +934,16 @@ class MeasurementDaemon:
                 "flushed": self._builder.flushed,
                 "start_seq": self._builder.start_seq,
             }
+            geometry = {"d": self._spec.d, "l": self._spec.l}
             closed = self._closed
             seq = self._seq
-        return {
+        status = {
             "closed": closed,
             "total_packets": seq,
             "live": live,
+            "geometry": geometry,
             "epochs": self.store.metas(),
         }
+        if self._tenants is not None:
+            status["tenants"] = self._tenants.status()
+        return status

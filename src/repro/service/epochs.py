@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.serialize import dump_epoch, load_epoch, load_sketch
-from repro.extensions.merging import merge_many
+from repro.extensions.merging import merge_many, resize_cocosketch
 from repro.hashing.family import mix64
 
 _EPOCH_MERGE_SALT = 0x5E4C7
@@ -78,13 +78,28 @@ class EpochSnapshot:
         """Deserialise the frozen sketch (a fresh object per call)."""
         return load_sketch(self.blob)
 
+    def geometry(self) -> Tuple[int, int]:
+        """``(d, l)`` the epoch was cut at — a header peek, no parse.
+
+        Elastic services compare adjacent epochs' geometry to detect
+        resize boundaries (the slim replica re-bootstraps across one,
+        the range fold normalises across them).
+        """
+        from repro.core.serialize import peek_geometry
+
+        d, l, _kb = peek_geometry(self.blob)
+        return d, l
+
     def meta(self) -> Dict:
         """JSON-ready metadata row (what ``/epochs`` serves)."""
+        d, l = self.geometry()
         return {
             "epoch": self.epoch,
             "start_seq": self.start_seq,
             "packets": self.packets,
             "closed_at": self.closed_at,
+            "d": d,
+            "l": l,
         }
 
 
@@ -172,6 +187,18 @@ class EpochStore:
             merged = sketches[0]
         else:
             rng = random.Random(range_merge_seed(self.seed, lo, hi))
+            widths = {s.l for s in sketches}
+            if len(widths) > 1:
+                # The range straddles a governor resize.  Fold every
+                # snapshot to the newest epoch's geometry first (the
+                # Theorem 1 re-hash keeps each unbiased), then merge as
+                # usual — the whole normalise+merge stream draws from
+                # the one seeded rng, so the result stays deterministic.
+                target_l = sketches[-1].l
+                sketches = [
+                    s if s.l == target_l else resize_cocosketch(s, target_l, rng=rng)
+                    for s in sketches
+                ]
             merged = merge_many(sketches, rng=rng)
         with self._lock:
             # Another thread may have merged the same range concurrently;

@@ -21,6 +21,13 @@ enabled) or ``view=fat`` to pick the read path — the incrementally
 synced slim replica vs the serialize-and-merge fat path (see
 docs/service.md).
 
+Multi-tenant daemons additionally accept ``tenant=NAME`` on ``/query``
+and ``/topk``: the selector resolves against that tenant's isolated
+daemon (its own sketches and epochs) and the response descriptor
+carries the tenant name; an unknown tenant is a 404.  ``/metrics``
+folds per-tenant ``control.tenant.<name>.*`` rows into the parent
+snapshot.
+
 Every data response carries the ``epoch`` descriptor its rows were
 computed against — e.g. ``{"kind": "live", "epoch": E, "packets": P,
 "view": "slim", "staleness": {"packets_behind": B}}`` — which is what
@@ -128,8 +135,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(500, f"{type(exc).__name__}: {exc}")
 
     def _resolve(self, params) -> Tuple[dict, "object"]:
-        """Epoch selector → ``(descriptor, planner)``."""
+        """Epoch (and tenant) selector → ``(descriptor, planner)``."""
         daemon: MeasurementDaemon = self.server.daemon
+        tenant = params.get("tenant")
+        if tenant:
+            # Unknown tenant -> KeyError -> 404, same as unknown epoch.
+            daemon = daemon.tenant_daemon(tenant)
         selector = _parse_epoch_selector(params.get("epoch"))
         view = params.get("view")
         if view is not None and view not in ("slim", "fat"):
@@ -138,53 +149,53 @@ class _Handler(BaseHTTPRequestHandler):
             )
         if selector == "live":
             (epoch, packets), planner = daemon.live_planner(view)
-            return (
-                {
-                    "kind": "live",
-                    "epoch": epoch,
-                    "packets": packets,
-                    "view": view or daemon.default_live_view,
-                    "staleness": {
-                        "packets_behind": daemon.packets_behind(epoch, packets)
-                    },
+            descriptor = {
+                "kind": "live",
+                "epoch": epoch,
+                "packets": packets,
+                "view": view or daemon.default_live_view,
+                "staleness": {
+                    "packets_behind": daemon.packets_behind(epoch, packets)
                 },
-                planner,
-            )
+            }
+            if tenant:
+                descriptor["tenant"] = tenant
+            return descriptor, planner
         if view is not None:
             raise ValueError("'view' only applies to the live epoch")
         if isinstance(selector, tuple):
             lo, hi = selector
             planner = daemon.range_planner(lo, hi)
             tail = daemon.store.get(hi)
-            return (
-                {
-                    "kind": "range",
-                    "lo": lo,
-                    "hi": hi,
-                    "staleness": {
-                        "packets_behind": daemon.packets_behind(
-                            tail.epoch, tail.packets
-                        )
-                    },
-                },
-                planner,
-            )
-        snap = daemon.store.get(selector)
-        planner = daemon.epoch_planner(selector)
-        return (
-            {
-                "kind": "frozen",
-                "epoch": snap.epoch,
-                "packets": snap.packets,
-                "start_seq": snap.start_seq,
+            descriptor = {
+                "kind": "range",
+                "lo": lo,
+                "hi": hi,
                 "staleness": {
                     "packets_behind": daemon.packets_behind(
-                        snap.epoch, snap.packets
+                        tail.epoch, tail.packets
                     )
                 },
+            }
+            if tenant:
+                descriptor["tenant"] = tenant
+            return descriptor, planner
+        snap = daemon.store.get(selector)
+        planner = daemon.epoch_planner(selector)
+        descriptor = {
+            "kind": "frozen",
+            "epoch": snap.epoch,
+            "packets": snap.packets,
+            "start_seq": snap.start_seq,
+            "staleness": {
+                "packets_behind": daemon.packets_behind(
+                    snap.epoch, snap.packets
+                )
             },
-            planner,
-        )
+        }
+        if tenant:
+            descriptor["tenant"] = tenant
+        return descriptor, planner
 
     def _handle_query(self, params) -> None:
         sql = params.get("sql")

@@ -260,3 +260,28 @@ class Sketch(abc.ABC):
             "BasicCocoSketch.reset for the pattern) to enable reuse "
             "across windows"
         )
+
+    #: True when the sketch supports in-place elastic :meth:`resize` —
+    #: the CocoSketch variants, where the Theorem 1 fold lets recorded
+    #: state move to a new array length without bias.  Deterministic
+    #: counter arrays (CM/Count) and facades leave it False.
+    resizable: bool = False
+
+    def resize(self, new_l: int, seed: int = 0, rng=None) -> None:
+        """Re-hash the sketch's arrays to *new_l* buckets, in place.
+
+        Geometry is a runtime property: growing re-hashes every
+        recorded bucket into a wider array, shrinking folds buckets
+        together through the Theorem 1 coin flip
+        (:func:`repro.extensions.merging.resize_cocosketch`), so
+        per-flow expectations are preserved either way (Lemma 3
+        unbiasedness of partial-key aggregates follows).  Randomness is
+        injected via *seed*/*rng* exactly as in the merge path.  Must
+        be called at a quiescent point — never concurrently with an
+        update batch.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support elastic resize(); "
+            "only the CocoSketch variants can re-hash their recorded "
+            "state without bias (resizable=False)"
+        )

@@ -246,6 +246,11 @@ class TestEpochRoundTrip:
             "start_seq": start_seq,
             "packets": count,
             "closed_at": closed_at,
+            # The outer header records the geometry the epoch was cut
+            # at — elastic daemons rely on it to detect resize edges.
+            "d": d,
+            "l": l,
+            "key_bytes": sketch.key_bytes,
         }
         assert dump_sketch(sketch) == blob
         # Fixpoint through a second trip.
@@ -275,6 +280,60 @@ class TestEpochRoundTrip:
             dump_epoch(-1, 0, 0, 0.0, blob)
         with pytest.raises(SerializationError, match="out of u64"):
             dump_epoch(0, 0, 1 << 64, 0.0, blob)
+
+
+class TestResizedRoundTrip:
+    """Resize must leave the codec a fixpoint at the *new* geometry.
+
+    Elastic daemons serialize sketches after in-place ``resize()``
+    calls, so the wire format has to round-trip whatever live geometry
+    the governor lands on — including epoch snapshots whose outer
+    header must report the post-resize ``l``.
+    """
+
+    @pytest.mark.parametrize("cls", ALL_SKETCH_CLASSES)
+    @given(
+        geometry=geometries,
+        new_l=st.sampled_from([3, 8, 64]),
+        seed=st.integers(0, 2**32),
+        packets=packet_lists,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_resized_dump_load_dump_is_fixpoint(
+        self, cls, geometry, new_l, seed, packets
+    ):
+        d, l = geometry
+        sketch = _build(cls, d, l, seed, packets)
+        before = sum(sketch.flow_table().values())
+        sketch.resize(new_l, seed=seed + 1)
+        assert sketch.l == new_l
+        if cls in (BasicCocoSketch, NumpyCocoSketch):
+            # The re-hash fold conserves mass under the basic rule;
+            # hardware-rule estimates are medians, which a fold may
+            # legitimately shift.
+            assert sum(sketch.flow_table().values()) == before
+        blob = dump_sketch(sketch)
+        restored = load_sketch(blob)
+        assert type(restored) is type(sketch)
+        assert restored.l == new_l
+        assert dump_sketch(restored) == blob
+        assert restored.flow_table() == sketch.flow_table()
+
+    @given(geometry=geometries, new_l=st.sampled_from([3, 8, 64]),
+           packets=packet_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_epoch_header_tracks_resized_geometry(
+        self, geometry, new_l, packets
+    ):
+        d, l = geometry
+        sketch = _build(NumpyCocoSketch, d, l, 11, packets)
+        sketch.resize(new_l, seed=5)
+        wire = dump_epoch(7, 1000, len(packets), 3.25, dump_sketch(sketch))
+        meta, restored = load_epoch(wire)
+        assert (meta["d"], meta["l"]) == (d, new_l)
+        assert restored.l == new_l
+        again = dump_epoch(7, 1000, len(packets), 3.25, dump_sketch(restored))
+        assert again == wire
 
 
 class TestEpochCorruptionRejection:
